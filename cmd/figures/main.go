@@ -1,0 +1,190 @@
+// Command figures regenerates the paper's evaluation: every figure
+// (4–12), the §4 sub-block table, the analytic-versus-simulation
+// cross-check, and the headline summary.
+//
+// Usage:
+//
+//	figures [-fig all|4|5|...|12|subblock|crosscheck|summary] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"primecache/internal/experiments"
+	"primecache/internal/report"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 4..12, subblock, crosscheck, problemsize, linesize, prefetch, primemem, assoc, multistream, writepolicy, cachesize, replacement, algorithms, tornado, summary, or all")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	md := flag.Bool("md", false, "emit Markdown tables instead of aligned text")
+	plot := flag.Bool("plot", false, "render numbered figures as ASCII charts in addition to tables")
+	svgDir := flag.String("svg", "", "also write each numbered figure as an SVG file into this directory")
+	config := flag.String("config", "", "run a custom JSON sweep config instead of a named figure")
+	reportPath := flag.String("report", "", "write the complete reproduction as one Markdown report to this file")
+	flag.Parse()
+
+	if *reportPath != "" {
+		f, err := os.Create(*reportPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(2)
+		}
+		if err := experiments.WriteReport(f); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *reportPath)
+		return
+	}
+
+	emit := func(t *report.Table) {
+		if *md {
+			if err := t.WriteMarkdown(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			return
+		}
+		if *csv {
+			if t.Title != "" {
+				fmt.Printf("# %s\n", t.Title)
+			}
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+		} else {
+			if err := t.WriteText(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Println()
+	}
+
+	emitFigure := func(f experiments.Figure) {
+		emit(f.Table())
+		if *svgDir != "" {
+			ps := make([]report.PlotSeries, len(f.Series))
+			for i, sr := range f.Series {
+				ps[i] = report.PlotSeries{Name: sr.Name, X: sr.X, Y: sr.Y}
+			}
+			name := strings.ToLower(strings.ReplaceAll(f.ID, " ", "")) + ".svg"
+			fp, err := os.Create(filepath.Join(*svgDir, name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+			if err := report.WriteSVG(fp, f.ID+": "+f.Title, f.XLabel, f.YLabel, ps, 800, 480); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+			fp.Close()
+		}
+		if *plot {
+			ps := make([]report.PlotSeries, len(f.Series))
+			for i, s := range f.Series {
+				ps[i] = report.PlotSeries{Name: s.Name, X: s.X, Y: s.Y}
+			}
+			if err := report.Plot(os.Stdout, f.ID+" ("+f.YLabel+" vs "+f.XLabel+")", ps, 72, 20); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	}
+
+	if *config != "" {
+		f, err := os.Open(*config)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(2)
+		}
+		cfg, err := experiments.ParseSweepConfig(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(2)
+		}
+		fig, err := experiments.RunSweep(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		emitFigure(fig)
+		return
+	}
+
+	byID := map[string]func() experiments.Figure{
+		"4": experiments.Figure4, "5": experiments.Figure5, "6": experiments.Figure6,
+		"7": experiments.Figure7, "8": experiments.Figure8, "9": experiments.Figure9,
+		"10": experiments.Figure10, "11": experiments.Figure11, "12": experiments.Figure12,
+	}
+
+	switch *fig {
+	case "all":
+		for _, f := range experiments.All() {
+			emitFigure(f)
+		}
+		emit(experiments.SubblockTable())
+		emit(experiments.CrossCheck())
+		emit(experiments.ProblemSizeTable())
+		emit(experiments.LineSizeTable())
+		emit(experiments.PrefetchTable())
+		emit(experiments.PrimeMemoryTable())
+		emit(experiments.AssociativityTable())
+		emit(experiments.MultiStreamTable())
+		emit(experiments.WritePolicyTable())
+		emit(experiments.CacheSizeTable())
+		emit(experiments.ReplacementTable())
+		emit(experiments.AlgorithmTable())
+		emit(experiments.TornadoTable())
+		emit(experiments.Summary())
+	case "subblock":
+		emit(experiments.SubblockTable())
+	case "crosscheck":
+		emit(experiments.CrossCheck())
+	case "problemsize":
+		emit(experiments.ProblemSizeTable())
+	case "linesize":
+		emit(experiments.LineSizeTable())
+	case "prefetch":
+		emit(experiments.PrefetchTable())
+	case "primemem":
+		emit(experiments.PrimeMemoryTable())
+	case "assoc":
+		emit(experiments.AssociativityTable())
+	case "multistream":
+		emit(experiments.MultiStreamTable())
+	case "writepolicy":
+		emit(experiments.WritePolicyTable())
+	case "cachesize":
+		emit(experiments.CacheSizeTable())
+	case "replacement":
+		emit(experiments.ReplacementTable())
+	case "algorithms":
+		emit(experiments.AlgorithmTable())
+	case "tornado":
+		emit(experiments.TornadoTable())
+	case "summary":
+		emit(experiments.Summary())
+	default:
+		gen, ok := byID[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", *fig)
+			flag.Usage()
+			os.Exit(2)
+		}
+		emitFigure(gen())
+	}
+}

@@ -1,0 +1,116 @@
+// Command vasm assembles and runs textual vector assembly (the format of
+// internal/visa's Parse/Disassemble) on a configurable machine: choose
+// the bank count, memory time, cache organisation, chaining, and initial
+// memory contents, then inspect cycles, cache statistics and register
+// results.
+//
+// Example:
+//
+//	cat > daxpy.vasm <<'END'
+//	loads  s0, 2.5
+//	loada  a0, 0
+//	loada  a1, 1
+//	loada  a2, 4096
+//	loada  a3, 1
+//	setvl  64
+//	loop   16
+//	  loadv  v0, (a0), a1
+//	  mulvs  v0, v0, s0
+//	  loadv  v1, (a2), a3
+//	  addvv  v1, v1, v0
+//	  storev v1, (a2), a3
+//	  adda   a0, 64
+//	  adda   a2, 64
+//	endloop
+//	END
+//	vasm -file daxpy.vasm -cache prime -banks 64 -tm 32 -fill 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"primecache/internal/vcm"
+	"primecache/internal/visa"
+)
+
+func main() {
+	var (
+		file   = flag.String("file", "", "assembly file (required; '-' for stdin)")
+		cache  = flag.String("cache", "none", "cache organisation: none, direct, prime")
+		banks  = flag.Int("banks", 64, "interleaved memory banks (power of two)")
+		tm     = flag.Int("tm", 32, "memory access time in cycles")
+		mem    = flag.Int("mem", 1<<16, "memory size in words")
+		fill   = flag.Float64("fill", 0, "initialise every memory word to this value")
+		chain  = flag.Bool("chain", false, "enable vector chaining")
+		disasm = flag.Bool("disasm", false, "print the disassembled program before running")
+	)
+	flag.Parse()
+	if *file == "" {
+		fmt.Fprintln(os.Stderr, "vasm: -file is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	in := os.Stdin
+	if *file != "-" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vasm:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	prog, err := visa.Parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vasm:", err)
+		os.Exit(2)
+	}
+	if *disasm {
+		fmt.Print(visa.Disassemble(prog))
+		fmt.Println()
+	}
+
+	cfg := visa.Config{Mach: vcm.DefaultMachine(*banks, *tm), MemWords: *mem, Chaining: *chain}
+	switch *cache {
+	case "none":
+	case "direct":
+		g := vcm.DirectGeom(13)
+		cfg.CacheGeom = &g
+	case "prime":
+		g := vcm.PrimeGeom(13)
+		cfg.CacheGeom = &g
+	default:
+		fmt.Fprintf(os.Stderr, "vasm: unknown cache %q\n", *cache)
+		os.Exit(2)
+	}
+	cpu, err := visa.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vasm:", err)
+		os.Exit(2)
+	}
+	if *fill != 0 {
+		for i := range cpu.Mem() {
+			cpu.Mem()[i] = *fill
+		}
+	}
+	if err := cpu.Run(prog); err != nil {
+		fmt.Fprintln(os.Stderr, "vasm:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("instructions: %d\n", len(prog))
+	fmt.Printf("cycles:       %d\n", cpu.Cycles())
+	if cfg.CacheGeom != nil {
+		s := cpu.CacheStats()
+		fmt.Printf("cache:        hit%% %.2f, misses %d (conflict %d)\n",
+			100*s.HitRatio(), s.Misses, s.Conflict)
+	}
+	fmt.Printf("scalars:     ")
+	for i := 0; i < visa.NumScalarRegs; i++ {
+		fmt.Printf(" s%d=%g", i, cpu.Scalar(i))
+	}
+	fmt.Println()
+}

@@ -1,0 +1,99 @@
+// Command vcmodel evaluates the paper's analytical performance model for
+// one operating point and prints every intermediate quantity (the
+// interference terms, per-element times, block time, total time, and
+// cycles per result), for all three machines side by side.
+//
+// Example:
+//
+//	vcmodel -banks 64 -tm 32 -b 4096 -r 4096 -pds 0.25 -p1 0.25 -n 1048576
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"primecache/internal/report"
+	"primecache/internal/vcm"
+)
+
+func main() {
+	var (
+		banks = flag.Int("banks", 64, "number of interleaved memory banks M (power of two)")
+		tm    = flag.Int("tm", 32, "memory access time t_m in cycles")
+		b     = flag.Int("b", 4096, "blocking factor B")
+		r     = flag.Int("r", 0, "reuse factor R (default: B)")
+		pds   = flag.Float64("pds", 0.25, "double-stream probability P_ds")
+		p1    = flag.Float64("p1", 0.25, "unit-stride probability P_stride1")
+		n     = flag.Int("n", 1<<20, "total problem size N")
+		cExp  = flag.Uint("c", 13, "cache size exponent (direct 2^c, prime 2^c-1)")
+		sens  = flag.Float64("sensitivity", 0, "if in (0,1), also print a ±factor one-at-a-time sensitivity analysis")
+	)
+	flag.Parse()
+
+	mach := vcm.DefaultMachine(*banks, *tm)
+	if err := mach.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "vcmodel:", err)
+		os.Exit(2)
+	}
+	reuse := *r
+	if reuse == 0 {
+		reuse = *b
+	}
+	work := vcm.VCM{B: *b, R: reuse, Pds: *pds, P1S1: *p1, P1S2: *p1}
+	if err := work.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "vcmodel:", err)
+		os.Exit(2)
+	}
+
+	dg, pg := vcm.DirectGeom(*cExp), vcm.PrimeGeom(*cExp)
+	b2 := int(math.Round(float64(work.B) * work.Pds))
+
+	t := report.New(
+		fmt.Sprintf("analytic model at M=%d t_m=%d B=%d R=%d P_ds=%v P1=%v N=%d",
+			*banks, *tm, work.B, work.R, work.Pds, *p1, *n),
+		"quantity", "MM-model", "CC-direct", "CC-prime")
+	t.MustAddRow("self-interference I_s (1st stream)",
+		vcm.IsM(mach, work.P1S1), vcm.IsC(dg, mach, work.B, work.P1S1), vcm.IsC(pg, mach, work.B, work.P1S1))
+	t.MustAddRow("self-interference I_s (2nd stream)",
+		vcm.IsM(mach, work.P1S2), vcm.IsC(dg, mach, b2, work.P1S2), vcm.IsC(pg, mach, b2, work.P1S2))
+	t.MustAddRow("cross-interference I_c",
+		vcm.IcM(mach), vcm.IcC(dg, mach, work.B, work.Pds), vcm.IcC(pg, mach, work.B, work.Pds))
+	t.MustAddRow("per-element time T_elemt",
+		vcm.TElemtMM(mach, work), vcm.TElemtCC(dg, mach, work), vcm.TElemtCC(pg, mach, work))
+	t.MustAddRow("block time T_B (memory pass)",
+		vcm.TBlockMM(mach, work), vcm.TBlockMM(mach, work), vcm.TBlockMM(mach, work))
+	t.MustAddRow("total time T_N",
+		vcm.TotalMM(mach, work, *n), vcm.TotalCC(dg, mach, work, *n), vcm.TotalCC(pg, mach, work, *n))
+	t.MustAddRow("cycles per result",
+		vcm.CyclesPerResultMM(mach, work, *n),
+		vcm.CyclesPerResultCC(dg, mach, work, *n),
+		vcm.CyclesPerResultCC(pg, mach, work, *n))
+	if err := t.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vcmodel:", err)
+		os.Exit(1)
+	}
+
+	if *sens > 0 {
+		for _, geom := range []struct {
+			name string
+			g    vcm.CacheGeom
+		}{{"CC-direct", dg}, {"CC-prime", pg}} {
+			entries, err := vcm.Sensitivity(geom.g, mach, work, *n, *sens)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vcmodel:", err)
+				os.Exit(2)
+			}
+			st := report.New(fmt.Sprintf("\n%s sensitivity (±%.0f%%)", geom.name, 100**sens),
+				"parameter", "CPR low", "CPR base", "CPR high", "swing")
+			for _, e := range entries {
+				st.MustAddRow(e.Parameter, e.Low, e.Base, e.High, e.Swing())
+			}
+			if err := st.WriteText(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "vcmodel:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Row / column / diagonal sweeps of a matrix — the paper's §1 motivating
+// impossibility: row access needs stride P, the major diagonal needs
+// stride P+1, and "it is not possible to make both row access and major
+// diagonal access efficient" in any power-of-two cache, because one stride
+// or the other shares a factor with the set count. The prime-mapped cache
+// handles all three.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"primecache"
+)
+
+const (
+	p      = 256 // leading dimension: rows stride 256, diagonal 257
+	sweeps = 3
+	n      = 512 // elements per sweep
+)
+
+func main() {
+	patterns := []struct {
+		name   string
+		stride int64
+	}{
+		{"column (stride 1)", 1},
+		{fmt.Sprintf("row (stride P=%d)", p), p},
+		{fmt.Sprintf("diagonal (stride P+1=%d)", p+1), p + 1},
+	}
+
+	fmt.Printf("%-24s %28s %28s\n", "", "direct-mapped 8192", "prime-mapped 8191")
+	fmt.Printf("%-24s %14s %13s %14s %13s\n", "pattern", "hit%", "conflicts", "hit%", "conflicts")
+	for _, pat := range patterns {
+		direct, err := primecache.NewDirectCache(8192)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prime, err := primecache.NewPrimeCache(13)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for s := 0; s < sweeps; s++ {
+			if _, err := direct.LoadVector(0, pat.stride, n, 1); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := prime.LoadVector(0, pat.stride, n, 1); err != nil {
+				log.Fatal(err)
+			}
+		}
+		ds, ps := direct.Stats(), prime.Stats()
+		fmt.Printf("%-24s %13.2f%% %13d %13.2f%% %13d\n",
+			pat.name, 100*ds.HitRatio(), ds.Conflict, 100*ps.HitRatio(), ps.Conflict)
+	}
+
+	fmt.Println("\nThe direct-mapped cache cannot serve rows and diagonals well at once:")
+	fmt.Println("stride 256 folds 512 elements onto 32 sets (conflicts), while stride 257")
+	fmt.Println("is coprime to 8192 and behaves. Swap the leading dimension to 255 and the")
+	fmt.Println("roles swap — the prime-mapped cache is conflict-free for all of them.")
+}

@@ -1,0 +1,66 @@
+// Blocked FFT (the paper's §4 FFT access pattern): run the real four-step
+// Cooley–Tukey transform of 16 K points through direct- and prime-mapped
+// caches and compare interference misses, then evaluate the analytic FFT
+// model across blocking factors, reproducing the ≥2× improvement of the
+// paper's FFT figure.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/cmplx"
+	"math/rand"
+
+	"primecache"
+	"primecache/internal/vcm"
+)
+
+func main() {
+	const b1, b2 = 128, 128 // N = 16384 > cache, the interesting regime
+	rng := rand.New(rand.NewSource(7))
+	input := make([]complex128, b1*b2)
+	for i := range input {
+		input[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+
+	fmt.Printf("four-step FFT, N = %d = %d×%d (row stride %d)\n\n", b1*b2, b1, b2, b2)
+	var outputs [][]complex128
+	for _, c := range []struct {
+		name string
+		mk   func() (*primecache.VectorCache, error)
+	}{
+		{"direct-mapped (8192 lines)", func() (*primecache.VectorCache, error) { return primecache.NewDirectCache(8192) }},
+		{"prime-mapped (8191 lines)", func() (*primecache.VectorCache, error) { return primecache.NewPrimeCache(13) }},
+	} {
+		vc, err := c.mk()
+		if err != nil {
+			log.Fatal(err)
+		}
+		x := make([]complex128, len(input))
+		copy(x, input)
+		if err := primecache.FFT2D(x, b1, b2, 0, vc.Cache()); err != nil {
+			log.Fatal(err)
+		}
+		outputs = append(outputs, x)
+		s := vc.Stats()
+		fmt.Printf("%-28s miss%% %6.2f  conflicts %7d\n", c.name, 100*s.MissRatio(), s.Conflict)
+	}
+	// Same transform either way: the mapping affects timing, never values.
+	var maxDiff float64
+	for i := range outputs[0] {
+		if d := cmplx.Abs(outputs[0][i] - outputs[1][i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("\nmax |direct−prime| over outputs: %.1e (identical computation)\n\n", maxDiff)
+
+	fmt.Println("analytic FFT model, N = 2^20, cycles per point:")
+	m := primecache.DefaultMachine(64, 32)
+	fmt.Printf("  %6s  %10s  %10s  %7s\n", "B2", "direct", "prime", "speedup")
+	for bb2 := 256; bb2 <= 4096; bb2 *= 2 {
+		plan := vcm.FFTPlan{N: 1 << 20, B1: (1 << 20) / bb2, B2: bb2}
+		d := vcm.FFTCyclesPerPoint(vcm.DirectGeom(13), m, plan)
+		p := vcm.FFTCyclesPerPoint(vcm.PrimeGeom(13), m, plan)
+		fmt.Printf("  %6d  %10.2f  %10.2f  %6.2fx\n", bb2, d, p, d/p)
+	}
+}

@@ -1,0 +1,63 @@
+// Trace → model calibration workflow: generate the canonical trace of a
+// VCM operating point, replay it through both cache organisations, fit
+// the VCM parameters back from the raw trace, and evaluate the analytic
+// model at the fitted point — closing the loop between measurement and
+// model the way a performance engineer would on a real machine.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"primecache/internal/cache"
+	"primecache/internal/stats"
+	"primecache/internal/trace"
+	"primecache/internal/vcm"
+)
+
+func main() {
+	// The "measured program": B = 2048 elements at stride 512, re-used 8
+	// times, with a quarter-length unit-stride second stream.
+	truth := vcm.VCM{B: 2048, R: 8, Pds: 0.25, P1S1: 0, P1S2: 1}
+	tr, err := trace.FromVCM(truth, 512, 1, 0, 3_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d references\n\n", len(tr))
+
+	// Replay through both caches.
+	direct, _ := cache.NewDirect(8192)
+	prime, _ := cache.NewPrime(13)
+	ds := trace.Replay(direct, tr)
+	ps := trace.Replay(prime, tr)
+	fmt.Printf("replay:  direct miss%% %.1f (conflicts %d)   prime miss%% %.1f (conflicts %d)\n\n",
+		100*ds.MissRatio(), ds.Conflict, 100*ps.MissRatio(), ps.Conflict)
+
+	// Fit the workload model back from the trace alone.
+	fitted, err := trace.FitVCM(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fitted VCM: B=%d R=%d Pds=%.3f P1(s1)=%.2f P1(s2)=%.2f\n", fitted.B, fitted.R, fitted.Pds, fitted.P1S1, fitted.P1S2)
+	fmt.Printf("truth:      B=%d R=%d Pds=%.3f P1(s1)=%.2f P1(s2)=%.2f\n\n", truth.B, truth.R, truth.Pds, truth.P1S1, truth.P1S2)
+
+	// Stride mix of the dominant stream.
+	prof := trace.Profile(tr)[0]
+	h := stats.NewHistogram()
+	for s, n := range prof.StrideHist {
+		h.ObserveN(s, n)
+	}
+	fmt.Println("stream-1 stride histogram:")
+	if err := h.Render(os.Stdout, 3, 30); err != nil {
+		log.Fatal(err)
+	}
+
+	// Evaluate the analytic model at the fitted point.
+	mach := vcm.DefaultMachine(64, 32)
+	const n = 1 << 20
+	fmt.Printf("\nanalytic model at the fitted point (M=64, t_m=32):\n")
+	fmt.Printf("  MM        %6.2f cycles/result\n", vcm.CyclesPerResultMM(mach, fitted, n))
+	fmt.Printf("  CC-direct %6.2f\n", vcm.CyclesPerResultCC(vcm.DirectGeom(13), mach, fitted, n))
+	fmt.Printf("  CC-prime  %6.2f\n", vcm.CyclesPerResultCC(vcm.PrimeGeom(13), mach, fitted, n))
+}

@@ -1,0 +1,3 @@
+module primecache
+
+go 1.22

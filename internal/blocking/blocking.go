@@ -1,0 +1,110 @@
+// Package blocking chooses blocking factors for blocked numerical kernels
+// given a cache geometry — the tooling side of the paper's thesis that
+// "cache memory can improve the performance of vector processing provided
+// that application programs can be blocked". For prime-mapped caches it
+// applies the §4 recipe (conflict-free for any leading dimension); for
+// bit-selection caches it falls back to the best the hardware admits: a
+// block whose columns land on disjoint set ranges, which exists only when
+// the leading dimension cooperates.
+package blocking
+
+import (
+	"fmt"
+
+	"primecache/internal/vcm"
+)
+
+// Choice is a recommended sub-block shape with its predicted behaviour.
+type Choice struct {
+	// B1 is the column height (consecutive words); B2 the column count.
+	B1, B2 int
+	// ConflictFree reports whether the block is guaranteed free of
+	// self-interference in the target cache.
+	ConflictFree bool
+	// Utilization is B1·B2 / lines.
+	Utilization float64
+}
+
+// Choose returns a blocking recommendation for a P-leading-dimension
+// column-major matrix on geometry g. maxWords caps the block footprint
+// (0 means the full cache).
+func Choose(g vcm.CacheGeom, p, maxWords int) (Choice, error) {
+	if err := g.Validate(); err != nil {
+		return Choice{}, err
+	}
+	if p <= 0 {
+		return Choice{}, fmt.Errorf("blocking: leading dimension must be positive, got %d", p)
+	}
+	if maxWords <= 0 || maxWords > g.Lines {
+		maxWords = g.Lines
+	}
+	switch g.Mapping {
+	case vcm.MapPrime:
+		return choosePrime(g, p, maxWords)
+	default:
+		return chooseDirect(g, p, maxWords)
+	}
+}
+
+func choosePrime(g vcm.CacheGeom, p, maxWords int) (Choice, error) {
+	c := g.Lines
+	b1, b2, err := vcm.MaxConflictFreeBlock(c, p)
+	if err != nil {
+		// Degenerate P ≡ 0 (mod C): only single columns are safe.
+		b1 = min(maxWords, c)
+		return Choice{B1: b1, B2: 1, ConflictFree: true, Utilization: float64(b1) / float64(c)}, nil
+	}
+	// Respect the footprint cap, shrinking columns first (keeps the
+	// conflict-free tiling property: fewer columns of the same height).
+	for b1*b2 > maxWords && b2 > 1 {
+		b2--
+	}
+	if b1 > maxWords {
+		b1 = maxWords
+	}
+	if !vcm.SubblockConditions(c, p, b1, b2) {
+		// Shrinking b1 below the maximal point keeps the forward or
+		// backward tiling valid only with the matching b2 bound; re-check
+		// and fall back to a single column if needed.
+		b2 = 1
+	}
+	return Choice{B1: b1, B2: b2, ConflictFree: true, Utilization: float64(b1*b2) / float64(c)}, nil
+}
+
+func chooseDirect(g vcm.CacheGeom, p, maxWords int) (Choice, error) {
+	sets := g.Sets()
+	ways := g.Lines / sets
+	s := p % sets
+	// Columns land s sets apart (mod sets). The block is conflict-free
+	// when the b2 column images tile without wrap, exactly as in the
+	// prime case but with the power-of-two modulus — which fails for the
+	// leading dimensions numerical codes actually use (multiples of
+	// powers of two), leaving only single-column blocking.
+	if s == 0 {
+		b1 := min(maxWords, sets)
+		return Choice{B1: b1, B2: ways, ConflictFree: ways*b1 <= g.Lines,
+			Utilization: float64(b1*ways) / float64(g.Lines)}, nil
+	}
+	sp := sets - s
+	span := s
+	if sp < span {
+		span = sp
+	}
+	b1 := span
+	if b1 > maxWords {
+		b1 = maxWords
+	}
+	b2 := sets / span
+	for b1*b2 > maxWords && b2 > 1 {
+		b2--
+	}
+	ok := b1 <= span && (b2-1)*span+b1 <= sets
+	return Choice{B1: b1, B2: b2, ConflictFree: ok, Utilization: float64(b1*b2) / float64(g.Lines)}, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

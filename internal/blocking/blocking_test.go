@@ -1,0 +1,170 @@
+package blocking
+
+import (
+	"testing"
+	"testing/quick"
+
+	"primecache/internal/core"
+	"primecache/internal/vcm"
+)
+
+func TestChooseValidation(t *testing.T) {
+	if _, err := Choose(vcm.CacheGeom{Mapping: vcm.MapDirect, Lines: 1000}, 100, 0); err == nil {
+		t.Error("bad geometry accepted")
+	}
+	if _, err := Choose(vcm.PrimeGeom(13), 0, 0); err == nil {
+		t.Error("bad leading dimension accepted")
+	}
+}
+
+func TestChoosePrimeMatchesPaperRecipe(t *testing.T) {
+	g := vcm.PrimeGeom(13)
+	ch, err := Choose(g, 10000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.B1 != 1809 || ch.B2 != 4 || !ch.ConflictFree {
+		t.Errorf("choice = %+v, want 1809x4 conflict-free", ch)
+	}
+	if ch.Utilization < 0.88 {
+		t.Errorf("utilization = %v", ch.Utilization)
+	}
+}
+
+func TestChoosePrimeRespectsCap(t *testing.T) {
+	g := vcm.PrimeGeom(13)
+	ch, err := Choose(g, 10000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.B1*ch.B2 > 2000 {
+		t.Errorf("footprint %d exceeds cap", ch.B1*ch.B2)
+	}
+	if !ch.ConflictFree {
+		t.Error("capped prime block should stay conflict-free")
+	}
+}
+
+func TestChoosePrimeDegenerate(t *testing.T) {
+	g := vcm.PrimeGeom(13)
+	ch, err := Choose(g, 8191, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.B2 != 1 {
+		t.Errorf("degenerate P should force single-column blocking, got %+v", ch)
+	}
+}
+
+func TestChooseDirectPowerOfTwoLD(t *testing.T) {
+	// P a multiple of the set count: only one column image exists; the
+	// recommendation degrades to a single column (per way).
+	g := vcm.DirectGeom(13)
+	ch, err := Choose(g, 8192, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.B2 != 1 {
+		t.Errorf("direct with P ≡ 0 should block single columns, got %+v", ch)
+	}
+	// A generic P gives a real 2-D block.
+	ch, err = Choose(g, 3000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.B2 < 2 || !ch.ConflictFree {
+		t.Errorf("generic direct choice = %+v", ch)
+	}
+}
+
+// TestPrimeChoiceConflictFreeBySimulation verifies every recommendation
+// against the actual cache simulator.
+func TestPrimeChoiceConflictFreeBySimulation(t *testing.T) {
+	g := vcm.PrimeGeom(13)
+	f := func(pRaw uint16, capRaw uint16) bool {
+		p := int(pRaw)%30000 + 1
+		cap := int(capRaw) % 8191
+		ch, err := Choose(g, p, cap)
+		if err != nil {
+			return false
+		}
+		v := core.MustPrime(13)
+		for pass := 0; pass < 2; pass++ {
+			if _, err := v.LoadSubblock(0, p, ch.B1, ch.B2, 1); err != nil {
+				return false
+			}
+		}
+		return v.Stats().Conflict == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDirectChoiceConflictFreeWhenClaimed: whenever the direct chooser
+// claims conflict-freeness, the simulator must agree.
+func TestDirectChoiceConflictFreeWhenClaimed(t *testing.T) {
+	g := vcm.DirectGeom(13)
+	for _, p := range []int{3000, 1000, 5555, 12345, 8191, 9000} {
+		ch, err := Choose(g, p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ch.ConflictFree {
+			continue
+		}
+		v := core.MustDirect(8192)
+		for pass := 0; pass < 2; pass++ {
+			if _, err := v.LoadSubblock(0, p, ch.B1, ch.B2, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if v.Stats().Conflict != 0 {
+			t.Errorf("P=%d: claimed conflict-free block %+v conflicted (%d)", p, ch, v.Stats().Conflict)
+		}
+	}
+}
+
+// TestPrimeBlockingAtRealisticDimensions pins down where the asymmetry
+// actually lives (an honest refinement of §4): for *generic* leading
+// dimensions both mappings admit high-utilisation conflict-free blocks,
+// but at the power-of-two leading dimensions numerical arrays actually
+// have, the direct-mapped cache degenerates to single-column blocking
+// (b2 = 1 — no cross-column reuse at all) while the prime mapping keeps a
+// multi-column conflict-free block at utilisation ≈ 1.
+func TestPrimeBlockingAtRealisticDimensions(t *testing.T) {
+	for _, p := range []int{8192, 16384, 24576, 32768} {
+		dc, err := Choose(vcm.DirectGeom(13), p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dc.B2 != 1 {
+			t.Errorf("P=%d: direct chooser found b2=%d; P ≡ 0 (mod sets) admits only single columns", p, dc.B2)
+		}
+		pc, err := Choose(vcm.PrimeGeom(13), p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pc.B2 < 2 {
+			t.Errorf("P=%d: prime chooser b2=%d, want multi-column", p, pc.B2)
+		}
+		if pc.Utilization < 0.9 {
+			t.Errorf("P=%d: prime utilization %v, want ≈ 1", p, pc.Utilization)
+		}
+	}
+	// And across generic dimensions the prime recipe sustains ≥0.8 mean
+	// utilisation (the §4 claim proper).
+	var sum float64
+	count := 0
+	for p := 1001; p < 30000; p += 777 {
+		pc, err := Choose(vcm.PrimeGeom(13), p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += pc.Utilization
+		count++
+	}
+	if sum/float64(count) < 0.8 {
+		t.Errorf("mean prime utilization %v, want ≥ 0.8", sum/float64(count))
+	}
+}

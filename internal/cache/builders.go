@@ -1,0 +1,62 @@
+package cache
+
+import "fmt"
+
+// NewDirect returns a direct-mapped cache of lines lines (a power of two)
+// with the paper's default 8-byte lines.
+func NewDirect(lines int) (*Cache, error) {
+	m, err := NewDirectMapper(lines)
+	if err != nil {
+		return nil, err
+	}
+	return New(Config{Mapper: m, Ways: 1})
+}
+
+// NewPrime returns a prime-mapped cache with 2^c − 1 lines (c a Mersenne
+// prime exponent) and 8-byte lines — the paper's proposed design.
+func NewPrime(c uint) (*Cache, error) {
+	m, err := NewPrimeMapper(c)
+	if err != nil {
+		return nil, err
+	}
+	return New(Config{Mapper: m, Ways: 1})
+}
+
+// NewSetAssoc returns an n-way set-associative cache of lines total lines
+// with bit-selection indexing and the given replacement policy. lines/ways
+// must be a power of two.
+func NewSetAssoc(lines, ways int, policy Policy) (*Cache, error) {
+	if ways <= 0 || lines%ways != 0 {
+		return nil, fmt.Errorf("cache: %d lines not divisible into %d ways", lines, ways)
+	}
+	m, err := NewDirectMapper(lines / ways)
+	if err != nil {
+		return nil, err
+	}
+	return New(Config{Mapper: m, Ways: ways, Policy: policy})
+}
+
+// NewFullyAssoc returns a fully-associative LRU cache of lines lines.
+func NewFullyAssoc(lines int) (*Cache, error) {
+	m, err := NewModuloMapper(1)
+	if err != nil {
+		return nil, err
+	}
+	return New(Config{Mapper: m, Ways: lines, Policy: LRU})
+}
+
+// NewPrimeAssoc returns a set-associative prime-mapped cache: 2^c − 1
+// sets of ways ways with LRU replacement — a natural extension beyond the
+// paper, combining the prime modulus (kills strided self-interference)
+// with associativity (kills small-set ping-pong that even a prime modulus
+// cannot: two lines congruent mod 2^c − 1 still collide direct-mapped).
+func NewPrimeAssoc(c uint, ways int) (*Cache, error) {
+	m, err := NewPrimeMapper(c)
+	if err != nil {
+		return nil, err
+	}
+	if ways < 1 {
+		return nil, fmt.Errorf("cache: ways must be ≥ 1, got %d", ways)
+	}
+	return New(Config{Mapper: m, Ways: ways, Policy: LRU})
+}

@@ -1,0 +1,284 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// StreamNone marks an access that belongs to no particular vector stream;
+// its conflict misses are classified but not attributed to self/cross
+// interference.
+const StreamNone = -1
+
+// Access is one memory reference presented to a cache.
+type Access struct {
+	// Addr is the byte address.
+	Addr uint64
+	// Write marks a store; everything else is a load.
+	Write bool
+	// Stream identifies the vector stream the access belongs to, for
+	// interference attribution. Use StreamNone when unknown.
+	Stream int
+}
+
+// Result reports the outcome of one access.
+type Result struct {
+	Hit  bool
+	Kind MissKind
+	// Set and Way locate the line after the access.
+	Set, Way int
+	// Evicted reports that a valid line was displaced.
+	Evicted bool
+	// EvictedLine is the displaced line address when Evicted.
+	EvictedLine uint64
+	// SelfInterference / CrossInterference attribute a conflict miss to
+	// the stream that previously evicted this line.
+	SelfInterference  bool
+	CrossInterference bool
+}
+
+type way struct {
+	valid      bool
+	line       uint64
+	stream     int    // stream of the access that filled the line
+	lastUse    uint64 // LRU timestamp
+	filled     uint64 // FIFO timestamp
+	prefetched bool   // filled by a prefetch, not yet demand-touched
+	dirty      bool   // written since fill (write-back mode)
+}
+
+// Cache is a set-associative cache simulator; see package documentation.
+// It is not safe for concurrent use.
+type Cache struct {
+	cfg       Config
+	lineShift uint
+	sets      [][]way
+	clock     uint64
+	rng       *rand.Rand
+
+	seen      map[uint64]bool // lines ever referenced (compulsory tracking)
+	shadow    *shadow         // fully-assoc LRU of equal capacity (3C split)
+	evictedBy map[uint64]int  // line → stream that evicted it most recently
+
+	stats          Stats
+	prefetchWasted uint64 // prefetched lines evicted before demand touch
+}
+
+// New validates cfg and returns an empty cache.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.LineBytes == 0 {
+		cfg.LineBytes = DefaultLineBytes
+	}
+	c := &Cache{
+		cfg:       cfg,
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		sets:      make([][]way, cfg.Mapper.Sets()),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]way, cfg.Ways)
+	}
+	if !cfg.DisableClassify {
+		c.seen = make(map[uint64]bool)
+		c.shadow = newShadow(cfg.Mapper.Sets() * cfg.Ways)
+		c.evictedBy = make(map[uint64]int)
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on error; for tests and examples.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache's configuration (with defaults filled in).
+func (c *Cache) Config() Config { return c.cfg }
+
+// Lines returns the total line capacity.
+func (c *Cache) Lines() int { return c.cfg.Mapper.Sets() * c.cfg.Ways }
+
+// LineBytes returns the line size in bytes.
+func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the statistics but keeps cache contents and the
+// compulsory-miss history.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Flush invalidates every line and clears statistics and classification
+// history.
+func (c *Cache) Flush() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = way{}
+		}
+	}
+	c.clock = 0
+	c.stats = Stats{}
+	c.prefetchWasted = 0
+	if c.seen != nil {
+		c.seen = make(map[uint64]bool)
+		c.shadow.reset()
+		c.evictedBy = make(map[uint64]int)
+	}
+}
+
+// LineAddr returns the line address of a byte address under this cache's
+// line size.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineShift }
+
+// Utilization returns the fraction of lines currently valid.
+func (c *Cache) Utilization() float64 {
+	valid := 0
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			if c.sets[i][j].valid {
+				valid++
+			}
+		}
+	}
+	return float64(valid) / float64(c.Lines())
+}
+
+// Contains reports whether the line holding byte address addr is cached.
+func (c *Cache) Contains(addr uint64) bool {
+	line := c.LineAddr(addr)
+	set := c.cfg.Mapper.Index(line)
+	for i := range c.sets[set] {
+		if c.sets[set][i].valid && c.sets[set][i].line == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Access simulates one reference and returns its outcome. Both loads and
+// stores allocate (the paper's CC-model assumes writes are buffered and do
+// not stall the pipeline; allocation policy only affects contents).
+func (c *Cache) Access(a Access) Result {
+	c.clock++
+	c.stats.Accesses++
+	if a.Write {
+		c.stats.Writes++
+		if !c.cfg.WriteBack {
+			c.stats.MemoryWrites++
+		}
+	} else {
+		c.stats.Reads++
+	}
+
+	line := c.LineAddr(a.Addr)
+	set := c.cfg.Mapper.Index(line)
+	ways := c.sets[set]
+
+	// Shadow/compulsory bookkeeping happens on every access so the 3C
+	// split stays consistent even across hits.
+	var shadowHit, firstRef bool
+	if c.shadow != nil {
+		firstRef = !c.seen[line]
+		c.seen[line] = true
+		shadowHit = c.shadow.touch(line)
+	}
+
+	for i := range ways {
+		if ways[i].valid && ways[i].line == line {
+			ways[i].lastUse = c.clock
+			if a.Write && c.cfg.WriteBack {
+				ways[i].dirty = true
+			}
+			c.stats.Hits++
+			return Result{Hit: true, Set: set, Way: i}
+		}
+	}
+
+	// Miss: classify, then fill.
+	c.stats.Misses++
+	res := Result{Set: set}
+	if c.shadow != nil {
+		switch {
+		case firstRef:
+			res.Kind = MissCompulsory
+			c.stats.Compulsory++
+		case shadowHit:
+			res.Kind = MissConflict
+			c.stats.Conflict++
+			if evictor, ok := c.evictedBy[line]; ok && a.Stream != StreamNone && evictor != StreamNone {
+				if evictor == a.Stream {
+					res.SelfInterference = true
+					c.stats.SelfInterference++
+				} else {
+					res.CrossInterference = true
+					c.stats.CrossInterference++
+				}
+			}
+		default:
+			res.Kind = MissCapacity
+			c.stats.Capacity++
+		}
+	}
+
+	victim := c.pickVictim(ways)
+	if ways[victim].valid {
+		res.Evicted = true
+		res.EvictedLine = ways[victim].line
+		c.stats.Evictions++
+		if ways[victim].prefetched {
+			c.prefetchWasted++
+		}
+		if ways[victim].dirty {
+			c.stats.Writebacks++
+			c.stats.MemoryWrites++
+		}
+		if c.evictedBy != nil {
+			c.evictedBy[ways[victim].line] = a.Stream
+		}
+	}
+	ways[victim] = way{valid: true, line: line, stream: a.Stream, lastUse: c.clock, filled: c.clock,
+		dirty: a.Write && c.cfg.WriteBack}
+	res.Way = victim
+	return res
+}
+
+func (c *Cache) pickVictim(ways []way) int {
+	for i := range ways {
+		if !ways[i].valid {
+			return i
+		}
+	}
+	switch c.cfg.Policy {
+	case FIFO:
+		oldest := 0
+		for i := 1; i < len(ways); i++ {
+			if ways[i].filled < ways[oldest].filled {
+				oldest = i
+			}
+		}
+		return oldest
+	case Random:
+		return c.rng.Intn(len(ways))
+	default: // LRU
+		lru := 0
+		for i := 1; i < len(ways); i++ {
+			if ways[i].lastUse < ways[lru].lastUse {
+				lru = i
+			}
+		}
+		return lru
+	}
+}
+
+// Describe returns a short human-readable description of the organisation.
+func (c *Cache) Describe() string {
+	return fmt.Sprintf("%s-mapped %d sets × %d ways × %dB lines (%s)",
+		c.cfg.Mapper.Name(), c.cfg.Mapper.Sets(), c.cfg.Ways, c.cfg.LineBytes, c.cfg.Policy)
+}

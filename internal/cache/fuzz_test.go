@@ -1,0 +1,43 @@
+package cache
+
+import "testing"
+
+// FuzzCacheDifferential drives the production simulator and the naive
+// reference LRU model with a fuzzer-chosen access pattern and requires
+// identical hit/miss behaviour plus intact accounting invariants.
+func FuzzCacheDifferential(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 255, 0, 1}, uint8(1))
+	f.Add([]byte{7, 7, 7, 7}, uint8(2))
+	f.Add([]byte{}, uint8(0))
+	f.Fuzz(func(t *testing.T, pattern []byte, mode uint8) {
+		var c *Cache
+		var sets, ways int
+		switch mode % 3 {
+		case 0:
+			c, _ = NewDirect(32)
+			sets, ways = 32, 1
+		case 1:
+			c, _ = NewSetAssoc(32, 4, LRU)
+			sets, ways = 8, 4
+		default:
+			c, _ = NewPrime(5) // 31 lines
+			sets, ways = 31, 1
+		}
+		ref := newRefCache(sets, ways, false)
+		for i, b := range pattern {
+			w := uint64(b) * uint64(1+i%3)
+			got := c.Access(Access{Addr: w * 8, Stream: 1 + i%2}).Hit
+			want := ref.access(w)
+			if got != want {
+				t.Fatalf("step %d word %d: sim=%v ref=%v", i, w, got, want)
+			}
+		}
+		s := c.Stats()
+		if s.Hits+s.Misses != s.Accesses {
+			t.Fatal("hit/miss accounting broken")
+		}
+		if s.Compulsory+s.Capacity+s.Conflict != s.Misses {
+			t.Fatal("3C partition broken")
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package cache
+
+import (
+	"fmt"
+
+	"primecache/internal/mersenne"
+)
+
+// A Mapper converts a line address into a set index in [0, Sets()).
+// Mappers must be deterministic and stateless.
+type Mapper interface {
+	// Index returns the set index for a line address.
+	Index(lineAddr uint64) int
+	// Sets returns the number of sets the mapper distributes lines over.
+	Sets() int
+	// Name identifies the mapping scheme in reports.
+	Name() string
+}
+
+// DirectMapper is conventional bit-selection indexing: set = lineAddr mod
+// 2^c, computed by masking. It models direct and set-associative caches
+// with a power-of-two number of sets.
+type DirectMapper struct {
+	sets int
+	mask uint64
+}
+
+// NewDirectMapper returns a bit-selection mapper over sets sets; sets must
+// be a positive power of two.
+func NewDirectMapper(sets int) (DirectMapper, error) {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return DirectMapper{}, fmt.Errorf("cache: direct mapper needs power-of-two sets, got %d", sets)
+	}
+	return DirectMapper{sets: sets, mask: uint64(sets - 1)}, nil
+}
+
+// Index implements Mapper.
+func (m DirectMapper) Index(lineAddr uint64) int { return int(lineAddr & m.mask) }
+
+// Sets implements Mapper.
+func (m DirectMapper) Sets() int { return m.sets }
+
+// Name implements Mapper.
+func (m DirectMapper) Name() string { return "direct" }
+
+// PrimeMapper is the paper's prime mapping: set = lineAddr mod (2^c − 1),
+// the Mersenne residue computed in hardware by the end-around-carry adder
+// of the Figure-1 address unit.
+type PrimeMapper struct {
+	mod mersenne.Modulus
+}
+
+// NewPrimeMapper returns a prime mapper with 2^c − 1 sets. The exponent
+// must denote a Mersenne prime (2, 3, 5, 7, 13, 17, 19, 31); that is what
+// makes strided accesses conflict-free.
+func NewPrimeMapper(c uint) (PrimeMapper, error) {
+	mod, err := mersenne.NewPrime(c)
+	if err != nil {
+		return PrimeMapper{}, err
+	}
+	return PrimeMapper{mod: mod}, nil
+}
+
+// Index implements Mapper.
+func (m PrimeMapper) Index(lineAddr uint64) int { return int(m.mod.Reduce(lineAddr)) }
+
+// Sets implements Mapper.
+func (m PrimeMapper) Sets() int { return int(m.mod.Value()) }
+
+// Name implements Mapper.
+func (m PrimeMapper) Name() string { return "prime" }
+
+// Modulus returns the underlying Mersenne modulus.
+func (m PrimeMapper) Modulus() mersenne.Modulus { return m.mod }
+
+// ModuloMapper indexes by an arbitrary modulus. It is the "what if we used
+// any prime, ignoring the hardware cost" baseline: functionally equivalent
+// to PrimeMapper when sets is a Mersenne prime, but with no cheap hardware
+// realisation.
+type ModuloMapper struct {
+	sets int
+}
+
+// NewModuloMapper returns a mapper with set = lineAddr mod sets.
+func NewModuloMapper(sets int) (ModuloMapper, error) {
+	if sets <= 0 {
+		return ModuloMapper{}, fmt.Errorf("cache: modulo mapper needs positive sets, got %d", sets)
+	}
+	return ModuloMapper{sets: sets}, nil
+}
+
+// Index implements Mapper.
+func (m ModuloMapper) Index(lineAddr uint64) int { return int(lineAddr % uint64(m.sets)) }
+
+// Sets implements Mapper.
+func (m ModuloMapper) Sets() int { return m.sets }
+
+// Name implements Mapper.
+func (m ModuloMapper) Name() string { return "modulo" }

@@ -1,0 +1,106 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDirectMapperIndex(t *testing.T) {
+	m, err := NewDirectMapper(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sets() != 8 || m.Name() != "direct" {
+		t.Errorf("Sets=%d Name=%q", m.Sets(), m.Name())
+	}
+	for _, tc := range [][2]uint64{{0, 0}, {7, 7}, {8, 0}, {15, 7}, {1 << 30, 0}} {
+		if got := m.Index(tc[0]); got != int(tc[1]) {
+			t.Errorf("Index(%d) = %d, want %d", tc[0], got, tc[1])
+		}
+	}
+}
+
+func TestDirectMapperRejectsNonPowerOfTwo(t *testing.T) {
+	for _, sets := range []int{0, -1, 3, 12, 1000} {
+		if _, err := NewDirectMapper(sets); err == nil {
+			t.Errorf("NewDirectMapper(%d) accepted", sets)
+		}
+	}
+}
+
+func TestPrimeMapperMatchesModulo(t *testing.T) {
+	pm, err := NewPrimeMapper(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Sets() != 8191 || pm.Name() != "prime" {
+		t.Errorf("Sets=%d Name=%q", pm.Sets(), pm.Name())
+	}
+	f := func(x uint64) bool { return pm.Index(x) == int(x%8191) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrimeMapperRejectsComposite(t *testing.T) {
+	for _, c := range []uint{0, 1, 4, 11, 12} {
+		if _, err := NewPrimeMapper(c); err == nil {
+			t.Errorf("NewPrimeMapper(%d) accepted", c)
+		}
+	}
+}
+
+func TestModuloMapper(t *testing.T) {
+	m, err := NewModuloMapper(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sets() != 10 || m.Name() != "modulo" {
+		t.Errorf("Sets=%d Name=%q", m.Sets(), m.Name())
+	}
+	if m.Index(25) != 5 {
+		t.Errorf("Index(25) = %d", m.Index(25))
+	}
+	if _, err := NewModuloMapper(0); err == nil {
+		t.Error("NewModuloMapper(0) accepted")
+	}
+}
+
+func TestPrimeAndModuloMapperAgree(t *testing.T) {
+	pm, _ := NewPrimeMapper(13)
+	mm, _ := NewModuloMapper(8191)
+	f := func(x uint64) bool { return pm.Index(x) == mm.Index(x) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMapperStrideCoverage checks the number-theoretic fact the design
+// rests on: a stride-s sweep covers C/gcd(C,s) distinct sets, so the prime
+// mapper covers all sets for every stride not divisible by C, while the
+// direct mapper collapses power-of-two strides onto few sets.
+func TestMapperStrideCoverage(t *testing.T) {
+	gcd := func(a, b int) int {
+		for b != 0 {
+			a, b = b, a%b
+		}
+		return a
+	}
+	pm, _ := NewPrimeMapper(7) // 127 sets
+	dm, _ := NewDirectMapper(128)
+	for stride := 1; stride <= 256; stride++ {
+		count := func(m Mapper) int {
+			seen := make(map[int]bool)
+			for i := 0; i < 4*m.Sets(); i++ {
+				seen[m.Index(uint64(i*stride))] = true
+			}
+			return len(seen)
+		}
+		if got, want := count(pm), 127/gcd(127, stride); got != want {
+			t.Fatalf("prime stride %d: covered %d sets, want %d", stride, got, want)
+		}
+		if got, want := count(dm), 128/gcd(128, stride); got != want {
+			t.Fatalf("direct stride %d: covered %d sets, want %d", stride, got, want)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package cache
+
+import "fmt"
+
+// PrefetchKind selects one of the two vector-cache prefetching schemes of
+// Fu & Patel (ISCA 1991), which the paper's §2.2 discusses as the prior
+// attempt to tame long-stride vector accesses before prime mapping.
+type PrefetchKind int
+
+const (
+	// PrefetchSequential fetches the next Degree sequential lines on
+	// every demand miss.
+	PrefetchSequential PrefetchKind = iota
+	// PrefetchStride detects each stream's stride and fetches the next
+	// Degree lines along it once the stride repeats.
+	PrefetchStride
+)
+
+// String implements fmt.Stringer.
+func (k PrefetchKind) String() string {
+	switch k {
+	case PrefetchSequential:
+		return "sequential"
+	case PrefetchStride:
+		return "stride"
+	default:
+		return fmt.Sprintf("prefetch(%d)", int(k))
+	}
+}
+
+// PrefetchStats counts prefetch outcomes.
+type PrefetchStats struct {
+	// Issued counts prefetch fills sent to the cache.
+	Issued uint64
+	// Useful counts demand accesses whose first touch hit a prefetched
+	// line — misses the prefetcher removed.
+	Useful uint64
+	// Wasted counts prefetched lines evicted before any demand touch —
+	// the cache pollution §2.2 worries about.
+	Wasted uint64
+}
+
+// Accuracy returns Useful/Issued, 0 when nothing was issued.
+func (s PrefetchStats) Accuracy() float64 {
+	if s.Issued == 0 {
+		return 0
+	}
+	return float64(s.Useful) / float64(s.Issued)
+}
+
+// PrefetchCache front-ends a Cache with a prefetcher. It implements the
+// same Access entry point, so kernels and traces can run against it
+// unchanged.
+type PrefetchCache struct {
+	c      *Cache
+	kind   PrefetchKind
+	degree int
+
+	// per-stream stride detection state
+	lastLine   map[int]uint64
+	lastStride map[int]int64
+	confirmed  map[int]bool
+
+	stats PrefetchStats
+}
+
+// NewPrefetchCache wraps c with a prefetcher of the given kind fetching
+// degree lines ahead (degree ≥ 1).
+func NewPrefetchCache(c *Cache, kind PrefetchKind, degree int) (*PrefetchCache, error) {
+	if c == nil {
+		return nil, fmt.Errorf("cache: nil cache")
+	}
+	if degree < 1 {
+		return nil, fmt.Errorf("cache: prefetch degree must be ≥ 1, got %d", degree)
+	}
+	switch kind {
+	case PrefetchSequential, PrefetchStride:
+	default:
+		return nil, fmt.Errorf("cache: unknown prefetch kind %d", int(kind))
+	}
+	return &PrefetchCache{
+		c: c, kind: kind, degree: degree,
+		lastLine:   make(map[int]uint64),
+		lastStride: make(map[int]int64),
+		confirmed:  make(map[int]bool),
+	}, nil
+}
+
+// Cache returns the wrapped cache.
+func (p *PrefetchCache) Cache() *Cache { return p.c }
+
+// Stats returns the wrapped cache's demand statistics.
+func (p *PrefetchCache) Stats() Stats { return p.c.Stats() }
+
+// PrefetchStats returns the prefetcher's own counters.
+func (p *PrefetchCache) PrefetchStats() PrefetchStats {
+	s := p.stats
+	s.Wasted = p.c.prefetchWasted
+	return s
+}
+
+// Access performs a demand access and then issues any prefetches the
+// scheme calls for. Prefetch fills do not count as demand accesses.
+func (p *PrefetchCache) Access(a Access) Result {
+	r, wasPrefetched := p.c.demandAccess(a)
+	if wasPrefetched {
+		p.stats.Useful++
+	}
+	line := p.c.LineAddr(a.Addr)
+	switch p.kind {
+	case PrefetchSequential:
+		if !r.Hit {
+			for d := 1; d <= p.degree; d++ {
+				p.install(line+uint64(d), a.Stream)
+			}
+		}
+	case PrefetchStride:
+		if last, ok := p.lastLine[a.Stream]; ok {
+			stride := int64(line) - int64(last)
+			if stride != 0 && stride == p.lastStride[a.Stream] {
+				if p.confirmed[a.Stream] {
+					for d := 1; d <= p.degree; d++ {
+						p.install(uint64(int64(line)+stride*int64(d)), a.Stream)
+					}
+				}
+				p.confirmed[a.Stream] = true
+			} else {
+				p.confirmed[a.Stream] = false
+			}
+			p.lastStride[a.Stream] = stride
+		}
+		p.lastLine[a.Stream] = line
+	}
+	return r
+}
+
+func (p *PrefetchCache) install(line uint64, stream int) {
+	if p.c.installLine(line, stream) {
+		p.stats.Issued++
+	}
+}
+
+// demandAccess is Access plus a report of whether the hit line was a
+// not-yet-touched prefetch.
+func (c *Cache) demandAccess(a Access) (Result, bool) {
+	line := c.LineAddr(a.Addr)
+	set := c.cfg.Mapper.Index(line)
+	wasPrefetched := false
+	for i := range c.sets[set] {
+		w := &c.sets[set][i]
+		if w.valid && w.line == line && w.prefetched {
+			w.prefetched = false
+			wasPrefetched = true
+			break
+		}
+	}
+	return c.Access(a), wasPrefetched
+}
+
+// installLine quietly fills a line (no demand statistics), marking it
+// prefetched. It reports whether a fill actually happened (false when the
+// line was already resident).
+func (c *Cache) installLine(line uint64, stream int) bool {
+	set := c.cfg.Mapper.Index(line)
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].line == line {
+			return false
+		}
+	}
+	c.clock++
+	victim := c.pickVictim(ways)
+	if ways[victim].valid {
+		if ways[victim].prefetched {
+			c.prefetchWasted++
+		}
+		if c.evictedBy != nil {
+			c.evictedBy[ways[victim].line] = stream
+		}
+	}
+	ways[victim] = way{valid: true, line: line, stream: stream, lastUse: c.clock, filled: c.clock, prefetched: true}
+	// Keep the shadow and compulsory history consistent: a prefetched
+	// line has been brought in, so a later demand touch is not a
+	// compulsory miss of the memory system's making — but the 3C model
+	// classifies demand behaviour only, so the shadow is NOT updated
+	// here (prefetches are not program references).
+	return true
+}

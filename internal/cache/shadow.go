@@ -1,0 +1,82 @@
+package cache
+
+// shadow is a fully-associative LRU directory of fixed capacity used to
+// split non-compulsory misses into capacity (would miss fully-associatively
+// too) and conflict (artifact of the mapping). It stores only line
+// addresses, no data, as a doubly-linked recency list over a map.
+type shadow struct {
+	capacity int
+	nodes    map[uint64]*shadowNode
+	head     *shadowNode // most recently used
+	tail     *shadowNode // least recently used
+}
+
+type shadowNode struct {
+	line       uint64
+	prev, next *shadowNode
+}
+
+func newShadow(capacity int) *shadow {
+	return &shadow{capacity: capacity, nodes: make(map[uint64]*shadowNode, capacity)}
+}
+
+// touch looks up line, promoting it to most-recently-used and inserting it
+// (evicting the LRU entry if full) when absent. It returns whether the line
+// was present before the call — i.e. whether a fully-associative LRU cache
+// of this capacity would have hit.
+func (s *shadow) touch(line uint64) bool {
+	if n, ok := s.nodes[line]; ok {
+		s.moveToFront(n)
+		return true
+	}
+	n := &shadowNode{line: line}
+	s.nodes[line] = n
+	s.pushFront(n)
+	if len(s.nodes) > s.capacity {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.nodes, victim.line)
+	}
+	return false
+}
+
+func (s *shadow) pushFront(n *shadowNode) {
+	n.prev = nil
+	n.next = s.head
+	if s.head != nil {
+		s.head.prev = n
+	}
+	s.head = n
+	if s.tail == nil {
+		s.tail = n
+	}
+}
+
+func (s *shadow) unlink(n *shadowNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (s *shadow) moveToFront(n *shadowNode) {
+	if s.head == n {
+		return
+	}
+	s.unlink(n)
+	s.pushFront(n)
+}
+
+func (s *shadow) len() int { return len(s.nodes) }
+
+func (s *shadow) reset() {
+	s.nodes = make(map[uint64]*shadowNode, s.capacity)
+	s.head, s.tail = nil, nil
+}

@@ -1,0 +1,153 @@
+package cache
+
+import "testing"
+
+func TestNewSkewedValidation(t *testing.T) {
+	for _, lines := range []int{0, 2, 3, 100} {
+		if _, err := NewSkewed(lines); err == nil {
+			t.Errorf("NewSkewed(%d) accepted", lines)
+		}
+	}
+	s, err := NewSkewed(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Lines() != 8192 {
+		t.Errorf("Lines = %d", s.Lines())
+	}
+}
+
+func TestSkewedBasicHitMiss(t *testing.T) {
+	s, _ := NewSkewed(64)
+	r := s.Access(Access{Addr: 8, Stream: 1})
+	if r.Hit || r.Kind != MissCompulsory {
+		t.Errorf("first access: %+v", r)
+	}
+	if !s.Access(Access{Addr: 8, Stream: 1}).Hit {
+		t.Error("second access should hit")
+	}
+	st := s.Stats()
+	if st.Accesses != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestSkewedHashesDiffer(t *testing.T) {
+	s, _ := NewSkewed(8192)
+	// The two hashes agree only when the mid field is rotation-invariant
+	// (0 or all-ones): sample widely-spread lines so mid is non-trivial.
+	differ, total := 0, 0
+	for i := uint64(0); i < 2000; i++ {
+		line := i * 7919
+		total++
+		if s.hash(0, line) != s.hash(1, line) {
+			differ++
+		}
+	}
+	if differ < total*95/100 {
+		t.Errorf("hashes equal too often: %d/%d differ", differ, total)
+	}
+	// Hash range check.
+	for line := uint64(0); line < 100000; line += 997 {
+		for w := 0; w < 2; w++ {
+			if h := s.hash(w, line); h < 0 || h >= 4096 {
+				t.Fatalf("hash(%d,%d) = %d out of range", w, line, h)
+			}
+		}
+	}
+}
+
+// TestSkewedDispersesPowerOfTwoStride: the skewed cache breaks up the
+// worst-case power-of-two stride far better than direct mapping (that is
+// its design goal) but — unlike the prime mapping — it cannot make the
+// pattern conflict-free: hashing disperses, a prime modulus eliminates.
+func TestSkewedDispersesPowerOfTwoStride(t *testing.T) {
+	const n, stride = 2048, 512
+	direct, _ := NewDirect(8192)
+	skewed, _ := NewSkewed(8192)
+	prime, _ := NewPrime(13)
+	for pass := 0; pass < 4; pass++ {
+		a := int64(0)
+		for i := 0; i < n; i++ {
+			direct.Access(Access{Addr: uint64(a) * 8, Stream: 1})
+			skewed.Access(Access{Addr: uint64(a) * 8, Stream: 1})
+			prime.Access(Access{Addr: uint64(a) * 8, Stream: 1})
+			a += stride
+		}
+	}
+	ds, ss, ps := direct.Stats(), skewed.Stats(), prime.Stats()
+	if ss.Conflict >= ds.Conflict {
+		t.Errorf("skewed conflicts %d not below direct %d", ss.Conflict, ds.Conflict)
+	}
+	if ps.Conflict != 0 {
+		t.Errorf("prime conflicts = %d, want 0", ps.Conflict)
+	}
+}
+
+// TestSkewedBirthdayCollisionsNearCapacity separates hashing from prime
+// mapping: at ~85% utilisation a strided working set still fits
+// conflict-free in the prime cache (distinct residues), while the skewed
+// cache's pseudo-random placement suffers birthday collisions.
+func TestSkewedBirthdayCollisionsNearCapacity(t *testing.T) {
+	const n, stride = 7000, 3 // 7000 distinct lines, coprime stride
+	skewed, _ := NewSkewed(8192)
+	prime, _ := NewPrime(13)
+	for pass := 0; pass < 3; pass++ {
+		a := int64(0)
+		for i := 0; i < n; i++ {
+			skewed.Access(Access{Addr: uint64(a) * 8, Stream: 1})
+			prime.Access(Access{Addr: uint64(a) * 8, Stream: 1})
+			a += stride
+		}
+	}
+	if ps := prime.Stats(); ps.Conflict != 0 {
+		t.Errorf("prime conflicts = %d, want 0 at 85%% utilisation", ps.Conflict)
+	}
+	if ss := skewed.Stats(); ss.Conflict == 0 {
+		t.Error("skewed cache should suffer birthday collisions at 85% utilisation")
+	}
+}
+
+func TestSkewedInterferenceAttribution(t *testing.T) {
+	s, _ := NewSkewed(64)
+	// Find three lines that collide in both ways pairwise... simpler:
+	// hammer a working set larger than both candidate frames of one
+	// index by brute force and check that classification invariants
+	// hold.
+	for i := 0; i < 5000; i++ {
+		s.Access(Access{Addr: uint64(i%96) * 8 * 64, Stream: 1 + i%2})
+	}
+	st := s.Stats()
+	if st.Hits+st.Misses != st.Accesses {
+		t.Error("hit/miss accounting broken")
+	}
+	if st.Compulsory+st.Capacity+st.Conflict != st.Misses {
+		t.Error("3C partition broken")
+	}
+	if st.SelfInterference+st.CrossInterference > st.Conflict {
+		t.Error("interference attribution exceeds conflicts")
+	}
+}
+
+func TestSkewedWriteCounting(t *testing.T) {
+	s, _ := NewSkewed(64)
+	s.Access(Access{Addr: 0, Write: true, Stream: 1})
+	if st := s.Stats(); st.Writes != 1 || st.Reads != 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestSkewedDescribeFlush(t *testing.T) {
+	s, _ := NewSkewed(64)
+	if got := s.Describe(); got != "skewed 2-way 32 sets × 8B lines (xor)" {
+		t.Errorf("Describe = %q", got)
+	}
+	s.Access(Access{Addr: 0, Stream: 1})
+	s.Flush()
+	if s.Stats().Accesses != 0 {
+		t.Error("Flush kept stats")
+	}
+	if r := s.Access(Access{Addr: 0, Stream: 1}); r.Hit || r.Kind != MissCompulsory {
+		t.Errorf("post-flush access: %+v", r)
+	}
+}

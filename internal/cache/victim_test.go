@@ -1,0 +1,109 @@
+package cache
+
+import "testing"
+
+func TestNewVictimValidation(t *testing.T) {
+	if _, err := NewVictim(100, 4); err == nil {
+		t.Error("non-power-of-two main accepted")
+	}
+	if _, err := NewVictim(64, 0); err == nil {
+		t.Error("empty buffer accepted")
+	}
+	v, err := NewVictim(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Main().Lines() != 64 {
+		t.Errorf("main lines = %d", v.Main().Lines())
+	}
+}
+
+func TestVictimRescuesPingPong(t *testing.T) {
+	// Two lines aliasing one set ping-pong: plain direct misses every
+	// access after warm-up, the victim buffer converts them to swap hits.
+	plain, _ := NewDirect(64)
+	vict, _ := NewVictim(64, 4)
+	for i := 0; i < 32; i++ {
+		for _, w := range []uint64{0, 64} {
+			plain.Access(Access{Addr: w * 8, Stream: 1})
+			vict.Access(Access{Addr: w * 8, Stream: 1})
+		}
+	}
+	if pm := plain.Stats().MissRatio(); pm < 0.9 {
+		t.Fatalf("plain direct miss ratio %v, expected thrash", pm)
+	}
+	if cm := vict.CombinedMissRatio(); cm > 0.1 {
+		t.Errorf("victim combined miss ratio %v, want ≈ 2/64", cm)
+	}
+	vs := vict.VictimStats()
+	if vs.SwapHits == 0 {
+		t.Error("no swap hits recorded")
+	}
+	if vs.TrueMisses != 2 {
+		t.Errorf("true misses = %d, want 2 compulsory", vs.TrueMisses)
+	}
+}
+
+func TestVictimCannotRescueStridedSweep(t *testing.T) {
+	// A stride-512 sweep of 2048 elements folds onto 16 sets with a
+	// conflict working set of 2048 lines — hopeless for a 4-entry buffer,
+	// conflict-free for the prime cache.
+	vict, _ := NewVictim(8192, 4)
+	prime, _ := NewPrime(13)
+	const n, stride = 2048, 512
+	for pass := 0; pass < 3; pass++ {
+		a := uint64(0)
+		for i := 0; i < n; i++ {
+			vict.Access(Access{Addr: a * 8, Stream: 1})
+			prime.Access(Access{Addr: a * 8, Stream: 1})
+			a += stride
+		}
+	}
+	if vm := vict.CombinedMissRatio(); vm < 0.9 {
+		t.Errorf("victim miss ratio %v, expected ≈ 1 on the sweep", vm)
+	}
+	if pm := prime.Stats().MissRatio(); pm > 0.4 {
+		t.Errorf("prime miss ratio %v, want 1/3 (compulsory only)", pm)
+	}
+}
+
+func TestVictimBufferLRU(t *testing.T) {
+	v, _ := NewVictim(4, 2)
+	// Fill set 0 with successive aliases: lines 0,4,8,12 → buffer holds
+	// the last two evicted.
+	for _, w := range []uint64{0, 4, 8, 12} {
+		v.Access(Access{Addr: w * 8, Stream: 1})
+	}
+	// Buffer should now hold lines 4 and 8 (0 was evicted from buffer).
+	r := v.Access(Access{Addr: 8 * 8, Stream: 1})
+	if !r.Hit {
+		t.Error("line 8 should swap-hit")
+	}
+	r = v.Access(Access{Addr: 0, Stream: 1})
+	if r.Hit {
+		t.Error("line 0 should be a true miss (aged out of the buffer)")
+	}
+}
+
+func TestVictimEmptyStats(t *testing.T) {
+	v, _ := NewVictim(64, 2)
+	if v.CombinedMissRatio() != 0 {
+		t.Error("empty combined miss ratio != 0")
+	}
+}
+
+func TestVictimDescribeFlush(t *testing.T) {
+	v, _ := NewVictim(64, 4)
+	if got := v.Describe(); got != "direct 64 lines + 4-entry victim buffer" {
+		t.Errorf("Describe = %q", got)
+	}
+	v.Access(Access{Addr: 0, Stream: 1})
+	v.Access(Access{Addr: 64 * 8, Stream: 1})
+	v.Flush()
+	if v.CombinedMissRatio() != 0 {
+		t.Error("Flush kept stats")
+	}
+	if r := v.Access(Access{Addr: 0, Stream: 1}); r.Hit {
+		t.Error("Flush kept contents")
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+
+	"primecache/internal/cache"
+)
+
+// The paper's §2.3 closes with a hardware trade-off: a register file that
+// remembers each active vector's converted starting index (fast restarts,
+// more registers) versus recomputing the Mersenne residue at each vector
+// start-up (1–2 extra adder steps per restart, no registers). Vector
+// handles expose both policies so the ablation benchmarks can price them.
+
+// VectorHandle names a defined vector for repeated access.
+type VectorHandle struct {
+	id     int
+	start  uint64
+	stride int64
+	n      int
+	stream int
+	saved  bool
+}
+
+// DefineVector registers a vector (start word, stride, length, stream)
+// with the cache and, when save is true and the cache is prime-mapped,
+// stores its converted starting index in a Figure-1 start register.
+func (v *VectorCache) DefineVector(id int, startWord uint64, stride int64, n, stream int, save bool) (*VectorHandle, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("core: negative vector length %d", n)
+	}
+	h := &VectorHandle{id: id, start: startWord, stride: stride, n: n, stream: stream}
+	if save && v.unit != nil {
+		v.unit.SetStride(stride)
+		v.unit.Start(startWord)
+		if err := v.unit.SaveStart(id); err != nil {
+			return nil, err
+		}
+		h.saved = true
+	}
+	return h, nil
+}
+
+// LoadHandle re-accesses the vector. With a saved start register the
+// prime-mapped address unit restores the starting index at zero adder
+// cost and pays one end-around addition per subsequent element; without
+// one it reconverts the starting address (the 1–2 extra steps the paper
+// is willing to spend to save registers).
+func (v *VectorCache) LoadHandle(h *VectorHandle) (VectorResult, error) {
+	if h == nil {
+		return VectorResult{}, fmt.Errorf("core: nil vector handle")
+	}
+	if v.unit == nil || !h.saved {
+		return v.LoadVector(h.start, h.stride, h.n, h.stream)
+	}
+	res := VectorResult{Elements: h.n}
+	if h.n == 0 {
+		return res, nil
+	}
+	before := v.unit.AdderOps()
+	v.unit.SetStride(h.stride)
+	if _, ok := v.unit.Restart(h.id); !ok {
+		return res, fmt.Errorf("core: start register %d lost", h.id)
+	}
+	addr := int64(h.start)
+	for i := 0; i < h.n; i++ {
+		if i > 0 {
+			idx := v.unit.Next()
+			if want := v.c.Config().Mapper.Index(uint64(addr)); int(idx) != want {
+				return res, fmt.Errorf("core: element %d: address unit index %d disagrees with mapper %d", i, idx, want)
+			}
+		}
+		r := v.c.Access(cache.Access{Addr: uint64(addr) * trace8, Stream: h.stream})
+		if r.Hit {
+			res.Hits++
+		} else {
+			res.Misses++
+		}
+		addr += h.stride
+	}
+	res.AdderSteps = v.unit.AdderOps() - before
+	return res, nil
+}
+
+// ReleaseHandle frees the handle's start register, if any.
+func (v *VectorCache) ReleaseHandle(h *VectorHandle) {
+	if h != nil && h.saved && v.unit != nil {
+		v.unit.DropStart(h.id)
+		h.saved = false
+	}
+}

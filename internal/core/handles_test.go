@@ -1,0 +1,114 @@
+package core
+
+import "testing"
+
+func TestVectorHandleSavedRestart(t *testing.T) {
+	v, _ := NewPrime(13)
+	h, err := v.DefineVector(1, 12345, 7, 500, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First access: fills the cache.
+	r1, err := v.LoadHandle(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Misses != 500 {
+		t.Errorf("first pass misses = %d, want 500", r1.Misses)
+	}
+	// Second access: all hits, and — the point of the register — exactly
+	// n−1 adder steps plus the stride reload, none for the start address.
+	r2, err := v.LoadHandle(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Hits != 500 {
+		t.Errorf("second pass hits = %d, want 500", r2.Hits)
+	}
+	if r2.AdderSteps > 500 {
+		t.Errorf("saved restart used %d adder steps, want ≤ n", r2.AdderSteps)
+	}
+}
+
+func TestVectorHandleUnsavedRecomputes(t *testing.T) {
+	v, _ := NewPrime(13)
+	h, err := v.DefineVector(1, 0xFFFFFF00, 7, 500, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := v.LoadHandle(h)
+	r2, _ := v.LoadHandle(h)
+	// The unsaved path reconverts the 32-bit starting address: a couple
+	// of extra folding steps per pass.
+	if r2.AdderSteps <= 499 {
+		t.Errorf("unsaved restart used %d adder steps, want > n−1 (start reconversion)", r2.AdderSteps)
+	}
+	if r1.Misses != 500 || r2.Hits != 500 {
+		t.Errorf("cache behaviour wrong: %+v %+v", r1, r2)
+	}
+}
+
+func TestVectorHandleSavedCheaperThanUnsaved(t *testing.T) {
+	// The §2.3 trade-off, priced: over many restarts the register file
+	// saves the start-up conversions.
+	saved, _ := NewPrime(13)
+	unsaved, _ := NewPrime(13)
+	hs, _ := saved.DefineVector(1, 0xFFFFFF00, 513, 100, 1, true)
+	hu, _ := unsaved.DefineVector(1, 0xFFFFFF00, 513, 100, 1, false)
+	var stepsSaved, stepsUnsaved uint64
+	for i := 0; i < 10; i++ {
+		rs, err := saved.LoadHandle(hs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ru, err := unsaved.LoadHandle(hu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stepsSaved += rs.AdderSteps
+		stepsUnsaved += ru.AdderSteps
+	}
+	if stepsSaved >= stepsUnsaved {
+		t.Errorf("saved %d steps not below unsaved %d", stepsSaved, stepsUnsaved)
+	}
+}
+
+func TestVectorHandleOnDirectCache(t *testing.T) {
+	// Handles degrade gracefully on non-prime caches: no registers, the
+	// plain load path.
+	v, _ := NewDirect(8192)
+	h, err := v.DefineVector(1, 0, 3, 100, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.saved {
+		t.Error("direct cache should not save start registers")
+	}
+	if _, err := v.LoadHandle(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorHandleErrors(t *testing.T) {
+	v, _ := NewPrime(13)
+	if _, err := v.DefineVector(1, 0, 1, -1, 1, true); err == nil {
+		t.Error("negative length accepted")
+	}
+	if _, err := v.LoadHandle(nil); err == nil {
+		t.Error("nil handle accepted")
+	}
+	h, _ := v.DefineVector(2, 0, 1, 0, 1, true)
+	if r, err := v.LoadHandle(h); err != nil || r.Elements != 0 {
+		t.Errorf("zero-length handle: %+v, %v", r, err)
+	}
+	// Releasing drops the register; the handle then reports a lost
+	// register rather than silently using a stale index.
+	h3, _ := v.DefineVector(3, 0, 1, 10, 1, true)
+	v.ReleaseHandle(h3)
+	if h3.saved {
+		t.Error("ReleaseHandle should clear saved")
+	}
+	if _, err := v.LoadHandle(h3); err != nil {
+		t.Errorf("released handle should fall back to plain load: %v", err)
+	}
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+const demoCfg = `{
+  "name": "demo sweep",
+  "banks": 64, "tm": 32,
+  "b": 4096, "r": 0, "pds": 0.25, "p1": 0.25,
+  "n": 1048576,
+  "sweep": "tm", "from": 8, "to": 32, "step": 8,
+  "models": ["mm", "direct", "prime", "assoc4"]
+}`
+
+func TestParseSweepConfig(t *testing.T) {
+	cfg, err := ParseSweepConfig(strings.NewReader(demoCfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "demo sweep" || cfg.Sweep != "tm" || len(cfg.Models) != 4 {
+		t.Errorf("config = %+v", cfg)
+	}
+}
+
+func TestParseSweepConfigErrors(t *testing.T) {
+	bad := []string{
+		`{`,
+		`{"name":"x","sweep":"zz","from":1,"to":2,"step":1,"models":["mm"],"n":10,"banks":64,"tm":8,"b":64}`,
+		`{"name":"x","sweep":"tm","from":2,"to":1,"step":1,"models":["mm"],"n":10,"banks":64,"tm":8,"b":64}`,
+		`{"name":"x","sweep":"tm","from":1,"to":2,"step":1,"models":[],"n":10,"banks":64,"tm":8,"b":64}`,
+		`{"name":"x","sweep":"tm","from":1,"to":2,"step":1,"models":["bogus"],"n":10,"banks":64,"tm":8,"b":64}`,
+		`{"name":"","sweep":"tm","from":1,"to":2,"step":1,"models":["mm"],"n":10,"banks":64,"tm":8,"b":64}`,
+		`{"name":"x","sweep":"tm","from":1,"to":2,"step":1,"models":["mm"],"n":0,"banks":64,"tm":8,"b":64}`,
+		`{"name":"x","sweep":"tm","from":0,"to":100000,"step":0.001,"models":["mm"],"n":10,"banks":64,"tm":8,"b":64}`,
+		`{"name":"x","unknown_field":1}`,
+	}
+	for i, in := range bad {
+		if _, err := ParseSweepConfig(strings.NewReader(in)); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	cfg, err := ParseSweepConfig(strings.NewReader(demoCfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) != 4 { // 8,16,24,32
+			t.Errorf("%s: points = %d, want 4", s.Name, len(s.X))
+		}
+		for _, y := range s.Y {
+			if y <= 0 {
+				t.Errorf("%s: non-positive CPR", s.Name)
+			}
+		}
+	}
+	// Ordering at t_m = 32 (last point): prime < direct.
+	last := len(fig.Series[0].X) - 1
+	var direct, prime float64
+	for _, s := range fig.Series {
+		switch s.Name {
+		case "direct":
+			direct = s.Y[last]
+		case "prime":
+			prime = s.Y[last]
+		}
+	}
+	if prime >= direct {
+		t.Errorf("prime %v not below direct %v", prime, direct)
+	}
+}
+
+func TestRunSweepInvalidPoint(t *testing.T) {
+	cfg, _ := ParseSweepConfig(strings.NewReader(demoCfg))
+	cfg.Sweep = "b"
+	cfg.From, cfg.To, cfg.Step = 0, 10, 10 // B = 0 invalid
+	if _, err := RunSweep(cfg); err == nil {
+		t.Error("invalid sweep point accepted")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# Reproduction report", "Figure 7", "Figure 12",
+		"sub-block", "prefetching", "Headline summary", "direct/prime",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if len(out) < 5000 {
+		t.Errorf("report suspiciously short: %d bytes", len(out))
+	}
+}

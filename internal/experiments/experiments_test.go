@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"primecache/internal/stats"
+)
+
+func seriesByName(t *testing.T, f Figure, name string) Series {
+	t.Helper()
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("%s: no series %q", f.ID, name)
+	return Series{}
+}
+
+func TestAllFiguresWellFormed(t *testing.T) {
+	for _, f := range All() {
+		if f.ID == "" || len(f.Series) == 0 {
+			t.Fatalf("malformed figure %+v", f.ID)
+		}
+		n := len(f.Series[0].X)
+		for _, s := range f.Series {
+			if len(s.X) != n || len(s.Y) != n {
+				t.Errorf("%s/%s: ragged series (%d,%d) vs %d", f.ID, s.Name, len(s.X), len(s.Y), n)
+			}
+			for i, y := range s.Y {
+				if y <= 0 || math.IsNaN(y) || math.IsInf(y, 0) {
+					t.Errorf("%s/%s[%d]: non-positive or non-finite %v", f.ID, s.Name, i, y)
+				}
+			}
+		}
+		tab := f.Table()
+		if tab.Rows() != n {
+			t.Errorf("%s: table has %d rows, want %d", f.ID, tab.Rows(), n)
+		}
+	}
+}
+
+// TestFigure4Crossover: the direct-mapped cache must overtake the MM-model
+// somewhere in the sweep, and earlier (smaller t_m) for B = 2K than for
+// B = 4K — the paper reports ≈7 and ≈20 cycles.
+func TestFigure4Crossover(t *testing.T) {
+	f := Figure4()
+	mm2 := seriesByName(t, f, "MM B=2K")
+	cc2 := seriesByName(t, f, "CC-direct B=2K")
+	mm4 := seriesByName(t, f, "MM B=4K")
+	cc4 := seriesByName(t, f, "CC-direct B=4K")
+	// Crossover where MM rises above CC.
+	x2 := stats.Crossover(mm2.X, mm2.Y, cc2.Y)
+	x4 := stats.Crossover(mm4.X, mm4.Y, cc4.Y)
+	if math.IsNaN(x2) || math.IsNaN(x4) {
+		t.Fatalf("no crossover: B=2K %v, B=4K %v", x2, x4)
+	}
+	if !(x2 < x4) {
+		t.Errorf("B=2K crossover (%v) should precede B=4K (%v)", x2, x4)
+	}
+	if x2 < 4 || x2 > 16 {
+		t.Errorf("B=2K crossover at t_m=%v; paper reports ≈7", x2)
+	}
+	if x4 < 10 || x4 > 28 {
+		t.Errorf("B=4K crossover at t_m=%v; paper reports ≈20", x4)
+	}
+}
+
+// TestFigure5ReuseShape: equality at R = 1, CC wins beyond, flattening out.
+func TestFigure5ReuseShape(t *testing.T) {
+	f := Figure5()
+	for _, tm := range []string{"8", "16"} {
+		mm := seriesByName(t, f, "MM tm="+tm)
+		cc := seriesByName(t, f, "CC-direct tm="+tm)
+		if d := math.Abs(mm.Y[0]-cc.Y[0]) / mm.Y[0]; d > 1e-9 {
+			t.Errorf("tm=%s: R=1 values differ by %v", tm, d)
+		}
+		for i := 1; i < len(cc.Y); i++ {
+			if cc.Y[i] >= mm.Y[i] {
+				t.Errorf("tm=%s R=%v: CC %v not below MM %v", tm, cc.X[i], cc.Y[i], mm.Y[i])
+			}
+			if cc.Y[i] >= cc.Y[i-1] {
+				t.Errorf("tm=%s: CC curve not monotonically improving at R=%v", tm, cc.X[i])
+			}
+		}
+		// Diminishing returns: the last doubling buys <10% improvement.
+		n := len(cc.Y)
+		if gain := cc.Y[n-2]/cc.Y[n-1] - 1; gain > 0.10 {
+			t.Errorf("tm=%s: reuse curve still improving %v%% at the end", tm, 100*gain)
+		}
+	}
+}
+
+// TestFigure6BlockingLimit: at t_m = 32 the direct CC curve crosses above
+// MM within the sweep; the paper puts the t_m = 32 crossover near B ≈ 5K.
+func TestFigure6BlockingLimit(t *testing.T) {
+	f := Figure6()
+	mm := seriesByName(t, f, "MM tm=32")
+	cc := seriesByName(t, f, "CC-direct tm=32")
+	x := stats.Crossover(cc.X, cc.Y, mm.Y)
+	if math.IsNaN(x) {
+		t.Fatal("direct CC never crossed MM at tm=32")
+	}
+	if x < 2048 || x > 8192 {
+		t.Errorf("crossover at B=%v; paper reports ≈5K", x)
+	}
+}
+
+// TestFigure7Headline: prime lowest everywhere; ≈3× over direct and ≈5×
+// over MM at t_m = 64; prime curve nearly flat.
+func TestFigure7Headline(t *testing.T) {
+	f := Figure7()
+	mm := seriesByName(t, f, "MM")
+	dir := seriesByName(t, f, "CC-direct")
+	prm := seriesByName(t, f, "CC-prime")
+	for i := range prm.Y {
+		if prm.Y[i] > dir.Y[i] || prm.Y[i] > mm.Y[i] {
+			t.Errorf("t_m=%v: prime %v not lowest (direct %v, mm %v)", prm.X[i], prm.Y[i], dir.Y[i], mm.Y[i])
+		}
+	}
+	last := len(prm.Y) - 1
+	if r := dir.Y[last] / prm.Y[last]; r < 2 || r > 5 {
+		t.Errorf("direct/prime at t_m=64 = %vx; paper ≈3x", r)
+	}
+	if r := mm.Y[last] / prm.Y[last]; r < 3.5 || r > 7 {
+		t.Errorf("mm/prime at t_m=64 = %vx; paper ≈5x", r)
+	}
+	spread, err := stats.Spread(prm.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread > 2.2 {
+		t.Errorf("prime curve spread %vx; paper shows little change with t_m", spread)
+	}
+}
+
+// TestFigure8Shape: direct crosses MM around B ≈ 3K; prime flat and lowest.
+func TestFigure8Shape(t *testing.T) {
+	f := Figure8()
+	mm := seriesByName(t, f, "MM")
+	dir := seriesByName(t, f, "CC-direct")
+	prm := seriesByName(t, f, "CC-prime")
+	x := stats.Crossover(dir.X, dir.Y, mm.Y)
+	if math.IsNaN(x) {
+		t.Fatal("direct never crossed MM")
+	}
+	if x < 1024 || x > 6144 {
+		t.Errorf("crossover at B=%v; paper reports ≈3K", x)
+	}
+	// "Remains flat" is relative: with P_ds > 0 the footprint
+	// cross-interference grows with B even for the prime mapping (the
+	// paper's own I_c^C), but far more slowly than the direct curve.
+	primeSpread, _ := stats.Spread(prm.Y)
+	directSpread, _ := stats.Spread(dir.Y)
+	if primeSpread > directSpread/2 {
+		t.Errorf("prime spread %vx not ≪ direct spread %vx", primeSpread, directSpread)
+	}
+	if primeSpread > 2.5 {
+		t.Errorf("prime spread over blocking factors = %vx, want nearly flat", primeSpread)
+	}
+	for i := range prm.Y {
+		if prm.Y[i] > dir.Y[i] || prm.Y[i] > mm.Y[i] {
+			t.Errorf("B=%v: prime not lowest", prm.X[i])
+		}
+	}
+}
+
+// TestFigure9Convergence: prime strictly better for P1 < 1, within 1% at
+// P1 = 1.
+func TestFigure9Convergence(t *testing.T) {
+	f := Figure9()
+	dir := seriesByName(t, f, "CC-direct")
+	prm := seriesByName(t, f, "CC-prime")
+	n := len(dir.Y)
+	for i := 0; i < n-1; i++ {
+		if prm.Y[i] >= dir.Y[i] {
+			t.Errorf("P1=%v: prime %v ≥ direct %v", dir.X[i], prm.Y[i], dir.Y[i])
+		}
+	}
+	if d := math.Abs(dir.Y[n-1]-prm.Y[n-1]) / dir.Y[n-1]; d > 0.01 {
+		t.Errorf("P1=1: curves differ by %v%%", 100*d)
+	}
+	// The gap should shrink as P1 grows.
+	if gap0, gapEnd := dir.Y[0]-prm.Y[0], dir.Y[n-2]-prm.Y[n-2]; gapEnd >= gap0 {
+		t.Errorf("gap did not shrink: %v → %v", gap0, gapEnd)
+	}
+}
+
+// TestFigure10Range: prime ≤ direct for every P_ds, with the advantage in
+// the paper's 40%–2× band somewhere in the sweep.
+func TestFigure10Range(t *testing.T) {
+	f := Figure10()
+	dir := seriesByName(t, f, "CC-direct")
+	prm := seriesByName(t, f, "CC-prime")
+	var bestAdvantage float64
+	for i := range dir.Y {
+		if prm.Y[i] > dir.Y[i]+1e-9 {
+			t.Errorf("Pds=%v: prime above direct", dir.X[i])
+		}
+		if r := dir.Y[i] / prm.Y[i]; r > bestAdvantage {
+			bestAdvantage = r
+		}
+	}
+	if bestAdvantage < 1.4 {
+		t.Errorf("peak prime advantage %vx; paper reports 40%%–2x", bestAdvantage)
+	}
+}
+
+// TestFigure11RowColumn: direct degrades with the row fraction; prime stays
+// flat and below.
+func TestFigure11RowColumn(t *testing.T) {
+	f := Figure11()
+	dir := seriesByName(t, f, "CC-direct")
+	prm := seriesByName(t, f, "CC-prime")
+	for i := 1; i < len(dir.Y); i++ {
+		if dir.Y[i] < dir.Y[i-1] {
+			t.Errorf("direct curve not increasing at fRow=%v", dir.X[i])
+		}
+	}
+	spread, _ := stats.Spread(prm.Y)
+	if spread > 1.3 {
+		t.Errorf("prime spread %vx; paper: same performance in both cases", spread)
+	}
+	last := len(dir.Y) - 1
+	if dir.Y[last] < 1.5*prm.Y[last] {
+		t.Errorf("row-dominated: direct %v not well above prime %v", dir.Y[last], prm.Y[last])
+	}
+}
+
+// TestFigure12FFT: prime beats direct by >2× for every B2, per the paper.
+func TestFigure12FFT(t *testing.T) {
+	f := Figure12()
+	dir := seriesByName(t, f, "CC-direct")
+	prm := seriesByName(t, f, "CC-prime")
+	for i := range dir.Y {
+		if r := dir.Y[i] / prm.Y[i]; r < 2 {
+			t.Errorf("B2=%v: improvement %vx < 2x", dir.X[i], r)
+		}
+	}
+}
+
+func TestSubblockTable(t *testing.T) {
+	tab := SubblockTable()
+	if tab.Rows() != 8 {
+		t.Fatalf("rows = %d, want 8", tab.Rows())
+	}
+	if !strings.Contains(tab.String(), "degenerate") {
+		t.Error("P = 2·8191 should be reported degenerate")
+	}
+}
+
+func TestSubblockTableConflictFree(t *testing.T) {
+	tab := SubblockTable()
+	for r := 0; r < tab.Rows(); r++ {
+		if tab.Cell(r, 4) == "degenerate" {
+			continue
+		}
+		if got := tab.Cell(r, 4); got != "0" {
+			t.Errorf("P=%s: prime conflicts = %s, want 0", tab.Cell(r, 0), got)
+		}
+		if got := tab.Cell(r, 5); got != "100" {
+			t.Errorf("P=%s: second-pass hit%% = %s, want 100", tab.Cell(r, 0), got)
+		}
+	}
+}
+
+func TestCrossCheckTable(t *testing.T) {
+	tab := CrossCheck()
+	if tab.Rows() != 9 {
+		t.Fatalf("rows = %d, want 9", tab.Rows())
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	tab := Summary()
+	if tab.Rows() != 3 {
+		t.Fatalf("rows = %d, want 3", tab.Rows())
+	}
+	if !strings.Contains(tab.String(), "x") {
+		t.Error("summary missing ratio cells")
+	}
+}

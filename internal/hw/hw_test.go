@@ -1,0 +1,214 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+
+	"primecache/internal/mersenne"
+)
+
+func TestFullAdderTruthTable(t *testing.T) {
+	cases := []struct {
+		a, b, cin, sum, cout bool
+	}{
+		{false, false, false, false, false},
+		{true, false, false, true, false},
+		{false, true, false, true, false},
+		{true, true, false, false, true},
+		{false, false, true, true, false},
+		{true, false, true, false, true},
+		{false, true, true, false, true},
+		{true, true, true, true, true},
+	}
+	for _, tc := range cases {
+		s, c := FullAdder(tc.a, tc.b, tc.cin)
+		if s != tc.sum || c != tc.cout {
+			t.Errorf("FullAdder(%v,%v,%v) = (%v,%v), want (%v,%v)", tc.a, tc.b, tc.cin, s, c, tc.sum, tc.cout)
+		}
+	}
+}
+
+func TestRippleAddExhaustiveSmall(t *testing.T) {
+	const w = 5
+	for a := uint64(0); a < 32; a++ {
+		for b := uint64(0); b < 32; b++ {
+			for _, cin := range []bool{false, true} {
+				s, cout := RippleAdd(a, b, w, cin)
+				total := a + b
+				if cin {
+					total++
+				}
+				if s != total&31 || cout != (total > 31) {
+					t.Fatalf("RippleAdd(%d,%d,%v) = (%d,%v)", a, b, cin, s, cout)
+				}
+			}
+		}
+	}
+}
+
+func TestRippleAddPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { RippleAdd(0, 0, 0, false) },
+		func() { RippleAdd(0, 0, 64, false) },
+		func() { RippleAdd(32, 0, 5, false) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestEndAroundAddMatchesMersenneExhaustive checks the bit-level adder
+// against the arithmetic model for every residue pair at c = 5.
+func TestEndAroundAddMatchesMersenneExhaustive(t *testing.T) {
+	const c = 5
+	m := mersenne.MustNew(c)
+	for a := uint64(0); a < 31; a++ {
+		for b := uint64(0); b < 31; b++ {
+			got := CanonicalIndex(EndAroundAdd(a, b, c), c)
+			want := m.Add(a, b)
+			if got != want {
+				t.Fatalf("EAC(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestEndAroundAddMatchesMersenneProperty checks the paper's width.
+func TestEndAroundAddMatchesMersenneProperty(t *testing.T) {
+	const c = 13
+	m := mersenne.MustNew(c)
+	f := func(aRaw, bRaw uint16) bool {
+		a := uint64(aRaw) % 8191
+		b := uint64(bRaw) % 8191
+		return CanonicalIndex(EndAroundAdd(a, b, c), c) == m.Add(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDatapathCost(t *testing.T) {
+	d, err := NewDatapath(13, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 13-bit adder (65 gates) + two 13-bit muxes (104 gates).
+	if got := d.Gates(); got != 13*5+2*13*4 {
+		t.Errorf("Gates = %d", got)
+	}
+	// stride + index + 4 start registers, 13 bits each.
+	if got := d.FlipFlops(); got != 6*13 {
+		t.Errorf("FlipFlops = %d", got)
+	}
+	if _, err := NewDatapath(1, 0); err == nil {
+		t.Error("tiny exponent accepted")
+	}
+	if _, err := NewDatapath(13, -1); err == nil {
+		t.Error("negative start registers accepted")
+	}
+}
+
+// TestCriticalPathClaim is the paper's §2.3 timing argument, quantified:
+// at the paper's parameters (c = 13, 32-bit addresses) the Figure-1 step
+// fits inside the normal address adder's delay — and the claim fails if
+// the cache grows so large that 2c approaches the address width, which
+// the test documents.
+func TestCriticalPathClaim(t *testing.T) {
+	d, _ := NewDatapath(13, 4)
+	if !d.FitsCriticalPath(32) {
+		t.Errorf("c=13 delay %d exceeds 32-bit adder %d; the paper's claim should hold",
+			d.Delay(), AddressAdderDelay(32))
+	}
+	// The margin: 54 vs 65 gate delays.
+	if d.Delay() != 1+2*13*2+1 {
+		t.Errorf("Delay = %d", d.Delay())
+	}
+	if AddressAdderDelay(32) != 65 {
+		t.Errorf("AddressAdderDelay(32) = %d", AddressAdderDelay(32))
+	}
+	// A 2^17−1-line cache against 32-bit addresses would NOT fit — the
+	// scaling limit of the ripple realisation (real designs would use a
+	// faster carry scheme, as would the main adder).
+	big, _ := NewDatapath(17, 0)
+	if big.FitsCriticalPath(32) {
+		t.Error("c=17 should exceed a 32-bit ripple adder; expected documented limit")
+	}
+	if !big.FitsCriticalPath(64) {
+		t.Error("c=17 fits a 64-bit address path")
+	}
+}
+
+// TestDatapathSequence runs a full vector's index generation through the
+// structural adder and compares against the functional AddressUnit.
+func TestDatapathSequence(t *testing.T) {
+	const c = 13
+	m := mersenne.MustNew(c)
+	u := mersenne.NewAddressUnit(m)
+	stride := int64(517)
+	u.SetStride(stride)
+	want, _ := u.Start(99999)
+
+	// Structural path: reduce start by repeated EAC of digits, then step.
+	idx := CanonicalIndex(EndAroundAdd(99999&8191, (99999>>13)&8191, c), c)
+	if idx != want {
+		t.Fatalf("structural start index %d, want %d", idx, want)
+	}
+	sConv := m.Reduce(uint64(stride))
+	for i := 0; i < 1000; i++ {
+		want = u.Next()
+		idx = CanonicalIndex(EndAroundAdd(idx, sConv, c), c)
+		if idx != want {
+			t.Fatalf("element %d: structural %d, functional %d", i+1, idx, want)
+		}
+	}
+}
+
+func TestCLADelay(t *testing.T) {
+	if CLADelay(0) != 0 {
+		t.Error("CLADelay(0) != 0")
+	}
+	// Depth grows logarithmically: 32 bits needs 3 lookahead levels.
+	if got := CLADelay(32); got != 2+2*3+1 {
+		t.Errorf("CLADelay(32) = %d, want 9", got)
+	}
+	if CLADelay(13) >= CLADelay(32) {
+		t.Error("13-bit CLA not faster than 32-bit")
+	}
+}
+
+// TestCriticalPathClaimCLA records a reproduction finding: the paper's
+// timing claim is realisation-dependent. With ripple adders the c-bit
+// end-around adder fits comfortably inside the 32-bit address adder
+// (TestCriticalPathClaim); with carry-lookahead adders the end-around
+// pass costs one extra lookahead traversal and the bare Figure-1 adder
+// comes out slightly SLOWER than a bare 32-bit CLA (11 vs 9 gate delays
+// at c = 13). The claim still holds in context — the normal address path
+// includes operand muxing and register setup beyond the bare adder, and
+// the cache-address generation runs in parallel with, not in series
+// after, it — but "takes no longer than the normal address calculation"
+// is not adder-for-adder true in fast-carry realisations.
+func TestCriticalPathClaimCLA(t *testing.T) {
+	if FitsCriticalPathCLA(13, 32) {
+		t.Error("bare-adder CLA comparison unexpectedly fits; finding is stale")
+	}
+	// The excess stays small: within ~35% of the bare 32-bit CLA, i.e.
+	// absorbed by one mux + register level of the real address path.
+	ratio := float64(CLAEndAroundDelay(13)) / float64(CLADelay(32))
+	if ratio > 1.35 {
+		t.Errorf("EAC-CLA/CLA32 ratio %v, want ≤ 1.35", ratio)
+	}
+	// Sanity: the end-around pass does cost something, and wider EAC
+	// adders stay log-bounded.
+	if CLAEndAroundDelay(13) <= CLADelay(13) {
+		t.Error("end-around pass should add delay")
+	}
+	if CLAEndAroundDelay(19) > 2*CLADelay(32) {
+		t.Error("EAC-CLA growth not log-bounded")
+	}
+}

@@ -1,0 +1,309 @@
+// Package membank simulates the low-order-bit interleaved memory system of
+// the paper's machine models (Figures 2 and 3): M = 2^m banks with access
+// time t_m processor cycles, fed by pipelined buses that carry one word per
+// cycle. Word w lives in bank w mod M, so a stride-s vector sweep visits
+// M/gcd(M,s) distinct banks and stalls whenever it returns to a bank sooner
+// than t_m cycles after the previous access — the memory-side analogue of
+// cache line interference, and the reason the paper's MM-model degrades for
+// non-unit strides.
+package membank
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// System is an event-driven simulator of an interleaved memory system. It
+// is not safe for concurrent use.
+type System struct {
+	banks    int
+	tm       int64
+	mask     uint64
+	isPow2   bool
+	busyTill []int64 // cycle at which each bank next accepts a request
+}
+
+// New returns a memory system with banks banks (a power of two, matching
+// the low-order-bit interleaving the paper assumes) and access time tm
+// cycles per bank request.
+func New(banks, tm int) (*System, error) {
+	if banks <= 0 || banks&(banks-1) != 0 {
+		return nil, fmt.Errorf("membank: banks must be a positive power of two, got %d", banks)
+	}
+	if tm <= 0 {
+		return nil, fmt.Errorf("membank: access time must be positive, got %d", tm)
+	}
+	return &System{banks: banks, tm: int64(tm), mask: uint64(banks - 1), isPow2: true, busyTill: make([]int64, banks)}, nil
+}
+
+// NewPrimeBanked returns a memory system with a prime number of banks,
+// word w in bank w mod banks — the Budnik–Kuck / Burroughs BSP / Lawrie–
+// Vora organisation the paper's §2.3 traces its idea to. Power-of-two
+// strides (the usual FFT offenders) then spread over all banks, at the
+// cost of the modulo in the address path that those designs paid hardware
+// for and that prime *cache* mapping avoids. Any bank count ≥ 2 is
+// accepted; primality is the caller's interest, not a mechanical
+// requirement.
+func NewPrimeBanked(banks, tm int) (*System, error) {
+	if banks < 2 {
+		return nil, fmt.Errorf("membank: need at least 2 banks, got %d", banks)
+	}
+	if tm <= 0 {
+		return nil, fmt.Errorf("membank: access time must be positive, got %d", tm)
+	}
+	return &System{banks: banks, tm: int64(tm), busyTill: make([]int64, banks)}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(banks, tm int) *System {
+	s, err := New(banks, tm)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Banks returns the number of banks.
+func (s *System) Banks() int { return s.banks }
+
+// AccessTime returns t_m in cycles.
+func (s *System) AccessTime() int { return int(s.tm) }
+
+// Reset clears all bank busy state.
+func (s *System) Reset() {
+	for i := range s.busyTill {
+		s.busyTill[i] = 0
+	}
+}
+
+// BankOf returns the bank holding word address w.
+func (s *System) BankOf(word uint64) int {
+	if s.isPow2 {
+		return int(word & s.mask)
+	}
+	return int(word % uint64(s.banks))
+}
+
+// bankOfSigned maps a possibly negative running address to its bank.
+func (s *System) bankOfSigned(addr int64) int {
+	if s.isPow2 {
+		return int(uint64(addr) & s.mask)
+	}
+	m := addr % int64(s.banks)
+	if m < 0 {
+		m += int64(s.banks)
+	}
+	return int(m)
+}
+
+// issue requests the bank at the earliest cycle ≥ t, marks it busy for t_m
+// cycles, and returns the actual issue cycle.
+func (s *System) issue(bank int, t int64) int64 {
+	if s.busyTill[bank] > t {
+		t = s.busyTill[bank]
+	}
+	s.busyTill[bank] = t + s.tm
+	return t
+}
+
+// LoadResult reports the outcome of a simulated vector load.
+type LoadResult struct {
+	// Elements is the vector length issued.
+	Elements int
+	// FinishCycle is the cycle the last element's data arrives.
+	FinishCycle int64
+	// StallCycles is the total issue slip versus a perfectly pipelined
+	// one-element-per-cycle stream (last issue cycle − (Elements−1)).
+	StallCycles int64
+}
+
+// VectorLoad simulates a single-stream strided load of n words starting at
+// word address start, one request per cycle on one read bus, starting at
+// cycle 0. It mutates bank state; call Reset between independent
+// experiments.
+func (s *System) VectorLoad(start uint64, stride int64, n int) LoadResult {
+	if n <= 0 {
+		return LoadResult{}
+	}
+	t := int64(0)
+	var last int64
+	addr := int64(start)
+	for i := 0; i < n; i++ {
+		bank := s.bankOfSigned(addr)
+		last = s.issue(bank, t)
+		t = last + 1 // the bus issues at most one request per cycle
+		addr += stride
+	}
+	return LoadResult{Elements: n, FinishCycle: last + s.tm, StallCycles: last - int64(n-1)}
+}
+
+// DualLoad simulates two concurrent strided streams (the paper's
+// double-stream case) on the two read buses: in each cycle each bus may
+// issue one request, but a bank accepts a new request only t_m cycles after
+// the previous one. When both streams want the same bank in the same cycle
+// the first stream wins. It returns per-stream results; stalls are counted
+// against the same one-per-cycle ideal.
+func (s *System) DualLoad(start1 uint64, stride1 int64, n1 int, start2 uint64, stride2 int64, n2 int) (LoadResult, LoadResult) {
+	t1, t2 := int64(0), int64(0)
+	var last1, last2 int64
+	a1, a2 := int64(start1), int64(start2)
+	i1, i2 := 0, 0
+	for i1 < n1 || i2 < n2 {
+		// Issue in global time order so bank reservations interleave the
+		// way two synchronous buses would; stream 1 wins ties.
+		if i1 < n1 && (i2 >= n2 || t1 <= t2) {
+			bank := s.bankOfSigned(a1)
+			last1 = s.issue(bank, t1)
+			t1 = last1 + 1
+			a1 += stride1
+			i1++
+		} else if i2 < n2 {
+			bank := s.bankOfSigned(a2)
+			last2 = s.issue(bank, t2)
+			t2 = last2 + 1
+			a2 += stride2
+			i2++
+		}
+	}
+	r1 := LoadResult{Elements: n1, FinishCycle: last1 + s.tm, StallCycles: last1 - int64(max(n1-1, 0))}
+	r2 := LoadResult{Elements: n2, FinishCycle: last2 + s.tm, StallCycles: last2 - int64(max(n2-1, 0))}
+	if n1 == 0 {
+		r1 = LoadResult{}
+	}
+	if n2 == 0 {
+		r2 = LoadResult{}
+	}
+	return r1, r2
+}
+
+// BanksVisited returns M/gcd(M, s), the number of distinct banks a stride-s
+// sweep touches (Oed & Lange); stride 0 visits one bank.
+func BanksVisited(banks int, stride int64) int {
+	if stride < 0 {
+		stride = -stride
+	}
+	if stride == 0 {
+		return 1
+	}
+	return banks / gcd(banks, int(stride%int64(banks)+int64(banks))%banks)
+}
+
+func gcd(a, b int) int {
+	if a == 0 {
+		return b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+// Log2Banks returns m = log2(M).
+func (s *System) Log2Banks() int { return bits.TrailingZeros(uint(s.banks)) }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// EffectiveBandwidth returns the steady-state words per cycle a stride-s
+// stream achieves against this organisation (Oed & Lange): a sweep visits
+// k = M/gcd(M, s) banks, so the issue rate is capped at k/t_m when the
+// revisit interval k is shorter than the bank busy time, and at the full
+// one word per cycle otherwise.
+func EffectiveBandwidth(banks, tm int, stride int64) float64 {
+	k := float64(BanksVisited(banks, stride))
+	if k >= float64(tm) {
+		return 1
+	}
+	return k / float64(tm)
+}
+
+// StreamSpec describes one stream for MultiLoad.
+type StreamSpec struct {
+	Start  uint64
+	Stride int64
+	N      int
+}
+
+// MultiLoad simulates k concurrent strided streams, one bus each — the
+// multiple-vector-stream scenario of Bailey that the paper's introduction
+// cites: even hundreds of banks cannot feed many concurrent streams. Each
+// cycle every bus may issue one request in stream order; a bank accepts a
+// new request only t_m cycles after the previous. Ties go to the
+// lower-numbered stream. It returns per-stream results.
+func (s *System) MultiLoad(specs []StreamSpec) []LoadResult {
+	k := len(specs)
+	t := make([]int64, k)
+	last := make([]int64, k)
+	addr := make([]int64, k)
+	idx := make([]int, k)
+	for i, sp := range specs {
+		addr[i] = int64(sp.Start)
+	}
+	for {
+		// Pick the stream with the smallest next issue time that still
+		// has work; lower index wins ties.
+		best := -1
+		for i := range specs {
+			if idx[i] >= specs[i].N {
+				continue
+			}
+			if best == -1 || t[i] < t[best] {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		bank := s.bankOfSigned(addr[best])
+		last[best] = s.issue(bank, t[best])
+		t[best] = last[best] + 1
+		addr[best] += specs[best].Stride
+		idx[best]++
+	}
+	out := make([]LoadResult, k)
+	for i, sp := range specs {
+		if sp.N <= 0 {
+			continue
+		}
+		out[i] = LoadResult{Elements: sp.N, FinishCycle: last[i] + s.tm, StallCycles: last[i] - int64(sp.N-1)}
+	}
+	return out
+}
+
+// VectorStore simulates a strided store stream on the write bus: one
+// request per cycle, each occupying its bank for t_m cycles, sharing bank
+// state with any reads simulated on the same System. With the paper's
+// write buffers the processor never stalls on the store itself, so no
+// stall count is returned — but the bank reservations it leaves behind
+// delay subsequent reads, which is the coupling ReadWriteInterference
+// measures.
+func (s *System) VectorStore(start uint64, stride int64, n int) {
+	t := int64(0)
+	addr := int64(start)
+	for i := 0; i < n; i++ {
+		bank := s.bankOfSigned(addr)
+		t = s.issue(bank, t) + 1
+		addr += stride
+	}
+}
+
+// ReadWriteInterference measures the read-stream stalls caused by a
+// concurrent store stream on the write bus: it simulates the store stream
+// first (reserving banks), then the read stream, and returns the read
+// stalls. With disjoint banks the result is 0; with colliding strides the
+// writes steal bank cycles the paper's write-buffer argument otherwise
+// hides.
+func (s *System) ReadWriteInterference(readStart uint64, readStride int64, writeStart uint64, writeStride int64, n int) int64 {
+	s.Reset()
+	s.VectorStore(writeStart, writeStride, n)
+	r := s.VectorLoad(readStart, readStride, n)
+	s.Reset()
+	return r.StallCycles
+}

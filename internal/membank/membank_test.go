@@ -1,0 +1,366 @@
+package membank
+
+import "testing"
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4); err == nil {
+		t.Error("accepted 0 banks")
+	}
+	if _, err := New(3, 4); err == nil {
+		t.Error("accepted non-power-of-two banks")
+	}
+	if _, err := New(8, 0); err == nil {
+		t.Error("accepted zero access time")
+	}
+	s, err := New(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Banks() != 32 || s.AccessTime() != 8 || s.Log2Banks() != 5 {
+		t.Errorf("Banks=%d AccessTime=%d Log2=%d", s.Banks(), s.AccessTime(), s.Log2Banks())
+	}
+}
+
+func TestBankOf(t *testing.T) {
+	s := MustNew(8, 4)
+	for w := uint64(0); w < 32; w++ {
+		if got := s.BankOf(w); got != int(w%8) {
+			t.Errorf("BankOf(%d) = %d, want %d", w, got, w%8)
+		}
+	}
+}
+
+func TestUnitStrideNoStalls(t *testing.T) {
+	// t_m < M: a unit-stride stream returns to a bank after M cycles,
+	// well past its t_m busy window — fully pipelined, zero stalls.
+	s := MustNew(32, 8)
+	r := s.VectorLoad(0, 1, 256)
+	if r.StallCycles != 0 {
+		t.Errorf("unit stride stalls = %d, want 0", r.StallCycles)
+	}
+	if r.FinishCycle != 255+8 {
+		t.Errorf("finish = %d, want 263", r.FinishCycle)
+	}
+}
+
+func TestStrideMStallsEveryElement(t *testing.T) {
+	// Stride M hits the same bank every access: each of the n−1 later
+	// elements waits the full t_m − 1 extra cycles.
+	s := MustNew(32, 8)
+	n := 64
+	r := s.VectorLoad(0, 32, n)
+	want := int64((n - 1) * (8 - 1))
+	if r.StallCycles != want {
+		t.Errorf("stride-M stalls = %d, want %d", r.StallCycles, want)
+	}
+}
+
+func TestPowerOfTwoStrideSteadyState(t *testing.T) {
+	// Stride 8 in 32 banks visits 4 banks; with t_m = 8 the sweep of 4
+	// issues must stretch to 8 cycles: steady-state issue interval
+	// t_m/k = 2 cycles/element → stalls ≈ n·(t_m−k)/k.
+	s := MustNew(32, 8)
+	n := 128
+	r := s.VectorLoad(0, 8, n)
+	ideal := int64(n - 1)
+	got := r.StallCycles
+	// Exact steady state: element i issues at cycle 2i (after warm-up of
+	// 4 elements issued back-to-back then throttled).
+	if got < ideal-8 || got > ideal+8 {
+		t.Errorf("stride-8 stalls = %d, want ≈ %d (t_m/k=2 per element)", got, ideal)
+	}
+}
+
+func TestOddStrideConflictFree(t *testing.T) {
+	// Any odd stride visits all 32 banks: revisit interval 32 > t_m = 8.
+	s := MustNew(32, 8)
+	for _, stride := range []int64{1, 3, 5, 7, 9, 31, 33} {
+		s.Reset()
+		if r := s.VectorLoad(5, stride, 256); r.StallCycles != 0 {
+			t.Errorf("odd stride %d stalls = %d, want 0", stride, r.StallCycles)
+		}
+	}
+}
+
+func TestNegativeStride(t *testing.T) {
+	s := MustNew(32, 8)
+	if r := s.VectorLoad(1024, -1, 64); r.StallCycles != 0 {
+		t.Errorf("reverse unit stride stalls = %d, want 0", r.StallCycles)
+	}
+	s.Reset()
+	if r := s.VectorLoad(1024, -32, 16); r.StallCycles == 0 {
+		t.Error("reverse stride-M should stall")
+	}
+}
+
+func TestVectorLoadEmpty(t *testing.T) {
+	s := MustNew(8, 4)
+	if r := s.VectorLoad(0, 1, 0); r != (LoadResult{}) {
+		t.Errorf("empty load = %+v", r)
+	}
+}
+
+func TestResetClearsBusy(t *testing.T) {
+	s := MustNew(8, 16)
+	s.VectorLoad(0, 8, 8) // hammer bank 0
+	s.Reset()
+	if r := s.VectorLoad(0, 1, 8); r.StallCycles != 0 {
+		t.Errorf("stalls after Reset = %d, want 0", r.StallCycles)
+	}
+}
+
+func TestDualLoadDisjointBanksNoInterference(t *testing.T) {
+	// Stream 1 on even banks (stride 2 from 0), stream 2 on odd banks
+	// (stride 2 from 1): 16 banks each, t_m = 8 < 16 → no stalls at all.
+	s := MustNew(32, 8)
+	r1, r2 := s.DualLoad(0, 2, 64, 1, 2, 64)
+	if r1.StallCycles != 0 || r2.StallCycles != 0 {
+		t.Errorf("disjoint dual streams stalled: %d, %d", r1.StallCycles, r2.StallCycles)
+	}
+}
+
+func TestDualLoadSameBankInterferes(t *testing.T) {
+	// Both streams hammering bank 0 serialise completely.
+	s := MustNew(32, 8)
+	r1, r2 := s.DualLoad(0, 32, 16, 0, 32, 16)
+	if r1.StallCycles+r2.StallCycles == 0 {
+		t.Error("same-bank dual streams should interfere")
+	}
+	single := MustNew(32, 8)
+	sr := single.VectorLoad(0, 32, 16)
+	if r2.StallCycles <= sr.StallCycles {
+		t.Errorf("cross-interference (%d) should exceed self-only stalls (%d)", r2.StallCycles, sr.StallCycles)
+	}
+}
+
+func TestDualLoadZeroLengthStreams(t *testing.T) {
+	s := MustNew(8, 4)
+	r1, r2 := s.DualLoad(0, 1, 4, 0, 1, 0)
+	if r2 != (LoadResult{}) {
+		t.Errorf("empty second stream = %+v", r2)
+	}
+	if r1.Elements != 4 || r1.StallCycles != 0 {
+		t.Errorf("first stream = %+v", r1)
+	}
+}
+
+func TestBanksVisited(t *testing.T) {
+	cases := []struct {
+		banks  int
+		stride int64
+		want   int
+	}{
+		{32, 1, 32}, {32, 2, 16}, {32, 4, 8}, {32, 8, 4}, {32, 16, 2}, {32, 32, 1},
+		{32, 3, 32}, {32, 6, 16}, {32, 0, 1}, {32, -2, 16}, {32, 64, 1}, {32, 33, 32},
+		{64, 48, 4},
+	}
+	for _, tc := range cases {
+		if got := BanksVisited(tc.banks, tc.stride); got != tc.want {
+			t.Errorf("BanksVisited(%d,%d) = %d, want %d", tc.banks, tc.stride, got, tc.want)
+		}
+	}
+}
+
+func TestStallsGrowWithAccessTime(t *testing.T) {
+	// Baily's observation: the same stride pattern stalls more as the
+	// processor–memory speed gap widens.
+	prev := int64(-1)
+	for _, tm := range []int{4, 8, 16, 32} {
+		s := MustNew(32, tm)
+		r := s.VectorLoad(0, 16, 128)
+		if r.StallCycles < prev {
+			t.Errorf("t_m=%d stalls %d < previous %d", tm, r.StallCycles, prev)
+		}
+		prev = r.StallCycles
+	}
+}
+
+func TestPrimeBankedValidation(t *testing.T) {
+	if _, err := NewPrimeBanked(1, 4); err == nil {
+		t.Error("accepted 1 bank")
+	}
+	if _, err := NewPrimeBanked(61, 0); err == nil {
+		t.Error("accepted zero access time")
+	}
+	s, err := NewPrimeBanked(61, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Banks() != 61 {
+		t.Errorf("Banks = %d", s.Banks())
+	}
+}
+
+func TestPrimeBankedBankOf(t *testing.T) {
+	s, _ := NewPrimeBanked(61, 8)
+	for w := uint64(0); w < 200; w++ {
+		if got := s.BankOf(w); got != int(w%61) {
+			t.Fatalf("BankOf(%d) = %d, want %d", w, got, w%61)
+		}
+	}
+}
+
+// TestPrimeBankedPowerOfTwoStrides is the Budnik–Kuck point the paper
+// builds on: power-of-two strides, fatal for 2^m interleaving, spread over
+// all banks when the bank count is prime.
+func TestPrimeBankedPowerOfTwoStrides(t *testing.T) {
+	prime, _ := NewPrimeBanked(61, 8)
+	pow2, _ := New(64, 8)
+	for _, stride := range []int64{2, 4, 8, 16, 32, 64, 128} {
+		prime.Reset()
+		pow2.Reset()
+		pr := prime.VectorLoad(0, stride, 256)
+		cr := pow2.VectorLoad(0, stride, 256)
+		if pr.StallCycles != 0 {
+			t.Errorf("prime banks stalled %d cycles at stride %d", pr.StallCycles, stride)
+		}
+		if stride >= 16 && cr.StallCycles == 0 {
+			t.Errorf("2^m banks did not stall at stride %d", stride)
+		}
+	}
+}
+
+func TestPrimeBankedWorstStride(t *testing.T) {
+	// Stride = bank count collapses onto one bank, prime or not.
+	s, _ := NewPrimeBanked(61, 8)
+	r := s.VectorLoad(0, 61, 32)
+	if want := int64(31 * 7); r.StallCycles != want {
+		t.Errorf("stalls = %d, want %d", r.StallCycles, want)
+	}
+}
+
+func TestPrimeBankedNegativeStride(t *testing.T) {
+	s, _ := NewPrimeBanked(61, 8)
+	if r := s.VectorLoad(1<<20, -8, 128); r.StallCycles != 0 {
+		t.Errorf("reverse power-of-two stride stalled %d cycles", r.StallCycles)
+	}
+}
+
+func TestBanksVisitedPrime(t *testing.T) {
+	if got := BanksVisited(61, 8); got != 61 {
+		t.Errorf("BanksVisited(61,8) = %d, want 61", got)
+	}
+	if got := BanksVisited(61, 61); got != 1 {
+		t.Errorf("BanksVisited(61,61) = %d, want 1", got)
+	}
+	if got := BanksVisited(61, 122); got != 1 {
+		t.Errorf("BanksVisited(61,122) = %d, want 1", got)
+	}
+}
+
+func TestEffectiveBandwidth(t *testing.T) {
+	cases := []struct {
+		banks, tm int
+		stride    int64
+		want      float64
+	}{
+		{32, 8, 1, 1},
+		{32, 8, 8, 0.5},   // 4 banks / 8 cycles
+		{32, 8, 16, 0.25}, // 2 banks
+		{32, 8, 32, 1.0 / 8},
+		{32, 8, 3, 1},
+		{61, 8, 8, 1}, // prime banks: full bandwidth (61 banks visited)
+	}
+	for _, tc := range cases {
+		if got := EffectiveBandwidth(tc.banks, tc.tm, tc.stride); got != tc.want {
+			t.Errorf("EffectiveBandwidth(%d,%d,%d) = %v, want %v", tc.banks, tc.tm, tc.stride, got, tc.want)
+		}
+	}
+}
+
+// TestEffectiveBandwidthMatchesSimulation validates the closed form
+// against the event-driven simulator in steady state.
+func TestEffectiveBandwidthMatchesSimulation(t *testing.T) {
+	const n = 4096
+	for _, banks := range []int{32, 64} {
+		for _, tm := range []int{4, 8, 16} {
+			for _, stride := range []int64{1, 2, 4, 8, 16, 32, 3, 5, 12} {
+				s := MustNew(banks, tm)
+				r := s.VectorLoad(0, stride, n)
+				measured := float64(n) / float64(int64(n)+r.StallCycles)
+				want := EffectiveBandwidth(banks, tm, stride)
+				if measured < want*0.9 || measured > want*1.1 {
+					t.Errorf("M=%d tm=%d s=%d: simulated bw %v, closed form %v", banks, tm, stride, measured, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiLoadMatchesDualLoad(t *testing.T) {
+	a := MustNew(32, 8)
+	b := MustNew(32, 8)
+	r1a, r2a := a.DualLoad(0, 3, 64, 1000, 5, 64)
+	rs := b.MultiLoad([]StreamSpec{{0, 3, 64}, {1000, 5, 64}})
+	if rs[0] != r1a || rs[1] != r2a {
+		t.Errorf("MultiLoad %+v, DualLoad (%+v, %+v)", rs, r1a, r2a)
+	}
+}
+
+func TestMultiLoadEmpty(t *testing.T) {
+	s := MustNew(8, 4)
+	rs := s.MultiLoad([]StreamSpec{{0, 1, 0}, {0, 1, 4}})
+	if rs[0] != (LoadResult{}) {
+		t.Errorf("empty stream = %+v", rs[0])
+	}
+	if rs[1].Elements != 4 {
+		t.Errorf("stream 1 = %+v", rs[1])
+	}
+}
+
+// TestMultiStreamContentionGrows is Bailey's point: with t_m comparable to
+// M, each added unit-stride stream steals bandwidth and per-stream stalls
+// grow quickly even though a single stream runs stall-free.
+func TestMultiStreamContentionGrows(t *testing.T) {
+	const n = 512
+	prev := int64(-1)
+	for _, k := range []int{1, 2, 4, 8} {
+		s := MustNew(64, 32)
+		specs := make([]StreamSpec, k)
+		for i := range specs {
+			specs[i] = StreamSpec{Start: uint64(i * 7), Stride: 1, N: n}
+		}
+		rs := s.MultiLoad(specs)
+		var total int64
+		for _, r := range rs {
+			total += r.StallCycles
+		}
+		perStream := total / int64(k)
+		if perStream < prev {
+			t.Errorf("k=%d: per-stream stalls %d fell below k-1's %d", k, perStream, prev)
+		}
+		prev = perStream
+		if k == 1 && total != 0 {
+			t.Errorf("single unit-stride stream stalled %d", total)
+		}
+		if k == 8 && perStream == 0 {
+			t.Error("8 streams on 64 banks with t_m=32 should contend")
+		}
+	}
+}
+
+func TestVectorStoreReservesBanks(t *testing.T) {
+	s := MustNew(32, 8)
+	// Stores to bank 0 every cycle delay a following read of bank 0.
+	s.VectorStore(0, 32, 8)
+	r := s.VectorLoad(0, 32, 4)
+	if r.StallCycles == 0 {
+		t.Error("read after store burst should stall on busy bank")
+	}
+}
+
+func TestReadWriteInterference(t *testing.T) {
+	s := MustNew(32, 8)
+	// Disjoint banks: even-bank writes, odd-bank reads → no stalls.
+	if got := s.ReadWriteInterference(1, 2, 0, 2, 64); got != 0 {
+		t.Errorf("disjoint read/write stalls = %d, want 0", got)
+	}
+	// Same single bank: heavy interference.
+	if got := s.ReadWriteInterference(0, 32, 0, 32, 16); got == 0 {
+		t.Error("same-bank read/write should interfere")
+	}
+	// State is reset afterwards.
+	if r := s.VectorLoad(0, 1, 32); r.StallCycles != 0 {
+		t.Errorf("state leaked: %d stalls", r.StallCycles)
+	}
+}

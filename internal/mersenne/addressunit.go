@@ -1,0 +1,139 @@
+package mersenne
+
+import "fmt"
+
+// AddressUnit is a functional model of the Figure-1 cache-address
+// generator. It owns one c-bit end-around-carry adder, a stride register
+// holding the vector stride converted to Mersenne form, an index register
+// holding the cache index of the previously generated element, and an
+// optional file of start-address registers so re-accessed vectors skip the
+// starting-address conversion.
+//
+// Every operation reports its cost in adder steps (c-bit additions), the
+// quantity the paper's critical-path argument is about: per-element index
+// generation must take exactly one step, and a vector start-up at most a
+// couple.
+type AddressUnit struct {
+	mod       Modulus
+	stride    uint64 // stride register, Mersenne form
+	index     uint64 // index of the previously generated element
+	started   bool
+	startRegs map[int]uint64 // vector id → saved starting index
+	adderOps  uint64         // cumulative c-bit additions performed
+}
+
+// NewAddressUnit returns an address unit for the given modulus with an
+// empty start-register file.
+func NewAddressUnit(mod Modulus) *AddressUnit {
+	return &AddressUnit{mod: mod, startRegs: make(map[int]uint64)}
+}
+
+// Modulus returns the unit's Mersenne modulus.
+func (u *AddressUnit) Modulus() Modulus { return u.mod }
+
+// AdderOps returns the cumulative number of c-bit additions the unit has
+// performed, the hardware-cost counter used by the datapath tests and the
+// ablation benchmarks.
+func (u *AddressUnit) AdderOps() uint64 { return u.adderOps }
+
+// ResetCost zeroes the adder-step counter.
+func (u *AddressUnit) ResetCost() { u.adderOps = 0 }
+
+// SetStride loads the stride register: the integer stride is converted to
+// Mersenne form by folding, exactly as the paper does "at the time when the
+// vector stride is loaded into the vector stride register". It returns the
+// converted stride and the conversion cost in adder steps.
+func (u *AddressUnit) SetStride(stride int64) (converted uint64, steps int) {
+	var r uint64
+	if stride >= 0 {
+		r, steps = u.mod.ReduceSteps(uint64(stride))
+	} else {
+		r, steps = u.mod.ReduceSteps(uint64(-stride))
+		if r != 0 {
+			r = u.mod.Value() - r
+		}
+	}
+	u.stride = r
+	u.adderOps += uint64(steps)
+	return r, steps
+}
+
+// Stride returns the current contents of the stride register (Mersenne
+// form).
+func (u *AddressUnit) Stride() uint64 { return u.stride }
+
+// Start converts the line address of a vector's first element into a cache
+// index by folding, loads the index register with it, and returns the index
+// and the folding cost. This is the multiplexor path that selects the tag
+// and index fields of the memory address as the adder operands.
+func (u *AddressUnit) Start(lineAddr uint64) (index uint64, steps int) {
+	index, steps = u.mod.ReduceSteps(lineAddr)
+	u.index = index
+	u.started = true
+	u.adderOps += uint64(steps)
+	return index, steps
+}
+
+// Next produces the cache index of the next vector element: one end-around
+// c-bit addition of the stride register into the index register. This is
+// the steady-state path and always costs exactly one adder step.
+func (u *AddressUnit) Next() uint64 {
+	if !u.started {
+		panic("mersenne: AddressUnit.Next before Start")
+	}
+	u.index = u.mod.Add(u.index, u.stride)
+	u.adderOps++
+	return u.index
+}
+
+// Index returns the current contents of the index register.
+func (u *AddressUnit) Index() uint64 { return u.index }
+
+// SaveStart stores the current index register into start register id, the
+// optional register file the paper proposes so that re-accessed vectors pay
+// no reconversion. It returns an error when the unit has not started a
+// vector yet.
+func (u *AddressUnit) SaveStart(id int) error {
+	if !u.started {
+		return fmt.Errorf("mersenne: no vector in flight to save as start register %d", id)
+	}
+	u.startRegs[id] = u.index
+	return nil
+}
+
+// Restart reloads the index register from start register id at zero adder
+// cost. The boolean reports whether the register was populated.
+func (u *AddressUnit) Restart(id int) (uint64, bool) {
+	idx, ok := u.startRegs[id]
+	if !ok {
+		return 0, false
+	}
+	u.index = idx
+	u.started = true
+	return idx, true
+}
+
+// DropStart removes start register id, modelling the cheaper design point
+// the paper discusses (recalculate on each vector start-up instead of
+// paying for registers).
+func (u *AddressUnit) DropStart(id int) { delete(u.startRegs, id) }
+
+// StartRegisters returns the number of start registers currently in use.
+func (u *AddressUnit) StartRegisters() int { return len(u.startRegs) }
+
+// Indices generates the cache indices of an n-element vector with the given
+// starting line address and stride, using the Start/Next datapath. It is a
+// convenience for tests and trace generation.
+func (u *AddressUnit) Indices(start uint64, stride int64, n int) []uint64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]uint64, n)
+	u.SetStride(stride)
+	idx, _ := u.Start(start)
+	out[0] = idx
+	for i := 1; i < n; i++ {
+		out[i] = u.Next()
+	}
+	return out
+}

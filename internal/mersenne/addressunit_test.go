@@ -1,0 +1,165 @@
+package mersenne
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddressUnitIndicesMatchMod(t *testing.T) {
+	m := MustNew(13)
+	u := NewAddressUnit(m)
+	const n = 200
+	for _, tc := range []struct {
+		start  uint64
+		stride int64
+	}{
+		{0, 1}, {12345, 1}, {7, 8192}, {1 << 20, 4096}, {99, 8191}, {500, -3}, {0, -8191},
+	} {
+		got := u.Indices(tc.start, tc.stride, n)
+		for i := 0; i < n; i++ {
+			addr := int64(tc.start) + int64(i)*tc.stride
+			want := m.ReduceSigned(addr)
+			if got[i] != want {
+				t.Fatalf("start=%d stride=%d elem %d: index %d, want %d", tc.start, tc.stride, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestAddressUnitIndicesProperty(t *testing.T) {
+	m := MustNew(13)
+	f := func(start uint32, stride int16) bool {
+		u := NewAddressUnit(m)
+		idx := u.Indices(uint64(start), int64(stride), 64)
+		for i, got := range idx {
+			if got != m.ReduceSigned(int64(start)+int64(i)*int64(stride)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddressUnitNextCostsOneAdd(t *testing.T) {
+	u := NewAddressUnit(MustNew(13))
+	u.SetStride(5)
+	u.Start(12345)
+	before := u.AdderOps()
+	u.Next()
+	if got := u.AdderOps() - before; got != 1 {
+		t.Errorf("Next cost %d adder steps, want exactly 1", got)
+	}
+}
+
+func TestAddressUnitStartCostBounded(t *testing.T) {
+	// 32-bit addresses with c=13: tag is 19 bits, so the start-up
+	// conversion is at most two c-bit additions (the paper's claim that "a
+	// couple of stages of c-bit additions" suffice).
+	u := NewAddressUnit(MustNew(13))
+	for _, a := range []uint64{0, 1, 8190, 8191, 1 << 20, 0xFFFFFFFF} {
+		_, steps := u.Start(a)
+		if steps > 2 {
+			t.Errorf("Start(%#x) took %d folding steps, want ≤ 2", a, steps)
+		}
+	}
+}
+
+func TestAddressUnitStrideConversion(t *testing.T) {
+	u := NewAddressUnit(MustNew(5)) // modulus 31
+	conv, _ := u.SetStride(33)
+	if conv != 2 {
+		t.Errorf("SetStride(33) = %d, want 2", conv)
+	}
+	conv, _ = u.SetStride(-1)
+	if conv != 30 {
+		t.Errorf("SetStride(-1) = %d, want 30", conv)
+	}
+	if u.Stride() != 30 {
+		t.Errorf("Stride() = %d, want 30", u.Stride())
+	}
+}
+
+func TestAddressUnitNextBeforeStartPanics(t *testing.T) {
+	u := NewAddressUnit(MustNew(5))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Next before Start did not panic")
+		}
+	}()
+	u.Next()
+}
+
+func TestAddressUnitStartRegisters(t *testing.T) {
+	u := NewAddressUnit(MustNew(13))
+	if err := u.SaveStart(0); err == nil {
+		t.Error("SaveStart before any vector should fail")
+	}
+	u.SetStride(3)
+	start, _ := u.Start(999)
+	if err := u.SaveStart(7); err != nil {
+		t.Fatalf("SaveStart: %v", err)
+	}
+	u.Next()
+	u.Next()
+	idx, ok := u.Restart(7)
+	if !ok || idx != start {
+		t.Errorf("Restart(7) = (%d,%v), want (%d,true)", idx, ok, start)
+	}
+	if u.Index() != start {
+		t.Errorf("Index() after Restart = %d, want %d", u.Index(), start)
+	}
+	if got := u.StartRegisters(); got != 1 {
+		t.Errorf("StartRegisters() = %d, want 1", got)
+	}
+	u.DropStart(7)
+	if _, ok := u.Restart(7); ok {
+		t.Error("Restart after DropStart should fail")
+	}
+	if got := u.StartRegisters(); got != 0 {
+		t.Errorf("StartRegisters() after drop = %d, want 0", got)
+	}
+}
+
+func TestAddressUnitRestartCostFree(t *testing.T) {
+	u := NewAddressUnit(MustNew(13))
+	u.SetStride(3)
+	u.Start(12345)
+	u.SaveStart(1)
+	u.ResetCost()
+	u.Restart(1)
+	if u.AdderOps() != 0 {
+		t.Errorf("Restart cost %d adder steps, want 0", u.AdderOps())
+	}
+}
+
+func TestAddressUnitIndicesEmpty(t *testing.T) {
+	u := NewAddressUnit(MustNew(13))
+	if got := u.Indices(0, 1, 0); got != nil {
+		t.Errorf("Indices(n=0) = %v, want nil", got)
+	}
+}
+
+func TestAddressUnitConflictFreePrimeStrides(t *testing.T) {
+	// The headline property: with a prime number of lines, a vector of
+	// length ≤ C with any stride not a multiple of C touches all-distinct
+	// cache lines.
+	m := MustNew(13)
+	u := NewAddressUnit(m)
+	C := int(m.Value())
+	for _, stride := range []int64{1, 2, 3, 7, 8, 64, 4096, 8190, 8192, 12345} {
+		if stride%int64(C) == 0 {
+			continue
+		}
+		idx := u.Indices(777, stride, C)
+		seen := make(map[uint64]bool, C)
+		for _, x := range idx {
+			if seen[x] {
+				t.Fatalf("stride %d: duplicate index %d within %d accesses", stride, x, C)
+			}
+			seen[x] = true
+		}
+	}
+}

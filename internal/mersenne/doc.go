@@ -1,0 +1,22 @@
+// Package mersenne implements arithmetic modulo Mersenne numbers 2^c − 1
+// and a functional model of the prime-mapped cache address-generation
+// datapath from Yang & Wu, "A Novel Cache Design for Vector Processing"
+// (ISCA 1992), Figure 1.
+//
+// A Mersenne number M_c = 2^c − 1 has the property 2^c ≡ 1 (mod M_c), so
+// reduction of an arbitrary address is a sequence of c-bit additions
+// ("folding"), and addition modulo M_c is a single c-bit addition with the
+// carry-out wired back into the carry-in (an end-around-carry adder). The
+// paper exploits exactly this to generate prime-mapped cache indices in
+// parallel with — and no slower than — ordinary address arithmetic.
+//
+// The package provides:
+//
+//   - Modulus: a validated modulus 2^c − 1 with Reduce, Add, Sub and MulMod
+//     in the canonical residue range [0, 2^c−2].
+//   - AddressUnit: the Figure-1 datapath (stride register, index register,
+//     start-address registers, multiplexors feeding one c-bit end-around
+//     adder) with gate-level cost accounting in adder steps.
+//   - Primality utilities, including a Lucas–Lehmer test, so callers can
+//     check that a chosen c yields a Mersenne prime.
+package mersenne

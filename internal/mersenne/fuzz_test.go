@@ -1,0 +1,53 @@
+package mersenne
+
+import "testing"
+
+// FuzzReduce cross-checks the folding reduction against the hardware
+// division for arbitrary inputs and every prime exponent.
+func FuzzReduce(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(8191))
+	f.Add(uint64(1) << 63)
+	f.Add(^uint64(0))
+	f.Add(uint64(0xDEADBEEFCAFEBABE))
+	f.Fuzz(func(t *testing.T, x uint64) {
+		for _, c := range PrimeExponents() {
+			m := MustNew(c)
+			if got, want := m.Reduce(x), x%m.Value(); got != want {
+				t.Fatalf("c=%d Reduce(%#x) = %d, want %d", c, x, got, want)
+			}
+			r, _ := m.ReduceSteps(x)
+			if r != x%m.Value() {
+				t.Fatalf("c=%d ReduceSteps(%#x) = %d, want %d", c, x, r, x%m.Value())
+			}
+		}
+	})
+}
+
+// FuzzAddressUnit drives the Figure-1 datapath with arbitrary start
+// addresses and strides and checks every generated index against the
+// architectural modulus.
+func FuzzAddressUnit(f *testing.F) {
+	f.Add(uint64(0), int64(1))
+	f.Add(uint64(12345), int64(-7))
+	f.Add(uint64(1)<<40, int64(8191))
+	f.Fuzz(func(t *testing.T, start uint64, stride int64) {
+		if stride > 1<<40 || stride < -(1<<40) || start > 1<<50 {
+			return // keep i·stride within int64
+		}
+		m := MustNew(13)
+		u := NewAddressUnit(m)
+		u.SetStride(stride)
+		idx, _ := u.Start(start)
+		if want := m.Reduce(start); idx != want {
+			t.Fatalf("Start(%d) = %d, want %d", start, idx, want)
+		}
+		addr := int64(start)
+		for i := 1; i < 64; i++ {
+			addr += stride
+			if got, want := u.Next(), m.ReduceSigned(addr); got != want {
+				t.Fatalf("elem %d: %d, want %d", i, got, want)
+			}
+		}
+	})
+}

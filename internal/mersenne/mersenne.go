@@ -1,0 +1,208 @@
+package mersenne
+
+import (
+	"fmt"
+)
+
+// MaxExponent is the largest supported exponent c. With c ≤ 31 every
+// residue fits in 31 bits and products of two residues fit in uint64, so
+// MulMod needs no multiprecision arithmetic.
+const MaxExponent = 31
+
+// primeExponents lists the exponents c ≤ MaxExponent for which 2^c − 1 is
+// prime (the Mersenne primes 3, 7, 31, 127, 8191, 131071, 524287,
+// 2147483647). The paper's example cache uses c = 13 (8191 lines).
+var primeExponents = [...]uint{2, 3, 5, 7, 13, 17, 19, 31}
+
+// PrimeExponents returns the exponents c ≤ MaxExponent for which 2^c − 1 is
+// a Mersenne prime, in increasing order.
+func PrimeExponents() []uint {
+	out := make([]uint, len(primeExponents))
+	copy(out, primeExponents[:])
+	return out
+}
+
+// IsPrimeExponent reports whether 2^c − 1 is a Mersenne prime for c ≤
+// MaxExponent.
+func IsPrimeExponent(c uint) bool {
+	for _, p := range primeExponents {
+		if p == c {
+			return true
+		}
+	}
+	return false
+}
+
+// LargestPrimeExponentAtMost returns the largest prime exponent p ≤ c, and
+// false if there is none (c < 2).
+func LargestPrimeExponentAtMost(c uint) (uint, bool) {
+	best, ok := uint(0), false
+	for _, p := range primeExponents {
+		if p <= c && p >= best {
+			best, ok = p, true
+		}
+	}
+	return best, ok
+}
+
+// Modulus is a Mersenne modulus 2^c − 1. The zero value is not valid; use
+// New.
+type Modulus struct {
+	c     uint
+	value uint64 // 2^c − 1, doubles as the c-bit mask
+}
+
+// New returns the Mersenne modulus 2^c − 1. It requires 2 ≤ c ≤ MaxExponent
+// but does not require 2^c − 1 to be prime: the composite Mersenne moduli
+// are useful as experimental baselines. Use NewPrime when primality is
+// required.
+func New(c uint) (Modulus, error) {
+	if c < 2 || c > MaxExponent {
+		return Modulus{}, fmt.Errorf("mersenne: exponent %d out of range [2,%d]", c, MaxExponent)
+	}
+	return Modulus{c: c, value: 1<<c - 1}, nil
+}
+
+// NewPrime is New restricted to exponents for which 2^c − 1 is prime.
+func NewPrime(c uint) (Modulus, error) {
+	if !IsPrimeExponent(c) {
+		return Modulus{}, fmt.Errorf("mersenne: 2^%d-1 is not a Mersenne prime", c)
+	}
+	return New(c)
+}
+
+// MustNew is New but panics on error; intended for constants in tests and
+// examples.
+func MustNew(c uint) Modulus {
+	m, err := New(c)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// C returns the exponent c.
+func (m Modulus) C() uint { return m.c }
+
+// Value returns the modulus 2^c − 1.
+func (m Modulus) Value() uint64 { return m.value }
+
+// IsPrime reports whether the modulus is a Mersenne prime.
+func (m Modulus) IsPrime() bool { return IsPrimeExponent(m.c) }
+
+// String implements fmt.Stringer.
+func (m Modulus) String() string { return fmt.Sprintf("2^%d-1 (%d)", m.c, m.value) }
+
+// Reduce returns x mod (2^c − 1) in [0, 2^c−2] by folding successive c-bit
+// fields of x, the operation the paper performs with a short sequence of
+// c-bit additions when a vector's starting address enters the cache address
+// generator.
+func (m Modulus) Reduce(x uint64) uint64 {
+	for x > m.value {
+		x = (x & m.value) + (x >> m.c)
+	}
+	if x == m.value { // 2^c − 1 ≡ 0
+		return 0
+	}
+	return x
+}
+
+// ReduceSteps returns Reduce(x) along with the number of c-bit end-around
+// adder stages the reduction takes in the Figure-1 hardware: the address is
+// split into c-bit digits (d₀ the index field, d₁, d₂, … the tag subfields)
+// and the digits are summed one EAC addition at a time, each stage folding
+// its own carry-out. The paper's critical-path argument is that this count
+// is ceil(addressBits/c) − 1, i.e. at most "a couple" for realistic address
+// and cache sizes.
+func (m Modulus) ReduceSteps(x uint64) (r uint64, steps int) {
+	r = x & m.value
+	x >>= m.c
+	for x != 0 {
+		r = m.Add(r, x&m.value)
+		x >>= m.c
+		steps++
+	}
+	if r == m.value {
+		r = 0
+	}
+	return r, steps
+}
+
+// ReduceSigned returns x mod (2^c − 1) for a possibly negative x, in
+// [0, 2^c−2]. Vector strides may be negative (e.g. reverse sweeps).
+func (m Modulus) ReduceSigned(x int64) uint64 {
+	if x >= 0 {
+		return m.Reduce(uint64(x))
+	}
+	r := m.Reduce(uint64(-x))
+	if r == 0 {
+		return 0
+	}
+	return m.value - r
+}
+
+// Add returns (a + b) mod (2^c − 1) for residues a, b in [0, 2^c−1]. It
+// models the end-around-carry adder: one c-bit addition whose carry-out is
+// folded into the carry-in.
+func (m Modulus) Add(a, b uint64) uint64 {
+	if a > m.value || b > m.value {
+		panic("mersenne: Add operand out of residue range")
+	}
+	s := a + b
+	s = (s & m.value) + (s >> m.c)
+	if s == m.value {
+		return 0
+	}
+	return s
+}
+
+// Sub returns (a − b) mod (2^c − 1) for residues a, b in [0, 2^c−1].
+func (m Modulus) Sub(a, b uint64) uint64 {
+	if a > m.value || b > m.value {
+		panic("mersenne: Sub operand out of residue range")
+	}
+	if b == m.value {
+		b = 0
+	}
+	return m.Add(a, m.value-b)
+}
+
+// MulMod returns (a·b) mod (2^c − 1). Operands are first reduced; the
+// product of two residues fits in uint64 because c ≤ 31.
+func (m Modulus) MulMod(a, b uint64) uint64 {
+	return m.Reduce(m.Reduce(a) * m.Reduce(b))
+}
+
+// Congruent reports whether a ≡ b (mod 2^c − 1).
+func (m Modulus) Congruent(a, b uint64) bool {
+	return m.Reduce(a) == m.Reduce(b)
+}
+
+// Inverse returns the multiplicative inverse of a modulo 2^c − 1 and true
+// when it exists (a not ≡ 0 and gcd(a, modulus) = 1; for prime moduli
+// every non-zero residue is invertible). The sub-block analysis uses it
+// to locate colliding columns: columns j1, j2 of spacing s collide when
+// (j1 − j2) ≡ ±s⁻¹·r for small r.
+func (m Modulus) Inverse(a uint64) (uint64, bool) {
+	a = m.Reduce(a)
+	if a == 0 {
+		return 0, false
+	}
+	// Extended Euclid on (a, v).
+	v := int64(m.value)
+	r0, r1 := int64(a), v
+	s0, s1 := int64(1), int64(0)
+	for r1 != 0 {
+		q := r0 / r1
+		r0, r1 = r1, r0-q*r1
+		s0, s1 = s1, s0-q*s1
+	}
+	if r0 != 1 {
+		return 0, false
+	}
+	s0 %= v
+	if s0 < 0 {
+		s0 += v
+	}
+	return uint64(s0), true
+}

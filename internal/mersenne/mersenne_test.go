@@ -1,0 +1,310 @@
+package mersenne
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidRange(t *testing.T) {
+	for c := uint(2); c <= MaxExponent; c++ {
+		m, err := New(c)
+		if err != nil {
+			t.Fatalf("New(%d): %v", c, err)
+		}
+		if got, want := m.Value(), uint64(1)<<c-1; got != want {
+			t.Errorf("New(%d).Value() = %d, want %d", c, got, want)
+		}
+		if m.C() != c {
+			t.Errorf("New(%d).C() = %d", c, m.C())
+		}
+	}
+}
+
+func TestNewRejectsOutOfRange(t *testing.T) {
+	for _, c := range []uint{0, 1, MaxExponent + 1, 64} {
+		if _, err := New(c); err == nil {
+			t.Errorf("New(%d) succeeded, want error", c)
+		}
+	}
+}
+
+func TestNewPrime(t *testing.T) {
+	for _, c := range PrimeExponents() {
+		if _, err := NewPrime(c); err != nil {
+			t.Errorf("NewPrime(%d): %v", c, err)
+		}
+	}
+	for _, c := range []uint{4, 6, 8, 9, 11, 12, 15, 23, 29} {
+		if _, err := NewPrime(c); err == nil {
+			t.Errorf("NewPrime(%d) succeeded for composite Mersenne", c)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(0) did not panic")
+		}
+	}()
+	MustNew(0)
+}
+
+func TestIsPrimeExponent(t *testing.T) {
+	want := map[uint]bool{2: true, 3: true, 5: true, 7: true, 13: true, 17: true, 19: true, 31: true}
+	for c := uint(0); c <= MaxExponent; c++ {
+		if got := IsPrimeExponent(c); got != want[c] {
+			t.Errorf("IsPrimeExponent(%d) = %v, want %v", c, got, want[c])
+		}
+	}
+}
+
+func TestLargestPrimeExponentAtMost(t *testing.T) {
+	cases := []struct {
+		in   uint
+		want uint
+		ok   bool
+	}{
+		{1, 0, false},
+		{2, 2, true},
+		{3, 3, true},
+		{4, 3, true},
+		{12, 7, true},
+		{13, 13, true},
+		{14, 13, true},
+		{16, 13, true},
+		{18, 17, true},
+		{31, 31, true},
+		{100, 31, true},
+	}
+	for _, tc := range cases {
+		got, ok := LargestPrimeExponentAtMost(tc.in)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("LargestPrimeExponentAtMost(%d) = (%d,%v), want (%d,%v)", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestReduceMatchesNaiveMod(t *testing.T) {
+	for _, c := range []uint{2, 3, 5, 7, 13} {
+		m := MustNew(c)
+		v := m.Value()
+		for x := uint64(0); x < 4*v+5; x++ {
+			if got, want := m.Reduce(x), x%v; got != want {
+				t.Fatalf("c=%d Reduce(%d) = %d, want %d", c, x, got, want)
+			}
+		}
+	}
+}
+
+func TestReducePropertyQuick(t *testing.T) {
+	m := MustNew(13)
+	f := func(x uint64) bool { return m.Reduce(x) == x%m.Value() }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceSteps(t *testing.T) {
+	m := MustNew(13)
+	// A value already in range folds zero times.
+	if _, steps := m.ReduceSteps(42); steps != 0 {
+		t.Errorf("ReduceSteps(42) took %d steps, want 0", steps)
+	}
+	// A 32-bit address (tag ≤ 19 bits) folds in at most 2 steps — the
+	// paper's Alliant FX/8 example.
+	for _, x := range []uint64{1 << 31, 0xFFFFFFFF, 0xDEADBEEF} {
+		r, steps := m.ReduceSteps(x)
+		if r != x%m.Value() {
+			t.Errorf("ReduceSteps(%#x) = %d, want %d", x, r, x%m.Value())
+		}
+		if steps > 2 {
+			t.Errorf("ReduceSteps(%#x) took %d steps, want ≤ 2", x, steps)
+		}
+	}
+}
+
+func TestReduceSigned(t *testing.T) {
+	m := MustNew(5) // modulus 31
+	cases := []struct {
+		in   int64
+		want uint64
+	}{
+		{0, 0}, {1, 1}, {31, 0}, {-1, 30}, {-31, 0}, {-32, 30}, {-62, 0}, {62, 0}, {-5, 26},
+	}
+	for _, tc := range cases {
+		if got := m.ReduceSigned(tc.in); got != tc.want {
+			t.Errorf("ReduceSigned(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestReduceSignedProperty(t *testing.T) {
+	m := MustNew(13)
+	v := int64(m.Value())
+	f := func(x int64) bool {
+		want := ((x % v) + v) % v
+		return m.ReduceSigned(x) == uint64(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddMatchesMod(t *testing.T) {
+	m := MustNew(5)
+	v := m.Value()
+	for a := uint64(0); a <= v; a++ {
+		for b := uint64(0); b <= v; b++ {
+			if got, want := m.Add(a, b), (a+b)%v; got != want {
+				t.Fatalf("Add(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestAddPanicsOutOfRange(t *testing.T) {
+	m := MustNew(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add out-of-range did not panic")
+		}
+	}()
+	m.Add(m.Value()+1, 0)
+}
+
+func TestSubMatchesMod(t *testing.T) {
+	m := MustNew(5)
+	v := m.Value()
+	for a := uint64(0); a <= v; a++ {
+		for b := uint64(0); b <= v; b++ {
+			want := (a%v + v - b%v) % v
+			if got := m.Sub(a, b); got != want {
+				t.Fatalf("Sub(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMulMod(t *testing.T) {
+	m := MustNew(13)
+	v := m.Value()
+	cases := [][2]uint64{{0, 0}, {1, v}, {v, v}, {v - 1, v - 1}, {12345, 67890}, {1 << 40, 3}}
+	for _, tc := range cases {
+		want := (tc[0] % v) * (tc[1] % v) % v
+		if got := m.MulMod(tc[0], tc[1]); got != want {
+			t.Errorf("MulMod(%d,%d) = %d, want %d", tc[0], tc[1], got, want)
+		}
+	}
+}
+
+func TestMulModProperty(t *testing.T) {
+	m := MustNew(19)
+	v := m.Value()
+	f := func(a, b uint64) bool {
+		return m.MulMod(a, b) == (a%v)*(b%v)%v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCongruent(t *testing.T) {
+	m := MustNew(13)
+	if !m.Congruent(0, m.Value()) {
+		t.Error("0 and 2^c-1 should be congruent")
+	}
+	if !m.Congruent(5, 5+7*m.Value()) {
+		t.Error("x and x+k·v should be congruent")
+	}
+	if m.Congruent(1, 2) {
+		t.Error("1 and 2 should not be congruent")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if got, want := MustNew(13).String(), "2^13-1 (8191)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestLucasLehmer(t *testing.T) {
+	for p := uint(2); p <= 31; p++ {
+		want := IsPrimeExponent(p)
+		if got := LucasLehmer(p); got != want {
+			t.Errorf("LucasLehmer(%d) = %v, want %v", p, got, want)
+		}
+	}
+	if LucasLehmer(0) || LucasLehmer(1) {
+		t.Error("LucasLehmer should reject p < 2")
+	}
+	// A few beyond the table: 61 is a Mersenne-prime exponent, 67 is not
+	// (famously, M67 is composite despite 67 prime).
+	if !LucasLehmer(61) {
+		t.Error("LucasLehmer(61) = false, want true")
+	}
+	if LucasLehmer(67) {
+		t.Error("LucasLehmer(67) = true, want false")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	m := MustNew(13)
+	v := m.Value()
+	for _, a := range []uint64{1, 2, 45, 4096, v - 1, v + 5} {
+		inv, ok := m.Inverse(a)
+		if !ok {
+			t.Fatalf("Inverse(%d) not found", a)
+		}
+		if got := m.MulMod(a, inv); got != 1 {
+			t.Errorf("a·a⁻¹ = %d, want 1 (a=%d inv=%d)", got, a, inv)
+		}
+	}
+	if _, ok := m.Inverse(0); ok {
+		t.Error("Inverse(0) should not exist")
+	}
+	if _, ok := m.Inverse(v); ok {
+		t.Error("Inverse(v) ≡ Inverse(0) should not exist")
+	}
+}
+
+func TestInverseProperty(t *testing.T) {
+	m := MustNew(17)
+	f := func(a uint64) bool {
+		inv, ok := m.Inverse(a)
+		if m.Reduce(a) == 0 {
+			return !ok
+		}
+		return ok && m.MulMod(a, inv) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInverseCompositeModulus(t *testing.T) {
+	// 2^4−1 = 15: residues sharing a factor with 15 have no inverse.
+	m := MustNew(4)
+	if _, ok := m.Inverse(3); ok {
+		t.Error("3 invertible mod 15")
+	}
+	if _, ok := m.Inverse(5); ok {
+		t.Error("5 invertible mod 15")
+	}
+	inv, ok := m.Inverse(2)
+	if !ok || m.MulMod(2, inv) != 1 {
+		t.Errorf("Inverse(2) mod 15 = (%d,%v)", inv, ok)
+	}
+}
+
+// TestInverseLocatesSubblockCollision reconstructs the §4 counterexample
+// arithmetically: with C = 127 and spacing 45, the colliding column is
+// 45⁻¹ ≡ 48 — exactly the Δcol that made the paper's literal conditions
+// fail.
+func TestInverseLocatesSubblockCollision(t *testing.T) {
+	m := MustNew(7)
+	inv, ok := m.Inverse(45)
+	if !ok || inv != 48 {
+		t.Errorf("45⁻¹ mod 127 = (%d,%v), want 48", inv, ok)
+	}
+}

@@ -1,0 +1,100 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// PlotSeries is one curve for Plot.
+type PlotSeries struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot renders series as a fixed-size ASCII chart (linear axes), so
+// cmd/figures can show the paper's figures as actual curves in a
+// terminal. Each series is drawn with its own marker; a legend follows.
+func Plot(w io.Writer, title string, series []PlotSeries, width, height int) error {
+	if width < 16 || height < 4 {
+		return fmt.Errorf("report: plot area %dx%d too small", width, height)
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("report: no series to plot")
+	}
+	markers := []byte{'*', '+', 'o', 'x', '#', '@'}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) || len(s.X) == 0 {
+			return fmt.Errorf("report: series %q malformed", s.Name)
+		}
+		for i := range s.X {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mk := markers[si%len(markers)]
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			row := height - 1 - int(math.Round((s.Y[i]-minY)/(maxY-minY)*float64(height-1)))
+			if grid[row][col] == ' ' || grid[row][col] == mk {
+				grid[row][col] = mk
+			} else {
+				grid[row][col] = '&' // overlapping series
+			}
+		}
+	}
+
+	if title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+			return err
+		}
+	}
+	yLabelW := 10
+	for r, line := range grid {
+		var label string
+		switch r {
+		case 0:
+			label = trimNum(maxY)
+		case height - 1:
+			label = trimNum(minY)
+		}
+		if _, err := fmt.Fprintf(w, "%*s |%s\n", yLabelW, label, string(line)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%*s +%s\n", yLabelW, "", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%*s  %-*s%s\n", yLabelW, "", width-len(trimNum(maxX)), trimNum(minX), trimNum(maxX)); err != nil {
+		return err
+	}
+	for si, s := range series {
+		if _, err := fmt.Fprintf(w, "%*s  %c %s\n", yLabelW, "", markers[si%len(markers)], s.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func trimNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e12 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3g", v)
+}

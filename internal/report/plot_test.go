@@ -1,0 +1,64 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotBasics(t *testing.T) {
+	var sb strings.Builder
+	err := Plot(&sb, "demo", []PlotSeries{
+		{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+		{Name: "down", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}},
+	}, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"demo", "* up", "+ down", "|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 10 rows + axis + x labels + 2 legend lines
+	if len(lines) != 15 {
+		t.Errorf("got %d lines, want 15:\n%s", len(lines), out)
+	}
+	// The rising series puts a marker in the top-right region and the
+	// falling one in the top-left.
+	top := lines[1]
+	if !strings.Contains(top, "*") && !strings.Contains(top, "+") && !strings.Contains(top, "&") {
+		t.Errorf("top row empty: %q", top)
+	}
+}
+
+func TestPlotValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := Plot(&sb, "", nil, 40, 10); err == nil {
+		t.Error("empty series accepted")
+	}
+	if err := Plot(&sb, "", []PlotSeries{{Name: "x", X: []float64{1}, Y: []float64{1, 2}}}, 40, 10); err == nil {
+		t.Error("ragged series accepted")
+	}
+	if err := Plot(&sb, "", []PlotSeries{{Name: "x", X: []float64{1}, Y: []float64{1}}}, 4, 2); err == nil {
+		t.Error("tiny plot area accepted")
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	var sb strings.Builder
+	err := Plot(&sb, "flat", []PlotSeries{{Name: "c", X: []float64{1, 2}, Y: []float64{5, 5}}}, 20, 5)
+	if err != nil {
+		t.Fatalf("constant series: %v", err)
+	}
+	if !strings.Contains(sb.String(), "*") {
+		t.Error("no markers drawn")
+	}
+}
+
+func TestTrimNum(t *testing.T) {
+	if trimNum(5) != "5" || trimNum(2.5) != "2.5" {
+		t.Errorf("trimNum: %q %q", trimNum(5), trimNum(2.5))
+	}
+}

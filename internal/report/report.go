@@ -1,0 +1,182 @@
+// Package report renders experiment results as fixed-width text tables
+// and CSV, the output formats of cmd/figures and the benchmark harness.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a simple column-oriented result table.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// New returns an empty table with the given title and column headers.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; cells are formatted with %v, floats with 4
+// significant decimals.
+func (t *Table) AddRow(cells ...interface{}) error {
+	if len(cells) != len(t.Columns) {
+		return fmt.Errorf("report: row has %d cells, table has %d columns", len(cells), len(t.Columns))
+	}
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = formatCell(c)
+	}
+	t.rows = append(t.rows, row)
+	return nil
+}
+
+// MustAddRow is AddRow but panics on arity mismatch (a programming error).
+func (t *Table) MustAddRow(cells ...interface{}) {
+	if err := t.AddRow(cells...); err != nil {
+		panic(err)
+	}
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Cell returns the formatted cell at (row, col).
+func (t *Table) Cell(row, col int) string { return t.rows[row][col] }
+
+func formatCell(c interface{}) string {
+	switch v := c.(type) {
+	case float64:
+		return formatFloat(v)
+	case float32:
+		return formatFloat(float64(v))
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) && v > -1e15 && v < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 5, 64)
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+		return err
+	}
+	if err := line(t.Columns); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the table as CSV (without the title).
+func (t *Table) WriteCSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cols := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = esc(c)
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = esc(c)
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the text form.
+func (t *Table) String() string {
+	var sb strings.Builder
+	_ = t.WriteText(&sb)
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// WriteMarkdown renders the table as a GitHub-flavoured Markdown table
+// (used to regenerate the result sections of EXPERIMENTS.md).
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", `\|`) }
+	cols := make([]string, len(t.Columns))
+	seps := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = esc(c)
+		seps[i] = "---"
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "**%s**\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n| %s |\n", strings.Join(cols, " | "), strings.Join(seps, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = esc(c)
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableBasics(t *testing.T) {
+	tb := New("demo", "x", "y")
+	if err := tb.AddRow(1, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	tb.MustAddRow("a", "b")
+	if tb.Rows() != 2 {
+		t.Errorf("Rows = %d", tb.Rows())
+	}
+	if tb.Cell(0, 1) != "2.5" || tb.Cell(1, 0) != "a" {
+		t.Errorf("cells: %q %q", tb.Cell(0, 1), tb.Cell(1, 0))
+	}
+}
+
+func TestAddRowArity(t *testing.T) {
+	tb := New("demo", "x", "y")
+	if err := tb.AddRow(1); err == nil {
+		t.Error("short row accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddRow did not panic")
+		}
+	}()
+	tb.MustAddRow(1, 2, 3)
+}
+
+func TestWriteText(t *testing.T) {
+	tb := New("title", "name", "value")
+	tb.MustAddRow("alpha", 1.0)
+	tb.MustAddRow("b", 123456.0)
+	out := tb.String()
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "123456") {
+		t.Errorf("missing cells in:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and row share the value column offset.
+	if strings.Index(lines[1], "value") < 0 {
+		t.Error("header misrendered")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := New("", "a", "b,comma")
+	tb.MustAddRow(`quote"inside`, 2)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "a,\"b,comma\"\n\"quote\"\"inside\",2\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	if got := formatCell(3.14159265); got != "3.1416" {
+		t.Errorf("formatCell = %q", got)
+	}
+	if got := formatCell(float32(2)); got != "2" {
+		t.Errorf("formatCell(float32) = %q", got)
+	}
+	if got := formatCell(7); got != "7" {
+		t.Errorf("formatCell(int) = %q", got)
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	tb := New("md title", "a", "b|pipe")
+	tb.MustAddRow("x|y", 2)
+	var sb strings.Builder
+	if err := tb.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"**md title**", `| a | b\|pipe |`, "| --- | --- |", `| x\|y | 2 |`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// svgPalette holds the series stroke colours (colour-blind-safe).
+var svgPalette = []string{"#4477AA", "#EE6677", "#228833", "#CCBB44", "#66CCEE", "#AA3377"}
+
+// WriteSVG renders the series as a standalone SVG line chart — the
+// repository's publishable form of the paper's figures. Axes are linear;
+// each series gets a coloured polyline, point markers, and a legend
+// entry.
+func WriteSVG(w io.Writer, title, xLabel, yLabel string, series []PlotSeries, width, height int) error {
+	if width < 200 || height < 150 {
+		return fmt.Errorf("report: SVG area %dx%d too small", width, height)
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("report: no series to plot")
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) || len(s.X) == 0 {
+			return fmt.Errorf("report: series %q malformed", s.Name)
+		}
+		for i := range s.X {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	minY = math.Min(minY, 0) // anchor cycles axes at zero
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	const (
+		padL, padR = 64, 16
+		padT, padB = 36, 44
+	)
+	plotW := float64(width - padL - padR)
+	plotH := float64(height - padT - padB)
+	px := func(x float64) float64 { return float64(padL) + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return float64(padT) + (1-(y-minY)/(maxY-minY))*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14" font-weight="bold">%s</text>`+"\n", padL, xmlEscape(title))
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", padL, padT, padL, height-padB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", padL, height-padB, width-padR, height-padB)
+	// Ticks: min/max on both axes.
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">%s</text>`+"\n", padL-6, height-padB+4, trimNum(minY))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">%s</text>`+"\n", padL-6, padT+4, trimNum(maxY))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n", padL, height-padB+18, trimNum(minX))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n", width-padR, height-padB+18, trimNum(maxX))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n", padL+int(plotW/2), height-8, xmlEscape(xLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%d" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+		padT+int(plotH/2), padT+int(plotH/2), xmlEscape(yLabel))
+
+	for si, s := range series {
+		color := svgPalette[si%len(svgPalette)]
+		pts := make([]string, len(s.X))
+		for i := range s.X {
+			pts[i] = fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i]))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", px(s.X[i]), py(s.Y[i]), color)
+		}
+		// Legend.
+		ly := padT + 8 + si*16
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", width-padR-150, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", width-padR-135, ly+9, xmlEscape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

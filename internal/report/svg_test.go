@@ -1,0 +1,57 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func demoSeries() []PlotSeries {
+	return []PlotSeries{
+		{Name: "a", X: []float64{0, 1, 2}, Y: []float64{1, 4, 9}},
+		{Name: "b<&>", X: []float64{0, 1, 2}, Y: []float64{9, 4, 1}},
+	}
+}
+
+func TestWriteSVG(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteSVG(&sb, "fig", "x", "cycles", demoSeries(), 640, 400); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "fig", "b&lt;&amp;&gt;", "cycles"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<circle") != 6 {
+		t.Errorf("markers = %d, want 6", strings.Count(out, "<circle"))
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Errorf("polylines = %d, want 2", strings.Count(out, "<polyline"))
+	}
+}
+
+func TestWriteSVGValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteSVG(&sb, "", "", "", nil, 640, 400); err == nil {
+		t.Error("empty series accepted")
+	}
+	if err := WriteSVG(&sb, "", "", "", demoSeries(), 50, 50); err == nil {
+		t.Error("tiny area accepted")
+	}
+	bad := []PlotSeries{{Name: "x", X: []float64{1}, Y: []float64{1, 2}}}
+	if err := WriteSVG(&sb, "", "", "", bad, 640, 400); err == nil {
+		t.Error("ragged series accepted")
+	}
+}
+
+func TestWriteSVGConstant(t *testing.T) {
+	var sb strings.Builder
+	flat := []PlotSeries{{Name: "c", X: []float64{5, 5}, Y: []float64{3, 3}}}
+	if err := WriteSVG(&sb, "flat", "x", "y", flat, 640, 400); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "NaN") {
+		t.Error("degenerate ranges produced NaN coordinates")
+	}
+}

@@ -1,0 +1,197 @@
+// Package stats provides the small statistical helpers the experiment
+// harness uses: moments, extrema, and crossover detection on sampled
+// curves (the paper's figures are compared by where curves cross, not by
+// absolute values).
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean; 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation; 0 for fewer than two
+// samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// MinMax returns the extrema; it panics on an empty slice.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// GeoMean returns the geometric mean of positive samples; it returns an
+// error if any sample is non-positive.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: GeoMean of empty slice")
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: GeoMean needs positive samples, got %v", x)
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs))), nil
+}
+
+// Crossover finds the first x at which curve a rises above curve b, by
+// linear interpolation between samples: both curves are sampled at xs. It
+// returns NaN when a stays below b (or the inputs are malformed).
+func Crossover(xs, a, b []float64) float64 {
+	if len(xs) != len(a) || len(xs) != len(b) || len(xs) == 0 {
+		return math.NaN()
+	}
+	for i := range xs {
+		d := a[i] - b[i]
+		if d > 0 {
+			if i == 0 {
+				return xs[0]
+			}
+			dPrev := a[i-1] - b[i-1]
+			t := -dPrev / (d - dPrev)
+			return xs[i-1] + t*(xs[i]-xs[i-1])
+		}
+	}
+	return math.NaN()
+}
+
+// Spread returns max/min of positive samples, the "how flat is this
+// curve" measure used for the prime-mapped shape checks.
+func Spread(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: Spread of empty slice")
+	}
+	min, max := MinMax(xs)
+	if min <= 0 {
+		return 0, fmt.Errorf("stats: Spread needs positive samples, got min %v", min)
+	}
+	return max / min, nil
+}
+
+// Histogram is a map-backed frequency count with ordered rendering.
+type Histogram struct {
+	counts map[int64]int
+	total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int64]int)}
+}
+
+// Observe adds one occurrence of v.
+func (h *Histogram) Observe(v int64) {
+	h.counts[v]++
+	h.total++
+}
+
+// ObserveN adds n occurrences of v.
+func (h *Histogram) ObserveN(v int64, n int) {
+	if n <= 0 {
+		return
+	}
+	h.counts[v] += n
+	h.total += n
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Count returns the occurrences of v.
+func (h *Histogram) Count(v int64) int { return h.counts[v] }
+
+// TopK returns the k most frequent values (ties broken by smaller value)
+// with their counts.
+func (h *Histogram) TopK(k int) []struct {
+	Value int64
+	Count int
+} {
+	type pair struct {
+		Value int64
+		Count int
+	}
+	ps := make([]pair, 0, len(h.counts))
+	for v, c := range h.counts {
+		ps = append(ps, pair{v, c})
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Count != ps[j].Count {
+			return ps[i].Count > ps[j].Count
+		}
+		return ps[i].Value < ps[j].Value
+	})
+	if k > len(ps) {
+		k = len(ps)
+	}
+	out := make([]struct {
+		Value int64
+		Count int
+	}, k)
+	for i := 0; i < k; i++ {
+		out[i] = struct {
+			Value int64
+			Count int
+		}{ps[i].Value, ps[i].Count}
+	}
+	return out
+}
+
+// Render writes an ASCII bar chart of the top-k values.
+func (h *Histogram) Render(w io.Writer, k, barWidth int) error {
+	top := h.TopK(k)
+	if len(top) == 0 {
+		_, err := fmt.Fprintln(w, "(empty histogram)")
+		return err
+	}
+	max := top[0].Count
+	for _, e := range top {
+		bar := e.Count * barWidth / max
+		if bar == 0 && e.Count > 0 {
+			bar = 1
+		}
+		pct := 100 * float64(e.Count) / float64(h.total)
+		if _, err := fmt.Fprintf(w, "%10d | %-*s %d (%.1f%%)\n",
+			e.Value, barWidth, strings.Repeat("#", bar), e.Count, pct); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Error("single sample stddev != 0")
+	}
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %v, %v", min, max)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MinMax(empty) did not panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 4})
+	if err != nil || g != 2 {
+		t.Errorf("GeoMean = %v, %v", g, err)
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Error("non-positive sample accepted")
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	a := []float64{0, 1, 3, 5}
+	b := []float64{2, 2, 2, 2}
+	// a−b: −2, −1, 1 → crossover between x=1 and x=2 at t=0.5.
+	if got := Crossover(xs, a, b); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("Crossover = %v, want 1.5", got)
+	}
+	if got := Crossover(xs, b, a); got != 0 {
+		t.Errorf("immediate crossover = %v, want 0", got)
+	}
+	if !math.IsNaN(Crossover(xs, []float64{0, 0, 0, 0}, b)) {
+		t.Error("no-crossover should be NaN")
+	}
+	if !math.IsNaN(Crossover(xs[:2], a, b)) {
+		t.Error("length mismatch should be NaN")
+	}
+}
+
+func TestSpread(t *testing.T) {
+	s, err := Spread([]float64{2, 4, 8})
+	if err != nil || s != 4 {
+		t.Errorf("Spread = %v, %v", s, err)
+	}
+	if _, err := Spread([]float64{0, 1}); err == nil {
+		t.Error("non-positive accepted")
+	}
+	if _, err := Spread(nil); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestMeanBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		// Clamp to a range where the running sum cannot overflow.
+		xs := make([]float64, len(raw))
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			xs[i] = math.Mod(x, 1e9)
+		}
+		min, max := MinMax(xs)
+		m := Mean(xs)
+		return m >= min-1e-6 && m <= max+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	h.ObserveN(7, 3)
+	h.ObserveN(9, 0) // no-op
+	h.Observe(1)
+	if h.Total() != 14 || h.Count(5) != 10 || h.Count(7) != 3 || h.Count(9) != 0 {
+		t.Errorf("totals: %d %d %d %d", h.Total(), h.Count(5), h.Count(7), h.Count(9))
+	}
+	top := h.TopK(2)
+	if len(top) != 2 || top[0].Value != 5 || top[1].Value != 7 {
+		t.Errorf("TopK = %+v", top)
+	}
+	if got := h.TopK(99); len(got) != 3 {
+		t.Errorf("TopK over-length = %d", len(got))
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveN(512, 100)
+	h.ObserveN(1, 25)
+	var sb strings.Builder
+	if err := h.Render(&sb, 5, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "512") || !strings.Contains(out, "####") || !strings.Contains(out, "(80.0%)") {
+		t.Errorf("render:\n%s", out)
+	}
+	empty := NewHistogram()
+	sb.Reset()
+	if err := empty.Render(&sb, 5, 20); err != nil || !strings.Contains(sb.String(), "empty") {
+		t.Errorf("empty render: %q, %v", sb.String(), err)
+	}
+}

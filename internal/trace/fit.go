@@ -1,0 +1,272 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"primecache/internal/vcm"
+)
+
+// StreamProfile summarises one vector stream's behaviour in a trace.
+type StreamProfile struct {
+	Stream int
+	// Accesses is the reference count.
+	Accesses int
+	// Distinct is the number of distinct word addresses — the stream's
+	// footprint, the VCM's vector length.
+	Distinct int
+	// Reuse is Accesses/Distinct, the VCM reuse factor R.
+	Reuse float64
+	// Runs is the number of maximal constant-stride runs.
+	Runs int
+	// MeanRunLen is the average run length (the strip/vector length).
+	MeanRunLen float64
+	// PStride1 is the fraction of stride steps equal to ±1.
+	PStride1 float64
+	// StrideHist maps |stride| → step count.
+	StrideHist map[int64]int
+}
+
+// Profile analyses a trace per stream: run detection, stride histogram,
+// footprint and reuse — the measurable counterparts of the paper's VCM
+// parameters. Streams are returned in ascending id order.
+func Profile(t Trace) []StreamProfile {
+	byStream := map[int][]uint64{}
+	for _, r := range t {
+		w := r.Addr / WordBytes
+		byStream[r.Stream] = append(byStream[r.Stream], w)
+	}
+	ids := make([]int, 0, len(byStream))
+	for id := range byStream {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]StreamProfile, 0, len(ids))
+	for _, id := range ids {
+		words := byStream[id]
+		p := StreamProfile{Stream: id, Accesses: len(words), StrideHist: map[int64]int{}}
+		distinct := map[uint64]bool{}
+		for _, w := range words {
+			distinct[w] = true
+		}
+		p.Distinct = len(distinct)
+		if p.Distinct > 0 {
+			p.Reuse = float64(p.Accesses) / float64(p.Distinct)
+		}
+		// Run detection: a run continues while the stride repeats.
+		unitSteps, steps := 0, 0
+		runLenSum, runLen := 0, 1
+		var curStride int64
+		haveStride := false
+		for i := 1; i < len(words); i++ {
+			s := int64(words[i]) - int64(words[i-1])
+			steps++
+			if s == 1 || s == -1 {
+				unitSteps++
+			}
+			abs := s
+			if abs < 0 {
+				abs = -abs
+			}
+			p.StrideHist[abs]++
+			if haveStride && s == curStride {
+				runLen++
+				continue
+			}
+			if haveStride {
+				p.Runs++
+				runLenSum += runLen
+			}
+			curStride, haveStride, runLen = s, true, 2
+		}
+		if haveStride {
+			p.Runs++
+			runLenSum += runLen
+		} else if len(words) > 0 {
+			p.Runs = 1
+			runLenSum = len(words)
+		}
+		if p.Runs > 0 {
+			p.MeanRunLen = float64(runLenSum) / float64(p.Runs)
+		}
+		if steps > 0 {
+			p.PStride1 = float64(unitSteps) / float64(steps)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// FitVCM estimates the paper's seven-tuple from a trace: B and R from the
+// largest stream's footprint and reuse, P_ds from the footprint ratio of
+// the second-largest stream, and the P_stride1 values from each stream's
+// step statistics. It is the calibration bridge from measured programs to
+// the analytic model. The trace needs at least one stream with a positive
+// footprint.
+func FitVCM(t Trace) (vcm.VCM, error) {
+	profs := Profile(t)
+	if len(profs) == 0 {
+		return vcm.VCM{}, fmt.Errorf("trace: empty trace")
+	}
+	// Order by footprint, largest first.
+	sort.Slice(profs, func(i, j int) bool { return profs[i].Distinct > profs[j].Distinct })
+	p1 := profs[0]
+	if p1.Distinct == 0 {
+		return vcm.VCM{}, fmt.Errorf("trace: no addresses in trace")
+	}
+	v := vcm.VCM{
+		B:    p1.Distinct,
+		R:    int(p1.Reuse + 0.5),
+		P1S1: p1.PStride1,
+		P1S2: p1.PStride1,
+	}
+	if v.R < 1 {
+		v.R = 1
+	}
+	if len(profs) > 1 && profs[1].Distinct > 0 {
+		v.Pds = float64(profs[1].Distinct) / float64(p1.Distinct)
+		if v.Pds > 1 {
+			v.Pds = 1
+		}
+		v.P1S2 = profs[1].PStride1
+	}
+	if err := v.Validate(); err != nil {
+		return vcm.VCM{}, fmt.Errorf("trace: fitted VCM invalid: %w", err)
+	}
+	return v, nil
+}
+
+// FromVCM generates the canonical trace of one VCM block: R passes over a
+// B-element stride-s1 vector (stream 1), with the B·P_ds-element stride-s2
+// second vector (stream 2) re-read every pass. It is the inverse of
+// FitVCM up to stride identity — FitVCM(FromVCM(v, …)) recovers B, R,
+// P_ds and the unit-stride probabilities — and doubles as the workload
+// input for trace-driven cache runs of the analytic model's operating
+// points.
+func FromVCM(v vcm.VCM, s1, s2 int64, base1, base2 uint64) (Trace, error) {
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	b2len := int(float64(v.B)*v.Pds + 0.5)
+	var out Trace
+	for pass := 0; pass < v.R; pass++ {
+		out = append(out, Strided(base1, s1, v.B, 1)...)
+		if b2len > 0 {
+			out = append(out, Strided(base2, s2, b2len, 2)...)
+		}
+	}
+	return out, nil
+}
+
+// ProfileReader is Profile for traces too large to hold in memory: it
+// reads the text trace format from r incrementally (constant memory per
+// stream) and returns the same per-stream profiles. Footprints are exact
+// (one map entry per distinct address per stream); run detection and the
+// stride histogram are streamed.
+func ProfileReader(r io.Reader) ([]StreamProfile, error) {
+	type state struct {
+		prof       StreamProfile
+		distinct   map[uint64]bool
+		last       uint64
+		haveLast   bool
+		curStride  int64
+		haveStride bool
+		runLen     int
+		runLenSum  int
+		unitSteps  int
+		steps      int
+	}
+	streams := map[int]*state{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("trace: line %d: malformed %q", lineNo, line)
+		}
+		addr, err := strconv.ParseUint(fields[1], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad address %q", lineNo, fields[1])
+		}
+		stream := 0
+		if len(fields) >= 3 {
+			stream, err = strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad stream %q", lineNo, fields[2])
+			}
+		}
+		st := streams[stream]
+		if st == nil {
+			st = &state{distinct: map[uint64]bool{}}
+			st.prof.Stream = stream
+			st.prof.StrideHist = map[int64]int{}
+			streams[stream] = st
+		}
+		w := addr / WordBytes
+		st.prof.Accesses++
+		st.distinct[w] = true
+		if st.haveLast {
+			s := int64(w) - int64(st.last)
+			st.steps++
+			if s == 1 || s == -1 {
+				st.unitSteps++
+			}
+			abs := s
+			if abs < 0 {
+				abs = -abs
+			}
+			st.prof.StrideHist[abs]++
+			if st.haveStride && s == st.curStride {
+				st.runLen++
+			} else {
+				if st.haveStride {
+					st.prof.Runs++
+					st.runLenSum += st.runLen
+				}
+				st.curStride, st.haveStride, st.runLen = s, true, 2
+			}
+		}
+		st.last, st.haveLast = w, true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	ids := make([]int, 0, len(streams))
+	for id := range streams {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]StreamProfile, 0, len(ids))
+	for _, id := range ids {
+		st := streams[id]
+		if st.haveStride {
+			st.prof.Runs++
+			st.runLenSum += st.runLen
+		} else if st.prof.Accesses > 0 {
+			st.prof.Runs = 1
+			st.runLenSum = st.prof.Accesses
+		}
+		st.prof.Distinct = len(st.distinct)
+		if st.prof.Distinct > 0 {
+			st.prof.Reuse = float64(st.prof.Accesses) / float64(st.prof.Distinct)
+		}
+		if st.prof.Runs > 0 {
+			st.prof.MeanRunLen = float64(st.runLenSum) / float64(st.prof.Runs)
+		}
+		if st.steps > 0 {
+			st.prof.PStride1 = float64(st.unitSteps) / float64(st.steps)
+		}
+		out = append(out, st.prof)
+	}
+	return out, nil
+}

@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"primecache/internal/cache"
+	"primecache/internal/vcm"
+)
+
+func TestProfileSingleStream(t *testing.T) {
+	// 4 passes over a 256-element stride-3 vector.
+	tr := Repeat(Strided(0, 3, 256, 1), 4)
+	ps := Profile(tr)
+	if len(ps) != 1 {
+		t.Fatalf("streams = %d, want 1", len(ps))
+	}
+	p := ps[0]
+	if p.Stream != 1 || p.Accesses != 1024 || p.Distinct != 256 {
+		t.Errorf("profile = %+v", p)
+	}
+	if math.Abs(p.Reuse-4) > 1e-12 {
+		t.Errorf("reuse = %v, want 4", p.Reuse)
+	}
+	// Strides: within a pass all 3; at pass boundaries a big jump back.
+	if p.StrideHist[3] != 4*255 {
+		t.Errorf("stride-3 steps = %d, want %d", p.StrideHist[3], 4*255)
+	}
+	if p.PStride1 != 0 {
+		t.Errorf("P1 = %v, want 0", p.PStride1)
+	}
+	if p.Runs != 4+3 && p.Runs != 4 { // 4 runs + boundary steps form runs of their own
+		t.Logf("runs = %d (boundary handling)", p.Runs)
+	}
+}
+
+func TestProfileUnitStride(t *testing.T) {
+	tr := Strided(100, 1, 500, 2)
+	p := Profile(tr)[0]
+	if p.PStride1 < 0.99 {
+		t.Errorf("P1 = %v, want ≈ 1", p.PStride1)
+	}
+	if p.MeanRunLen < 499 {
+		t.Errorf("mean run length = %v, want ≈ 500", p.MeanRunLen)
+	}
+}
+
+func TestProfileEmptyAndTiny(t *testing.T) {
+	if got := Profile(nil); len(got) != 0 {
+		t.Errorf("Profile(nil) = %v", got)
+	}
+	p := Profile(Trace{{Addr: 8, Stream: 3}})[0]
+	if p.Accesses != 1 || p.Distinct != 1 || p.Runs != 1 {
+		t.Errorf("singleton profile = %+v", p)
+	}
+}
+
+func TestFitVCMRecoversParameters(t *testing.T) {
+	// Construct the VCM's canonical trace: stream 1 = B-element vector
+	// reused R times (stride 5); stream 2 = B·Pds elements (stride 1)
+	// interleaved.
+	const b, r = 1024, 8
+	const b2 = 256 // Pds = 0.25
+	tr := Concat(
+		Repeat(Strided(0, 5, b, 1), r),
+		Repeat(Strided(1<<20, 1, b2, 2), r),
+	)
+	v, err := FitVCM(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.B != b {
+		t.Errorf("B = %d, want %d", v.B, b)
+	}
+	if v.R != r {
+		t.Errorf("R = %d, want %d", v.R, r)
+	}
+	if math.Abs(v.Pds-0.25) > 0.01 {
+		t.Errorf("Pds = %v, want 0.25", v.Pds)
+	}
+	if v.P1S1 > 0.05 {
+		t.Errorf("P1S1 = %v, want ≈ 0 (stride 5)", v.P1S1)
+	}
+	if v.P1S2 < 0.95 {
+		t.Errorf("P1S2 = %v, want ≈ 1 (unit stride)", v.P1S2)
+	}
+}
+
+func TestFitVCMErrors(t *testing.T) {
+	if _, err := FitVCM(nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+// TestFitVCMFromKernelTrace closes the loop: profile the canonical
+// strided-reuse pattern, feed the fitted VCM into the analytic model, and
+// check the model still ranks prime below direct.
+func TestFitVCMFromKernelTrace(t *testing.T) {
+	tr := Concat(
+		Repeat(Strided(0, 512, 2048, 1), 6),
+		Repeat(Strided(1<<21+12345, 7, 512, 2), 6),
+	)
+	v, err := FitVCM(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := vcmDefaultMachine()
+	const n = 1 << 20
+	dir := vcmCPRDirect(mach, v, n)
+	prm := vcmCPRPrime(mach, v, n)
+	if prm >= dir {
+		t.Errorf("fitted model: prime %v not below direct %v", prm, dir)
+	}
+}
+
+// tiny shims keeping the vcm import local to this test file
+func vcmDefaultMachine() vcm.Machine { return vcm.DefaultMachine(64, 32) }
+func vcmCPRDirect(m vcm.Machine, v vcm.VCM, n int) float64 {
+	return vcm.CyclesPerResultCC(vcm.DirectGeom(13), m, v, n)
+}
+func vcmCPRPrime(m vcm.Machine, v vcm.VCM, n int) float64 {
+	return vcm.CyclesPerResultCC(vcm.PrimeGeom(13), m, v, n)
+}
+
+// TestFromVCMFitRoundTrip: FitVCM is a one-sided inverse of FromVCM.
+func TestFromVCMFitRoundTrip(t *testing.T) {
+	orig := vcm.VCM{B: 777, R: 5, Pds: 0.25, P1S1: 0, P1S2: 1}
+	tr, err := FromVCM(orig, 9, 1, 0, 1<<21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FitVCM(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.B != orig.B || got.R != orig.R {
+		t.Errorf("B/R = %d/%d, want %d/%d", got.B, got.R, orig.B, orig.R)
+	}
+	if math.Abs(got.Pds-0.25) > 0.01 {
+		t.Errorf("Pds = %v, want 0.25", got.Pds)
+	}
+	if got.P1S1 > 0.05 || got.P1S2 < 0.95 {
+		t.Errorf("P1 = %v/%v, want ≈0/≈1", got.P1S1, got.P1S2)
+	}
+}
+
+func TestFromVCMValidation(t *testing.T) {
+	if _, err := FromVCM(vcm.VCM{B: 0, R: 1}, 1, 1, 0, 0); err == nil {
+		t.Error("bad VCM accepted")
+	}
+}
+
+// TestFromVCMThroughCaches replays a VCM operating point through both
+// cache simulators and checks the analytic ordering trace-level.
+func TestFromVCMThroughCaches(t *testing.T) {
+	v := vcm.VCM{B: 2048, R: 6, Pds: 0, P1S1: 0, P1S2: 0}
+	tr, err := FromVCM(v, 512, 1, 0, 1<<21) // power-of-two stride
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := cache.NewDirect(8192)
+	prime, _ := cache.NewPrime(13)
+	ds := Replay(direct, tr)
+	ps := Replay(prime, tr)
+	if ps.MissRatio() >= ds.MissRatio() {
+		t.Errorf("prime miss %v not below direct %v", ps.MissRatio(), ds.MissRatio())
+	}
+	if ps.Conflict != 0 {
+		t.Errorf("prime conflicts = %d, want 0", ps.Conflict)
+	}
+}
+
+// TestProfileReaderMatchesProfile: the streaming profiler agrees with the
+// in-memory one on a serialised trace.
+func TestProfileReaderMatchesProfile(t *testing.T) {
+	tr := Concat(
+		Repeat(Strided(0, 5, 300, 1), 3),
+		Strided(1<<20, 1, 200, 2),
+	)
+	want := Profile(tr)
+	var sb strings.Builder
+	if _, err := tr.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ProfileReader(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streams %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Stream != w.Stream || g.Accesses != w.Accesses || g.Distinct != w.Distinct ||
+			g.Runs != w.Runs || g.PStride1 != w.PStride1 || g.MeanRunLen != w.MeanRunLen {
+			t.Errorf("stream %d:\n got %+v\nwant %+v", w.Stream, g, w)
+		}
+		for s, n := range w.StrideHist {
+			if g.StrideHist[s] != n {
+				t.Errorf("stream %d stride %d: %d, want %d", w.Stream, s, g.StrideHist[s], n)
+			}
+		}
+	}
+}
+
+func TestProfileReaderErrors(t *testing.T) {
+	for _, in := range []string{"R\n", "R zz\n", "R ff x\n"} {
+		if _, err := ProfileReader(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+	got, err := ProfileReader(strings.NewReader("# only comments\n\n"))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty stream profile: %v, %v", got, err)
+	}
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The trace text format is one reference per line:
+//
+//	R <hex-addr> [stream]
+//	W <hex-addr> [stream]
+//
+// Blank lines and lines starting with '#' are ignored. The stream id is
+// optional and defaults to StreamNone-like 0-attribution (stream 0).
+
+// WriteTo serialises the trace in the text format.
+func (t Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	for _, r := range t {
+		op := "R"
+		if r.Write {
+			op = "W"
+		}
+		k, err := fmt.Fprintf(bw, "%s %x %d\n", op, r.Addr, r.Stream)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read parses a trace from the text format.
+func Read(r io.Reader) (Trace, error) {
+	var t Trace
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("trace: line %d: want 'R|W addr [stream]', got %q", lineNo, line)
+		}
+		var ref Ref
+		switch fields[0] {
+		case "R", "r":
+		case "W", "w":
+			ref.Write = true
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad op %q", lineNo, fields[0])
+		}
+		addr, err := strconv.ParseUint(fields[1], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad address %q: %v", lineNo, fields[1], err)
+		}
+		ref.Addr = addr
+		if len(fields) == 3 {
+			s, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad stream %q: %v", lineNo, fields[2], err)
+			}
+			ref.Stream = s
+		}
+		t = append(t, ref)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return t, nil
+}

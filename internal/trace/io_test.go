@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig := Concat(
+		Strided(0, 3, 5, 1),
+		StridedWrite(1000, 1, 3, 2),
+	)
+	var sb strings.Builder
+	if _, err := orig.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("len %d, want %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if back[i] != orig[i] {
+			t.Fatalf("ref %d: %+v != %+v", i, back[i], orig[i])
+		}
+	}
+}
+
+func TestReadCommentsAndDefaults(t *testing.T) {
+	in := "# comment\n\nR ff\nw 10 3\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 2 {
+		t.Fatalf("len = %d, want 2", len(tr))
+	}
+	if tr[0].Addr != 0xff || tr[0].Write || tr[0].Stream != 0 {
+		t.Errorf("ref 0 = %+v", tr[0])
+	}
+	if tr[1].Addr != 0x10 || !tr[1].Write || tr[1].Stream != 3 {
+		t.Errorf("ref 1 = %+v", tr[1])
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	for _, in := range []string{
+		"X ff\n",
+		"R\n",
+		"R zz\n",
+		"R ff notanint\n",
+		"R ff 1 extra\n",
+	} {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func FuzzTraceRead(f *testing.F) {
+	f.Add("R ff 1\nW 10 2\n")
+	f.Add("# comment\n\nr 0\n")
+	f.Add("X bad\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Anything accepted must round-trip exactly.
+		var sb strings.Builder
+		if _, err := tr.WriteTo(&sb); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round-trip reparse failed: %v", err)
+		}
+		if len(back) != len(tr) {
+			t.Fatalf("round-trip length %d != %d", len(back), len(tr))
+		}
+		for i := range tr {
+			if back[i] != tr[i] {
+				t.Fatalf("round-trip ref %d: %+v != %+v", i, back[i], tr[i])
+			}
+		}
+	})
+}

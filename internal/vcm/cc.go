@@ -1,0 +1,250 @@
+package vcm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mapping selects the CC-model's cache indexing scheme.
+type Mapping int
+
+const (
+	// MapDirect is conventional bit-selection over 2^c lines.
+	MapDirect Mapping = iota
+	// MapPrime is the paper's Mersenne-prime mapping over 2^c − 1 lines.
+	MapPrime
+)
+
+// String implements fmt.Stringer.
+func (m Mapping) String() string {
+	if m == MapPrime {
+		return "prime"
+	}
+	return "direct"
+}
+
+// CacheGeom is the CC-model cache geometry: Lines lines of one
+// double-precision word each (the paper's fixed 8-byte line), arranged as
+// Lines/Ways sets of Ways ways. Ways 0 means direct (1).
+type CacheGeom struct {
+	Mapping Mapping
+	Lines   int
+	// Ways is the associativity; §2.1's set-associative variant of the
+	// bit-selection cache. Prime mapping is always Ways = 1.
+	Ways int
+}
+
+// DirectGeom returns a direct-mapped geometry of 2^c lines.
+func DirectGeom(c uint) CacheGeom { return CacheGeom{Mapping: MapDirect, Lines: 1 << c, Ways: 1} }
+
+// AssocGeom returns a set-associative bit-selection geometry of 2^c lines
+// in ways ways.
+func AssocGeom(c uint, ways int) CacheGeom {
+	return CacheGeom{Mapping: MapDirect, Lines: 1 << c, Ways: ways}
+}
+
+// PrimeGeom returns a prime-mapped geometry of 2^c − 1 lines.
+func PrimeGeom(c uint) CacheGeom { return CacheGeom{Mapping: MapPrime, Lines: 1<<c - 1, Ways: 1} }
+
+func (g CacheGeom) ways() int {
+	if g.Ways <= 1 {
+		return 1
+	}
+	return g.Ways
+}
+
+// Sets returns the number of sets, Lines/Ways.
+func (g CacheGeom) Sets() int { return g.Lines / g.ways() }
+
+// Validate checks the geometry.
+func (g CacheGeom) Validate() error {
+	if g.Lines <= 1 {
+		return fmt.Errorf("vcm: cache needs more than one line, got %d", g.Lines)
+	}
+	w := g.ways()
+	if g.Lines%w != 0 {
+		return fmt.Errorf("vcm: %d lines not divisible into %d ways", g.Lines, w)
+	}
+	switch g.Mapping {
+	case MapDirect:
+		sets := g.Lines / w
+		if sets&(sets-1) != 0 {
+			return fmt.Errorf("vcm: bit-selection mapping needs power-of-two sets, got %d", sets)
+		}
+	case MapPrime:
+		if w != 1 {
+			return fmt.Errorf("vcm: prime mapping is direct-mapped; got %d ways", w)
+		}
+		if (g.Lines+1)&g.Lines != 0 {
+			return fmt.Errorf("vcm: prime mapping needs 2^c−1 lines, got %d", g.Lines)
+		}
+	default:
+		return fmt.Errorf("vcm: unknown mapping %d", int(g.Mapping))
+	}
+	return nil
+}
+
+// LinesVisited returns the number of distinct line frames a stride-s
+// sweep can occupy: ways · S/gcd(S, stride) over S sets. §2.1's point
+// falls straight out of the arithmetic: halving the sets to double the
+// ways leaves the product unchanged whenever gcd(S, s) scales with S —
+// which it does for the power-of-two strides that matter.
+func (g CacheGeom) LinesVisited(stride int) int {
+	if stride < 0 {
+		stride = -stride
+	}
+	sets := g.Sets()
+	stride %= sets
+	if stride == 0 {
+		return g.ways()
+	}
+	a, b := stride, sets
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return g.ways() * (sets / a)
+}
+
+// IsCStride returns the self-interference stall cycles of loading a
+// B-element vector with a specific stride into the cache: B − C/gcd(C,s)
+// misses when positive (B − 1 when the stride collapses onto one line),
+// each stalling t_m cycles.
+func IsCStride(g CacheGeom, m Machine, b, stride int) float64 {
+	lines := g.LinesVisited(stride)
+	misses := 0
+	if lines == 1 {
+		misses = b - 1
+	} else if b > lines {
+		misses = b - lines
+	}
+	if misses <= 0 {
+		return 0
+	}
+	return float64(misses) * float64(m.Tm)
+}
+
+// IsCExact averages IsCStride over the paper's stride distribution
+// (stride 1 with probability p1, otherwise uniform on 2..C). It is the
+// summation form of Eq. (5) for the direct mapping and of Eq. (8) for the
+// prime mapping.
+func IsCExact(g CacheGeom, m Machine, b int, p1 float64) float64 {
+	total := p1 * IsCStride(g, m, b, 1)
+	w := (1 - p1) / float64(g.Lines-1)
+	if g.Mapping == MapPrime {
+		// Only strides ≡ 0 (mod C) conflict; within 2..C that is s = C
+		// alone, plus the B > C overflow term for every other stride.
+		total += w * IsCStride(g, m, b, g.Lines)
+		if b > g.Lines {
+			total += w * float64(g.Lines-2) * float64(b-g.Lines) * float64(m.Tm)
+		}
+		return total
+	}
+	for s := 2; s <= g.Lines; s++ {
+		total += w * IsCStride(g, m, b, s)
+	}
+	return total
+}
+
+// IsC returns the average self-interference stalls of a B-element vector
+// under the geometry's closed form: Eq. (6) for the direct mapping,
+//
+//	I_s^C = (1−P1)/(C−1)·(1/3)·(3B·2^⌊log₂B⌋ − 2·2^{2⌊log₂B⌋} − 1)·t_m,
+//
+// and Eq. (8) for the prime mapping,
+//
+//	I_s^C = (1−P1)·(B−1)/(C−1)·t_m.
+//
+// Both require B ≤ C (a blocked program never exceeds the cache); larger B
+// falls back to the exact summation.
+func IsC(g CacheGeom, m Machine, b int, p1 float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	if b > g.Lines || g.ways() > 1 {
+		// Eq. (6) was derived for the direct map; associative geometries
+		// and cache-overflowing blocks use the exact summation.
+		return IsCExact(g, m, b, p1)
+	}
+	tm := float64(m.Tm)
+	switch g.Mapping {
+	case MapPrime:
+		return (1 - p1) * float64(b-1) / float64(g.Lines-1) * tm
+	default:
+		j := math.Exp2(math.Floor(math.Log2(float64(b))))
+		bracket := (3*float64(b)*j - 2*j*j - 1) / 3
+		return (1 - p1) / float64(g.Lines-1) * bracket * tm
+	}
+}
+
+// IcC is the footprint-model cross-interference (§3.3): each of the B·Pds
+// second-stream elements falls into the first vector's footprint with
+// probability B/C, stalling t_m cycles,
+//
+//	I_c^C = B²·P_ds/C · t_m.
+func IcC(g CacheGeom, m Machine, b int, pds float64) float64 {
+	return float64(b) * float64(b) * pds / float64(g.Lines) * float64(m.Tm)
+}
+
+// TElemtCC is Eq. (7): per-element time on the CC-model,
+//
+//	T_elemt^C = 1 + P_ss·I_s(B)/B + P_ds·(I_s(B) + I_s(B·P_ds) + I_c)/B.
+//
+// (The paper prints the middle double-stream term as I_c^C(B·P_ds); by
+// analogy with Eq. (2)'s 2·I_s^M + I_c^M it is the second stream's
+// self-interference, I_s^C at length B·P_ds.)
+func TElemtCC(g CacheGeom, m Machine, v VCM) float64 {
+	is1 := IsC(g, m, v.B, v.P1S1)
+	stalls := v.Pss() * is1
+	if v.Pds > 0 {
+		b2 := int(math.Round(float64(v.B) * v.Pds))
+		is2 := IsC(g, m, b2, v.P1S2)
+		stalls += v.Pds * (is1 + is2 + IcC(g, m, v.B, v.Pds))
+	}
+	return 1 + stalls/float64(v.B)
+}
+
+// TotalCC is Eq. (4): the CC-model execution time. The first pass over
+// each block streams from memory at MM-model speed (T_B covers the
+// compulsory and capacity misses); the remaining R−1 passes run from the
+// cache with start-up reduced by t_m and per-element time T_elemt^C.
+func TotalCC(g CacheGeom, m Machine, v VCM, n int) float64 {
+	tb := TBlockMM(m, v)
+	strips := math.Ceil(float64(v.B) / float64(m.MVL))
+	reuse := m.OuterOverhead + strips*(m.InnerOverhead+m.TStart()-float64(m.Tm)) + float64(v.B)*TElemtCC(g, m, v)
+	return (tb + reuse*float64(v.R-1)) * float64(ceilDiv(n, v.B))
+}
+
+// CyclesPerResultCC is T_N^C / (N·R).
+func CyclesPerResultCC(g CacheGeom, m Machine, v VCM, n int) float64 {
+	return TotalCC(g, m, v, n) / (float64(n) * float64(v.R))
+}
+
+// MissRatioCC returns the analytic demand miss ratio of the blocked
+// computation on the CC-model: the compulsory load of each block plus the
+// interference misses of the R−1 reuse passes, over B·R references. It is
+// the quantity So & Zecca measured ("hit ratios high enough to take
+// advantage of a cache"), derived from the same interference terms as
+// TElemtCC (stall cycles / t_m = misses).
+func MissRatioCC(g CacheGeom, m Machine, v VCM) float64 {
+	is1 := IsC(g, m, v.B, v.P1S1)
+	perPass := v.Pss() * is1
+	if v.Pds > 0 {
+		b2 := int(math.Round(float64(v.B) * v.Pds))
+		perPass += v.Pds * (is1 + IsC(g, m, b2, v.P1S2) + IcC(g, m, v.B, v.Pds))
+	}
+	missesPerPass := perPass / float64(m.Tm)
+	total := float64(v.B) + float64(v.R-1)*missesPerPass
+	ratio := total / (float64(v.B) * float64(v.R))
+	// The underlying stall formulas are uncapped (at extreme P_ds the
+	// footprint charge can exceed one miss-equivalent per reference); a
+	// ratio saturates at 1.
+	if ratio > 1 {
+		return 1
+	}
+	return ratio
+}
+
+// HitRatioCC is 1 − MissRatioCC.
+func HitRatioCC(g CacheGeom, m Machine, v VCM) float64 {
+	return 1 - MissRatioCC(g, m, v)
+}

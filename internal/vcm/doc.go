@@ -1,0 +1,28 @@
+// Package vcm implements the analytical performance model of Yang & Wu
+// (ISCA 1992), Section 3: a generic vector computation model
+//
+//	VCM = [B, R, P_ds, s1, s2, P_stride1(s1), P_stride1(s2)]
+//
+// evaluated on two machine models — the MM-model (memory-register vector
+// processor over M interleaved banks, no cache) and the CC-model (the same
+// machine with a vector cache of C lines, direct- or prime-mapped).
+//
+// The package provides every quantity the paper derives:
+//
+//   - MM-model memory self-interference I_s^M, both the paper's closed form
+//     and the exact stride-enumeration it was derived from (Eq. 2 context);
+//   - MM-model cross-interference I_c^M via the congruence-equation solver
+//     the authors describe, plus a closed form obtained by averaging the
+//     solver over the uniformly distributed bank offset D;
+//   - CC-model cache self-interference I_s^C for direct mapping (Eqs. 5–6)
+//     and prime mapping (Eq. 8), and the footprint cross-interference I_c^C;
+//   - block execution time T_B (Eq. 1), per-element times T_elemt (Eqs. 2
+//     and 7), and total times T_N (Eqs. 3 and 4), with the metric the paper
+//     plots: clock cycles per result = T_N / (N·R);
+//   - the two-pass FFT model of Section 4 and the sub-block conflict-free
+//     blocking conditions.
+//
+// Two formulas in the paper contain apparent typos; this package implements
+// the dimensionally consistent reading and documents each at the point of
+// use (see TotalMM and TElemtCC).
+package vcm

@@ -1,0 +1,171 @@
+package vcm
+
+import "testing"
+
+func TestFFTPlanValidate(t *testing.T) {
+	if err := (FFTPlan{N: 1 << 20, B1: 1 << 10, B2: 1 << 10}).Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	bad := []FFTPlan{
+		{N: 1 << 20, B1: 1 << 10, B2: 1 << 9},
+		{N: 0, B1: 2, B2: 2},
+		{N: 12, B1: 3, B2: 4},
+		{N: 4, B1: 1, B2: 4},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+	}
+}
+
+func TestFFTSelfMisses(t *testing.T) {
+	d, p := DirectGeom(13), PrimeGeom(13)
+	// Direct: stride B2 = 1024 folds a 4096-point row onto
+	// C/gcd(8192,1024) = 8 lines → 4088 misses.
+	if got := fftSelfMisses(d, 4096, 1024); got != 4096-8 {
+		t.Errorf("direct misses = %d, want %d", got, 4096-8)
+	}
+	// Prime: 1024 is coprime to 8191 → conflict-free.
+	if got := fftSelfMisses(p, 4096, 1024); got != 0 {
+		t.Errorf("prime misses = %d, want 0", got)
+	}
+	// Prime with B2 an exact multiple of C: everything collides.
+	if got := fftSelfMisses(p, 4096, 8191); got != 4095 {
+		t.Errorf("prime degenerate misses = %d, want 4095", got)
+	}
+	if got := fftSelfMisses(d, 4, 8192); got != 3 {
+		t.Errorf("direct single-line misses = %d, want 3", got)
+	}
+	if got := fftSelfMisses(d, 1, 8192); got != 0 {
+		t.Errorf("one-element row misses = %d, want 0", got)
+	}
+}
+
+func TestFFTPrimeBeatsDirectAcrossB2(t *testing.T) {
+	// Figure "12" (the paper's second Figure 11): N = 2^20, sweep B2.
+	m := DefaultMachine(64, 32)
+	d, p := DirectGeom(13), PrimeGeom(13)
+	const n = 1 << 20
+	var maxRatio float64
+	for b2 := 16; b2 <= 8192; b2 *= 2 {
+		plan := FFTPlan{N: n, B1: n / b2, B2: b2}
+		if err := plan.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		dir := FFTCyclesPerPoint(d, m, plan)
+		prm := FFTCyclesPerPoint(p, m, plan)
+		if prm >= dir {
+			t.Errorf("B2=%d: prime %v ≥ direct %v", b2, prm, dir)
+		}
+		if r := dir / prm; r > maxRatio {
+			maxRatio = r
+		}
+	}
+	if maxRatio < 2 {
+		t.Errorf("max direct/prime FFT ratio %v; paper reports >2×", maxRatio)
+	}
+}
+
+func TestFFTPrimeFlatInB2(t *testing.T) {
+	// "Optimization is guaranteed as long as the blocking factor is less
+	// than the cache size": prime-mapped cycles/point barely move with B2.
+	// Both blocks must fit in the cache for the paper's guarantee, so the
+	// sweep keeps B1 = N/B2 ≤ C as well.
+	m := DefaultMachine(64, 32)
+	p := PrimeGeom(13)
+	const n = 1 << 20
+	lo, hi := 1e18, 0.0
+	for b2 := 256; b2 <= 4096; b2 *= 2 {
+		v := FFTCyclesPerPoint(p, m, FFTPlan{N: n, B1: n / b2, B2: b2})
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi/lo > 1.5 {
+		t.Errorf("prime FFT cycles vary %vx across B2; expected nearly flat", hi/lo)
+	}
+}
+
+func TestFFTTotalPositiveAndFinite(t *testing.T) {
+	m := DefaultMachine(32, 8)
+	for _, g := range []CacheGeom{DirectGeom(13), PrimeGeom(13)} {
+		total := FFTTotal(g, m, FFTPlan{N: 1 << 16, B1: 256, B2: 256})
+		if total <= 0 {
+			t.Errorf("%v: FFTTotal = %v", g.Mapping, total)
+		}
+	}
+}
+
+func TestFFTAgarwalValidation(t *testing.T) {
+	m := DefaultMachine(64, 32)
+	p := FFTPlan{N: 1 << 16, B1: 256, B2: 256}
+	if _, err := FFTAgarwalTotal(DirectGeom(13), m, p, 3); err == nil {
+		t.Error("non-dividing group accepted")
+	}
+	if _, err := FFTAgarwalTotal(DirectGeom(13), m, FFTPlan{N: 10, B1: 5, B2: 2}, 1); err == nil {
+		t.Error("bad plan accepted")
+	}
+}
+
+// TestFFTAgarwalGrouping probes §4's closing claim ("with the
+// prime-mapped cache … optimization is guaranteed as long as the block
+// size is less than the cache size") and finds it needs the same
+// qualification as the sub-block conditions: a G-row group spans B1
+// columns spaced B2 apart, and once (B1−1)·B2 exceeds C the wrapped
+// columns land a small offset apart (B1·B2 mod C), colliding with groups
+// taller than that offset. G = 1 is genuinely conflict-free for any
+// coprime spacing; G = 16 at B1 = B2 = 256 (wrap offset 1) is not.
+func TestFFTAgarwalGrouping(t *testing.T) {
+	p := FFTPlan{N: 1 << 16, B1: 256, B2: 256}
+	if c := groupCollisions(PrimeGeom(13), p.B2, 1, p.B1); c != 0 {
+		t.Errorf("prime G=1 collisions = %d, want 0", c)
+	}
+	if c := groupCollisions(PrimeGeom(13), p.B2, 16, p.B1); c == 0 {
+		t.Error("prime G=16 should collide (wrap offset 1); the §4 qualification vanished")
+	}
+	// The direct map collides at every group size.
+	if c := groupCollisions(DirectGeom(13), p.B2, 1, p.B1); c == 0 {
+		t.Error("direct G=1 should collide (32 positions for 256 columns)")
+	}
+	if c := groupCollisions(DirectGeom(13), p.B2, 16, p.B1); c == 0 {
+		t.Error("direct grouped FFT should collide at B2=256, G=16")
+	}
+	// Prime collides strictly less than direct at every G.
+	for _, g := range []int{1, 2, 4, 8, 16} {
+		pc := groupCollisions(PrimeGeom(13), p.B2, g, p.B1)
+		dc := groupCollisions(DirectGeom(13), p.B2, g, p.B1)
+		if pc >= dc {
+			t.Errorf("G=%d: prime collisions %d not below direct %d", g, pc, dc)
+		}
+	}
+}
+
+func TestFFTAgarwalCostOrdering(t *testing.T) {
+	m := DefaultMachine(64, 32)
+	p := FFTPlan{N: 1 << 16, B1: 256, B2: 256}
+	dg, pg := DirectGeom(13), PrimeGeom(13)
+	for _, group := range []int{1, 4, 16} {
+		dt, err := FFTAgarwalTotal(dg, m, p, group)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, err := FFTAgarwalTotal(pg, m, p, group)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt >= dt {
+			t.Errorf("group=%d: prime %v not below direct %v", group, pt, dt)
+		}
+	}
+	// On the prime cache the conflict-free G = 1 is the optimum here —
+	// grouping only pays once the group itself tiles conflict-free.
+	p1, _ := FFTAgarwalTotal(pg, m, p, 1)
+	p16, _ := FFTAgarwalTotal(pg, m, p, 16)
+	if p16 <= p1 {
+		t.Errorf("expected G=16 (%v) to cost more than G=1 (%v) given its wrap collisions", p16, p1)
+	}
+}

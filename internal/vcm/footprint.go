@@ -1,0 +1,54 @@
+package vcm
+
+// Exact footprint arithmetic for the CC-model cross-interference. The
+// paper's I_c^C (§3.3) is a probabilistic footprint argument: each of the
+// B·P_ds second-stream elements lands in the first vector's footprint
+// with probability B/C. These functions compute the overlap exactly for
+// given strides and placement, which the simulation experiments use to
+// quantify the footprint model's ping-pong bias (see EXPERIMENTS.md).
+
+// FootprintOverlap returns |F1 ∩ F2|: the number of cache sets occupied
+// by both a b1-element stride-s1 vector starting at set 0 and a
+// b2-element stride-s2 vector starting at set offset, under geometry g.
+func FootprintOverlap(g CacheGeom, s1 int, b1 int, s2 int, b2 int, offset int) int {
+	sets := g.Sets()
+	f1 := make(map[int]bool, b1)
+	idx := 0
+	step1 := ((s1 % sets) + sets) % sets
+	for i := 0; i < b1; i++ {
+		f1[idx] = true
+		idx = (idx + step1) % sets
+	}
+	step2 := ((s2 % sets) + sets) % sets
+	idx = ((offset % sets) + sets) % sets
+	overlap := 0
+	seen := make(map[int]bool, b2)
+	for i := 0; i < b2; i++ {
+		if f1[idx] && !seen[idx] {
+			overlap++
+			seen[idx] = true
+		}
+		idx = (idx + step2) % sets
+	}
+	return overlap
+}
+
+// ExpectedOverlap is the footprint model's estimate of the same quantity:
+// b1·b2/C (with saturation at min(b1, b2)), the random-placement
+// expectation behind Eq. I_c^C.
+func ExpectedOverlap(g CacheGeom, b1, b2 int) float64 {
+	e := float64(b1) * float64(b2) / float64(g.Lines)
+	if lim := float64(min(b1, b2)); e > lim {
+		return lim
+	}
+	return e
+}
+
+// IcCPingPong is the trace-calibrated cross-interference charge: every
+// overlapped set costs *two* misses per reuse pass (each stream evicts
+// the other's line and re-misses), each stalling t_m cycles. It is the
+// corrected version of IcC that the double-stream simulations in package
+// vproc actually exhibit.
+func IcCPingPong(g CacheGeom, m Machine, b int, pds float64) float64 {
+	return 2 * IcC(g, m, b, pds)
+}

@@ -1,0 +1,69 @@
+package vcm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFootprintOverlapExact(t *testing.T) {
+	g := PrimeGeom(7) // 127 sets
+	// Identical vectors overlap completely.
+	if got := FootprintOverlap(g, 3, 40, 3, 40, 0); got != 40 {
+		t.Errorf("identical vectors overlap = %d, want 40", got)
+	}
+	// Disjoint ranges (unit stride, offset beyond length) overlap zero.
+	if got := FootprintOverlap(g, 1, 40, 1, 40, 50); got != 0 {
+		t.Errorf("disjoint overlap = %d, want 0", got)
+	}
+	// Adjacent with partial overlap: F1 = {0..39}, F2 = {30..69} → 10.
+	if got := FootprintOverlap(g, 1, 40, 1, 40, 30); got != 10 {
+		t.Errorf("partial overlap = %d, want 10", got)
+	}
+	// Stride collapsing onto one set.
+	if got := FootprintOverlap(g, 127, 40, 1, 40, 0); got != 1 {
+		t.Errorf("collapsed overlap = %d, want 1", got)
+	}
+}
+
+// TestFootprintModelCalibration validates the paper's B·b2/C expectation:
+// averaged over random strides and offsets in the prime cache (where
+// footprints are full-size and pseudo-uniformly placed), the exact
+// overlap matches the formula within a few percent.
+func TestFootprintModelCalibration(t *testing.T) {
+	g := PrimeGeom(13)
+	rng := rand.New(rand.NewSource(21))
+	const b1, b2 = 4096, 1024
+	want := ExpectedOverlap(g, b1, b2) // 512.06
+	var sum float64
+	const trials = 60
+	for i := 0; i < trials; i++ {
+		s1 := 2 + rng.Intn(8189)
+		s2 := 2 + rng.Intn(8189)
+		off := rng.Intn(8191)
+		sum += float64(FootprintOverlap(g, s1, b1, s2, b2, off))
+	}
+	got := sum / trials
+	if got < 0.9*want || got > 1.1*want {
+		t.Errorf("mean overlap %v, footprint model predicts %v", got, want)
+	}
+}
+
+func TestExpectedOverlapSaturates(t *testing.T) {
+	g := PrimeGeom(7)
+	// Saturation needs one vector longer than the cache (b1 > C): the
+	// overlap can never exceed the shorter footprint.
+	if got := ExpectedOverlap(g, 200, 50); got != 50 {
+		t.Errorf("saturated overlap = %v, want 50", got)
+	}
+	if got := ExpectedOverlap(g, 10, 10); got != 100.0/127 {
+		t.Errorf("overlap = %v, want %v", got, 100.0/127)
+	}
+}
+
+func TestIcCPingPongDoubles(t *testing.T) {
+	g := PrimeGeom(13)
+	m := DefaultMachine(64, 32)
+	if got, want := IcCPingPong(g, m, 4096, 0.25), 2*IcC(g, m, 4096, 0.25); got != want {
+		t.Errorf("ping-pong charge %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,165 @@
+package vcm
+
+import (
+	"math"
+)
+
+// IsMStride returns the memory self-interference stall cycles a single
+// MVL-element vector stream with the given stride suffers (§3.2): the
+// stream revisits a bank after k = M/gcd(M, stride) issues, so when
+// t_m > k every sweep of k accesses is delayed t_m − k cycles; the
+// degenerate k = 1 (stride a multiple of M) delays each element the full
+// t_m − 1 cycles.
+func IsMStride(m Machine, stride int) float64 {
+	k := banksVisited(m.Banks, stride)
+	tm := float64(m.Tm)
+	if k == 1 {
+		return float64(m.MVL) * (tm - 1)
+	}
+	if m.Tm <= k {
+		return 0
+	}
+	sweeps := float64(m.MVL) / float64(k)
+	return (tm - float64(k)) * sweeps
+}
+
+// IsMExact returns the stride-distribution average of IsMStride: stride 1
+// with probability p1, otherwise uniform over 2..M. This is the summation
+// the paper's Eq.-for-I_s^M closed form was derived from.
+func IsMExact(m Machine, p1 float64) float64 {
+	if m.Banks < 2 {
+		return 0
+	}
+	total := p1 * IsMStride(m, 1)
+	w := (1 - p1) / float64(m.Banks-1)
+	for s := 2; s <= m.Banks; s++ {
+		total += w * IsMStride(m, s)
+	}
+	return total
+}
+
+// IsM is the paper's closed form for the average memory self-interference
+// of one MVL-element stream,
+//
+//	I_s^M = MVL·(1−P1)/(M−1)·[t_m + (t_m/2)·⌊log₂ t_m⌋ − 2^⌊log₂ t_m⌋],
+//
+// valid for t_m < M (so that unit stride incurs no stalls), which all of
+// the paper's figures respect. IsMExact is used when t_m ≥ M.
+func IsM(m Machine, p1 float64) float64 {
+	if m.Tm >= m.Banks {
+		return IsMExact(m, p1)
+	}
+	j := math.Floor(math.Log2(float64(m.Tm)))
+	tm := float64(m.Tm)
+	bracket := tm + tm/2*j - math.Exp2(j)
+	return float64(m.MVL) * (1 - p1) / float64(m.Banks-1) * bracket
+}
+
+// IcMEnumerate is the congruence-equation solver of §3.2: for strides s1,
+// s2 and a bank offset D between the two streams' starting addresses,
+// cross-interference occurs at every solution of
+//
+//	s1·i ≡ s2·j + D (mod M),  i, j ∈ [0, MVL), |i − j| < t_m,
+//
+// costing t_m − |i−j| stall cycles. The result is averaged over D uniform
+// on 1..M, as the paper assumes.
+func IcMEnumerate(m Machine, s1, s2 int) float64 {
+	M := int64(m.Banks)
+	L := m.MVL
+	tm := m.Tm
+	var total int64
+	for d := int64(1); d <= M; d++ {
+		for i := 0; i < L; i++ {
+			lhs := (int64(s1)*int64(i) - d) % M
+			for j := 0; j < L; j++ {
+				diff := i - j
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff >= tm {
+					continue
+				}
+				if (lhs-int64(s2)*int64(j))%M == 0 {
+					total += int64(tm - diff)
+				}
+			}
+		}
+	}
+	return float64(total) / float64(M)
+}
+
+// IcM is the closed form of the D-averaged congruence solver. For fixed
+// (i, j) exactly one D residue satisfies the congruence, so averaging over
+// uniform D counts every pair with |i−j| < t_m once, independent of the
+// strides:
+//
+//	I_c^M = (1/M)·[ MVL·t_m + Σ_{d=1}^{min(t_m,MVL)−1} 2·(MVL−d)·(t_m−d) ].
+//
+// TestIcMClosedFormMatchesSolver verifies the identity against
+// IcMEnumerate over the full stride range.
+func IcM(m Machine) float64 {
+	L := m.MVL
+	tm := m.Tm
+	total := float64(L * tm)
+	dmax := tm - 1
+	if L-1 < dmax {
+		dmax = L - 1
+	}
+	for d := 1; d <= dmax; d++ {
+		total += 2 * float64(L-d) * float64(tm-d)
+	}
+	return total / float64(m.Banks)
+}
+
+// TElemtMM is Eq. (2): the average cycles to process one vector element on
+// the MM-model,
+//
+//	T_elemt^M = 1 + P_ss·I_s/MVL + P_ds·(I_s1 + I_s2 + I_c)/MVL,
+//
+// where the two self-interference terms use each stream's own stride
+// distribution (the paper writes 2·I_s^M because it gives both streams the
+// same distribution).
+func TElemtMM(m Machine, v VCM) float64 {
+	is1 := IsM(m, v.P1S1)
+	stalls := v.Pss() * is1
+	if v.Pds > 0 {
+		is2 := IsM(m, v.P1S2)
+		stalls += v.Pds * (is1 + is2 + IcM(m))
+	}
+	return 1 + stalls/float64(m.MVL)
+}
+
+// TBlockMM is T_B (Eq. 1) with the MM-model per-element time.
+func TBlockMM(m Machine, v VCM) float64 {
+	return m.TBlock(v.B, TElemtMM(m, v))
+}
+
+// TotalMM is Eq. (3), the MM-model execution time for a problem of N
+// elements blocked into ceil(N/B) segments, each operated on R times.
+// (The paper prints ceil(N/R); Eq. (4) and dimensional analysis show the
+// block count is ceil(N/B).)
+func TotalMM(m Machine, v VCM, n int) float64 {
+	return TBlockMM(m, v) * float64(v.R) * float64(ceilDiv(n, v.B))
+}
+
+// CyclesPerResultMM is the paper's plotted metric T_N / (N·R) for the
+// MM-model.
+func CyclesPerResultMM(m Machine, v VCM, n int) float64 {
+	return TotalMM(m, v, n) / (float64(n) * float64(v.R))
+}
+
+func banksVisited(banks, stride int) int {
+	if stride < 0 {
+		stride = -stride
+	}
+	stride %= banks
+	if stride == 0 {
+		return 1
+	}
+	g := stride
+	b := banks
+	for b != 0 {
+		g, b = b, g%b
+	}
+	return banks / g
+}

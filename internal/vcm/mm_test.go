@@ -1,0 +1,189 @@
+package vcm
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestIsMStride(t *testing.T) {
+	m := DefaultMachine(32, 8)
+	cases := []struct {
+		stride int
+		want   float64
+	}{
+		{1, 0},            // 32 banks visited, revisit ≥ t_m
+		{3, 0},            // odd: all banks
+		{2, 0},            // 16 banks > t_m
+		{4, 0},            // 8 banks = t_m → no stall
+		{8, (8 - 4) * 16}, // 4 banks: 16 sweeps × (t_m−4)
+		{16, (8 - 2) * 32},
+		{32, 64 * 7}, // same bank: MVL·(t_m−1)
+		{-8, (8 - 4) * 16},
+		{64, 64 * 7},
+		{40, (8 - 4) * 16}, // gcd(32,40)=8 → 4 banks
+	}
+	for _, tc := range cases {
+		if got := IsMStride(m, tc.stride); got != tc.want {
+			t.Errorf("IsMStride(stride=%d) = %v, want %v", tc.stride, got, tc.want)
+		}
+	}
+}
+
+// TestIsMClosedFormMatchesSum verifies the paper's "simple algebraic
+// manipulation": the closed form for I_s^M equals the stride-enumerated
+// average for t_m < M.
+func TestIsMClosedFormMatchesSum(t *testing.T) {
+	for _, banks := range []int{16, 32, 64, 128} {
+		for _, tm := range []int{2, 4, 7, 8, 13, 15} {
+			if tm >= banks {
+				continue
+			}
+			m := DefaultMachine(banks, tm)
+			for _, p1 := range []float64{0, 0.25, 0.5, 1} {
+				got, want := IsM(m, p1), IsMExact(m, p1)
+				if !almostEqual(got, want, 1e-12) {
+					t.Errorf("M=%d tm=%d p1=%v: closed %v != exact %v", banks, tm, p1, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestIsMUnitStrideFree(t *testing.T) {
+	m := DefaultMachine(32, 8)
+	if got := IsM(m, 1); got != 0 {
+		t.Errorf("IsM with P1=1 = %v, want 0", got)
+	}
+}
+
+func TestIsMFallsBackWhenTmLarge(t *testing.T) {
+	// t_m ≥ M violates the closed form's assumption; IsM must agree with
+	// the enumeration there too (it falls back).
+	m := DefaultMachine(32, 64)
+	if got, want := IsM(m, 0.25), IsMExact(m, 0.25); got != want {
+		t.Errorf("fallback: %v != %v", got, want)
+	}
+	// And unit stride now stalls: revisit interval 32 < t_m = 64.
+	if IsMStride(m, 1) == 0 {
+		t.Error("unit stride with t_m ≥ M should stall")
+	}
+}
+
+// TestIcMClosedFormMatchesSolver verifies that the D-averaged congruence
+// solver is stride-independent and equals the closed form.
+func TestIcMClosedFormMatchesSolver(t *testing.T) {
+	m := DefaultMachine(16, 6)
+	m.MVL = 32 // keep the enumeration fast
+	want := IcM(m)
+	for _, s1 := range []int{1, 2, 3, 8, 15, 16} {
+		for _, s2 := range []int{1, 5, 8, 16} {
+			got := IcMEnumerate(m, s1, s2)
+			if !almostEqual(got, want, 1e-12) {
+				t.Errorf("IcMEnumerate(s1=%d,s2=%d) = %v, want %v", s1, s2, got, want)
+			}
+		}
+	}
+}
+
+func TestIcMGrowsWithTm(t *testing.T) {
+	prev := -1.0
+	for _, tm := range []int{2, 4, 8, 16, 32} {
+		m := DefaultMachine(64, tm)
+		ic := IcM(m)
+		if ic <= prev {
+			t.Errorf("IcM(tm=%d) = %v not increasing (prev %v)", tm, ic, prev)
+		}
+		prev = ic
+	}
+}
+
+func TestTElemtMMFloor(t *testing.T) {
+	m := DefaultMachine(32, 8)
+	v := DefaultVCM(1024)
+	if got := TElemtMM(m, v); got < 1 {
+		t.Errorf("TElemtMM = %v < 1", got)
+	}
+	// No stalls at all with P1 = 1 and no double streams.
+	v.P1S1, v.Pds = 1, 0
+	if got := TElemtMM(m, v); got != 1 {
+		t.Errorf("ideal TElemtMM = %v, want 1", got)
+	}
+}
+
+func TestTBlockEquation1(t *testing.T) {
+	m := DefaultMachine(32, 8) // T_start = 38
+	// B = 128, telemt = 1: 10 + 2·(15+38) + 128 = 244.
+	if got := m.TBlock(128, 1); got != 244 {
+		t.Errorf("TBlock(128,1) = %v, want 244", got)
+	}
+	// Partial strip rounds up: B = 130 → 3 strips.
+	if got := m.TBlock(130, 1); got != 10+3*53+130 {
+		t.Errorf("TBlock(130,1) = %v, want %v", got, 10+3*53+130)
+	}
+}
+
+func TestTotalMMScalesWithReuse(t *testing.T) {
+	m := DefaultMachine(32, 8)
+	v := DefaultVCM(1024)
+	n := 64 * 1024
+	t1 := TotalMM(m, v, n)
+	v.R *= 2
+	if got := TotalMM(m, v, n); !almostEqual(got, 2*t1, 1e-12) {
+		t.Errorf("doubling R: %v, want %v", got, 2*t1)
+	}
+}
+
+func TestCyclesPerResultMMIndependentOfR(t *testing.T) {
+	// T_N ∝ R, so cycles per result must not depend on R for the MM-model.
+	m := DefaultMachine(32, 8)
+	a := DefaultVCM(1024)
+	b := a
+	b.R = 7
+	n := 64 * 1024
+	if x, y := CyclesPerResultMM(m, a, n), CyclesPerResultMM(m, b, n); !almostEqual(x, y, 1e-12) {
+		t.Errorf("CPR depends on R: %v vs %v", x, y)
+	}
+}
+
+func TestMachineValidate(t *testing.T) {
+	ok := DefaultMachine(32, 8)
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid machine rejected: %v", err)
+	}
+	bad := []Machine{
+		{MVL: 0, Banks: 32, Tm: 8},
+		{MVL: 64, Banks: 33, Tm: 8},
+		{MVL: 64, Banks: 0, Tm: 8},
+		{MVL: 64, Banks: 32, Tm: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad machine %d accepted", i)
+		}
+	}
+}
+
+func TestVCMValidate(t *testing.T) {
+	if err := DefaultVCM(1024).Validate(); err != nil {
+		t.Errorf("default VCM rejected: %v", err)
+	}
+	bad := []VCM{
+		{B: 0, R: 1},
+		{B: 1, R: 0},
+		{B: 1, R: 1, Pds: -0.1},
+		{B: 1, R: 1, P1S1: 1.5},
+		{B: 1, R: 1, P1S2: math.NaN()},
+	}
+	for i, v := range bad {
+		if err := v.Validate(); err == nil {
+			t.Errorf("bad VCM %d accepted", i)
+		}
+	}
+	if got := (VCM{Pds: 0.3}).Pss(); !almostEqual(got, 0.7, 1e-15) {
+		t.Errorf("Pss = %v", got)
+	}
+}

@@ -1,0 +1,63 @@
+package vcm
+
+import "fmt"
+
+// The §3.1 workload presets: the paper instantiates its seven-tuple for
+// three named algorithms. Each constructor returns the VCM the paper
+// derives for a blocking parameter b.
+
+// MatMulVCM is the blocked matrix multiply of Lam et al. as the paper
+// models it: blocking factor B = b² (a b×b sub-matrix), reuse factor
+// R = b, and one double-stream access per b−1 single-stream accesses
+// (P_ds = 1/b). Column accesses are unit stride; the second stream's
+// stride is effectively random for an arbitrary matrix (P1 ≈ 1/C → 0).
+func MatMulVCM(b int) (VCM, error) {
+	if b < 2 {
+		return VCM{}, fmt.Errorf("vcm: matmul blocking parameter must be ≥ 2, got %d", b)
+	}
+	return VCM{B: b * b, R: b, Pds: 1 / float64(b), P1S1: 1, P1S2: 0}, nil
+}
+
+// LUVCM is the blocked LU decomposition (Armstrong) as the paper models
+// it: blocking factor b², average reuse factor 3b/2.
+func LUVCM(b int) (VCM, error) {
+	if b < 2 {
+		return VCM{}, fmt.Errorf("vcm: LU blocking parameter must be ≥ 2, got %d", b)
+	}
+	return VCM{B: b * b, R: 3 * b / 2, Pds: 1 / float64(b), P1S1: 1, P1S2: 0}, nil
+}
+
+// FFTVCM is the blocked FFT as the paper models it: blocking factor b,
+// reuse factor log₂ b, single-stream (twiddle factors in registers),
+// power-of-two strides (P1 = 0). b must be a power of two ≥ 4. For the
+// full two-pass model use FFTTotal.
+func FFTVCM(b int) (VCM, error) {
+	if b < 4 || b&(b-1) != 0 {
+		return VCM{}, fmt.Errorf("vcm: FFT blocking parameter must be a power of two ≥ 4, got %d", b)
+	}
+	r := 0
+	for x := b; x > 1; x >>= 1 {
+		r++
+	}
+	return VCM{B: b, R: r, Pds: 0, P1S1: 0, P1S2: 0}, nil
+}
+
+// RowColumnVCM is the paper's §3.1 example "VCM = [b, r, 1, 1, P, 1, 1/C]":
+// double-stream accesses to columns (unit stride) and rows (random stride)
+// of a sub-matrix, each pair used r times.
+func RowColumnVCM(b, r int) (VCM, error) {
+	if b < 1 || r < 1 {
+		return VCM{}, fmt.Errorf("vcm: invalid row/column parameters b=%d r=%d", b, r)
+	}
+	return VCM{B: b, R: r, Pds: 1, P1S1: 1, P1S2: 0}, nil
+}
+
+// DiagonalVCM is the paper's "VCM = [b, r, 0, P+1, −, 1/C, −]": a single
+// stream along the major diagonal, whose stride P+1 is effectively random
+// with respect to the cache modulus.
+func DiagonalVCM(b, r int) (VCM, error) {
+	if b < 1 || r < 1 {
+		return VCM{}, fmt.Errorf("vcm: invalid diagonal parameters b=%d r=%d", b, r)
+	}
+	return VCM{B: b, R: r, Pds: 0, P1S1: 0, P1S2: 0}, nil
+}

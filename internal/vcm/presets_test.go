@@ -1,0 +1,93 @@
+package vcm
+
+import "testing"
+
+func TestMatMulVCM(t *testing.T) {
+	v, err := MatMulVCM(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.B != 1024 || v.R != 32 {
+		t.Errorf("B=%d R=%d, want 1024/32", v.B, v.R)
+	}
+	if !almostEqual(v.Pds, 1.0/32, 1e-15) {
+		t.Errorf("Pds = %v", v.Pds)
+	}
+	if err := v.Validate(); err != nil {
+		t.Errorf("invalid preset: %v", err)
+	}
+	if _, err := MatMulVCM(1); err == nil {
+		t.Error("b=1 accepted")
+	}
+}
+
+func TestLUVCM(t *testing.T) {
+	v, err := LUVCM(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.B != 256 || v.R != 24 {
+		t.Errorf("B=%d R=%d, want 256/24", v.B, v.R)
+	}
+	if _, err := LUVCM(0); err == nil {
+		t.Error("b=0 accepted")
+	}
+}
+
+func TestFFTVCM(t *testing.T) {
+	v, err := FFTVCM(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.B != 1024 || v.R != 10 || v.Pds != 0 {
+		t.Errorf("preset = %+v", v)
+	}
+	for _, b := range []int{0, 2, 3, 100} {
+		if _, err := FFTVCM(b); err == nil {
+			t.Errorf("FFTVCM(%d) accepted", b)
+		}
+	}
+}
+
+func TestRowColumnDiagonalVCM(t *testing.T) {
+	rc, err := RowColumnVCM(1024, 8)
+	if err != nil || rc.Pds != 1 || rc.P1S1 != 1 {
+		t.Errorf("RowColumnVCM = %+v, %v", rc, err)
+	}
+	d, err := DiagonalVCM(1024, 8)
+	if err != nil || d.Pds != 0 || d.P1S1 != 0 {
+		t.Errorf("DiagonalVCM = %+v, %v", d, err)
+	}
+	if _, err := RowColumnVCM(0, 1); err == nil {
+		t.Error("bad params accepted")
+	}
+	if _, err := DiagonalVCM(1, 0); err == nil {
+		t.Error("bad params accepted")
+	}
+}
+
+// TestPresetsOrdering: for each §3.1 preset the prime-mapped CC-model
+// beats the direct-mapped one, which is the paper's point across its
+// motivating algorithms.
+func TestPresetsOrdering(t *testing.T) {
+	m := DefaultMachine(64, 32)
+	const n = 1 << 20
+	mk := []func() (VCM, error){
+		func() (VCM, error) { return MatMulVCM(64) },
+		func() (VCM, error) { return LUVCM(64) },
+		func() (VCM, error) { return FFTVCM(4096) },
+		func() (VCM, error) { return RowColumnVCM(4096, 64) },
+		func() (VCM, error) { return DiagonalVCM(4096, 64) },
+	}
+	for i, f := range mk {
+		v, err := f()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := CyclesPerResultCC(DirectGeom(13), m, v, n)
+		prm := CyclesPerResultCC(PrimeGeom(13), m, v, n)
+		if prm >= dir {
+			t.Errorf("preset %d: prime %v not below direct %v", i, prm, dir)
+		}
+	}
+}

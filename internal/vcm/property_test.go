@@ -1,0 +1,114 @@
+package vcm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// randomValidInputs maps raw fuzz values onto a valid (machine, workload)
+// pair within the model's assumptions.
+func randomValidInputs(banksRaw, tmRaw uint8, bRaw uint16, rRaw uint8, pdsRaw, p1Raw uint8) (Machine, VCM) {
+	banks := 8 << (banksRaw % 5)     // 8..128
+	tm := 1 + int(tmRaw)%(banks-1)   // 1..banks-1 (closed-form regime)
+	b := 1 + int(bRaw)%8191          // 1..8191
+	r := 1 + int(rRaw)%64            // 1..64
+	pds := float64(pdsRaw%101) / 100 // 0..1
+	p1 := float64(p1Raw%101) / 100   // 0..1
+	m := DefaultMachine(banks, tm)
+	v := VCM{B: b, R: r, Pds: pds, P1S1: p1, P1S2: p1}
+	return m, v
+}
+
+// TestModelTotalsFiniteAndPositive: every valid operating point yields
+// finite, positive totals and per-element times ≥ 1 on all three machines.
+func TestModelTotalsFiniteAndPositive(t *testing.T) {
+	dg, pg := DirectGeom(13), PrimeGeom(13)
+	f := func(banksRaw, tmRaw uint8, bRaw uint16, rRaw uint8, pdsRaw, p1Raw uint8) bool {
+		m, v := randomValidInputs(banksRaw, tmRaw, bRaw, rRaw, pdsRaw, p1Raw)
+		const n = 1 << 18
+		vals := []float64{
+			TElemtMM(m, v), TElemtCC(dg, m, v), TElemtCC(pg, m, v),
+			TotalMM(m, v, n), TotalCC(dg, m, v, n), TotalCC(pg, m, v, n),
+			CyclesPerResultMM(m, v, n), CyclesPerResultCC(dg, m, v, n), CyclesPerResultCC(pg, m, v, n),
+		}
+		for i, x := range vals {
+			if math.IsNaN(x) || math.IsInf(x, 0) || x <= 0 {
+				t.Logf("val %d = %v at %+v %+v", i, x, m, v)
+				return false
+			}
+		}
+		// Per-element times never drop below the ideal 1 cycle.
+		return vals[0] >= 1 && vals[1] >= 1 && vals[2] >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPrimeNeverWorseProperty: across random valid operating points the
+// prime-mapped CC-model's per-element time never exceeds the
+// direct-mapped one's by more than the C = 8191-vs-8192 footprint sliver.
+func TestPrimeNeverWorseProperty(t *testing.T) {
+	dg, pg := DirectGeom(13), PrimeGeom(13)
+	f := func(banksRaw, tmRaw uint8, bRaw uint16, rRaw uint8, pdsRaw, p1Raw uint8) bool {
+		m, v := randomValidInputs(banksRaw, tmRaw, bRaw, rRaw, pdsRaw, p1Raw)
+		prm := TElemtCC(pg, m, v)
+		dir := TElemtCC(dg, m, v)
+		return prm <= dir*1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMonotoneInTmProperty: all three machines slow down (weakly) as the
+// memory access time grows, everything else fixed.
+func TestMonotoneInTmProperty(t *testing.T) {
+	dg, pg := DirectGeom(13), PrimeGeom(13)
+	f := func(bRaw uint16, rRaw, pdsRaw, p1Raw uint8) bool {
+		_, v := randomValidInputs(2, 0, bRaw, rRaw, pdsRaw, p1Raw)
+		const n = 1 << 18
+		prev := [3]float64{}
+		for i, tm := range []int{2, 4, 8, 16, 31} {
+			m := DefaultMachine(32, tm)
+			cur := [3]float64{
+				CyclesPerResultMM(m, v, n),
+				CyclesPerResultCC(dg, m, v, n),
+				CyclesPerResultCC(pg, m, v, n),
+			}
+			if i > 0 {
+				for k := 0; k < 3; k++ {
+					if cur[k] < prev[k]-1e-9 {
+						return false
+					}
+				}
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMissRatioBoundsProperty: the analytic miss ratio stays within
+// [1/(B·R), 1] — at least the compulsory pass, at most everything.
+func TestMissRatioBoundsProperty(t *testing.T) {
+	dg, pg := DirectGeom(13), PrimeGeom(13)
+	f := func(banksRaw, tmRaw uint8, bRaw uint16, rRaw uint8, pdsRaw, p1Raw uint8) bool {
+		m, v := randomValidInputs(banksRaw, tmRaw, bRaw, rRaw, pdsRaw, p1Raw)
+		for _, g := range []CacheGeom{dg, pg} {
+			mr := MissRatioCC(g, m, v)
+			if mr < 1/(float64(v.B)*float64(v.R))-1e-12 || mr > 1+1e-9 {
+				t.Logf("miss ratio %v at %+v %+v (%v)", mr, m, v, g.Mapping)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,111 @@
+package vcm
+
+import "fmt"
+
+// SensitivityEntry reports how cycles-per-result responds to one
+// parameter excursion.
+type SensitivityEntry struct {
+	Parameter string
+	// Low and High are CPR at the −/+ excursion; Base at the nominal
+	// point.
+	Low, Base, High float64
+}
+
+// Swing returns the relative CPR range (High−Low)/Base (signed by
+// direction of increase).
+func (e SensitivityEntry) Swing() float64 {
+	if e.Base == 0 {
+		return 0
+	}
+	return (e.High - e.Low) / e.Base
+}
+
+// Sensitivity performs a one-at-a-time ±factor excursion of every model
+// parameter around the operating point and returns the CPR swings — the
+// tornado analysis that shows which knobs the paper's conclusions hinge
+// on. factor must be in (0, 1); integer parameters move by at least 1.
+func Sensitivity(g CacheGeom, m Machine, v VCM, n int, factor float64) ([]SensitivityEntry, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	if factor <= 0 || factor >= 1 {
+		return nil, fmt.Errorf("vcm: sensitivity factor %v outside (0,1)", factor)
+	}
+	base := CyclesPerResultCC(g, m, v, n)
+	cpr := func(mm Machine, vv VCM) float64 { return CyclesPerResultCC(g, mm, vv, n) }
+
+	scaleInt := func(x int, f float64) int {
+		d := int(float64(x) * f)
+		if d < 1 {
+			d = 1
+		}
+		return d
+	}
+	clamp01 := func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	}
+
+	out := []SensitivityEntry{}
+
+	{ // t_m
+		lo, hi := m, m
+		lo.Tm = max(1, m.Tm-scaleInt(m.Tm, factor))
+		hi.Tm = m.Tm + scaleInt(m.Tm, factor)
+		out = append(out, SensitivityEntry{"t_m", cpr(lo, v), base, cpr(hi, v)})
+	}
+	{ // B (with R tracking B when R == B, the figures' convention)
+		lo, hi := v, v
+		lo.B = max(1, v.B-scaleInt(v.B, factor))
+		hi.B = v.B + scaleInt(v.B, factor)
+		if v.R == v.B {
+			lo.R, hi.R = lo.B, hi.B
+		}
+		out = append(out, SensitivityEntry{"B", cpr(m, lo), base, cpr(m, hi)})
+	}
+	{ // R
+		lo, hi := v, v
+		lo.R = max(1, v.R-scaleInt(v.R, factor))
+		hi.R = v.R + scaleInt(v.R, factor)
+		out = append(out, SensitivityEntry{"R", cpr(m, lo), base, cpr(m, hi)})
+	}
+	{ // P_ds
+		lo, hi := v, v
+		lo.Pds = clamp01(v.Pds * (1 - factor))
+		hi.Pds = clamp01(v.Pds * (1 + factor))
+		out = append(out, SensitivityEntry{"P_ds", cpr(m, lo), base, cpr(m, hi)})
+	}
+	{ // P_stride1
+		lo, hi := v, v
+		lo.P1S1 = clamp01(v.P1S1 * (1 - factor))
+		lo.P1S2 = lo.P1S1
+		hi.P1S1 = clamp01(v.P1S1 * (1 + factor))
+		hi.P1S2 = hi.P1S1
+		out = append(out, SensitivityEntry{"P_stride1", cpr(m, lo), base, cpr(m, hi)})
+	}
+	{ // T_start extra
+		lo, hi := m, m
+		lo.TStartExtra = m.TStartExtra * (1 - factor)
+		hi.TStartExtra = m.TStartExtra * (1 + factor)
+		out = append(out, SensitivityEntry{"T_start", cpr(lo, v), base, cpr(hi, v)})
+	}
+	return out, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,101 @@
+package vcm
+
+import "testing"
+
+func TestSensitivityValidation(t *testing.T) {
+	m := DefaultMachine(64, 32)
+	v := DefaultVCM(4096)
+	g := DirectGeom(13)
+	if _, err := Sensitivity(g, m, v, 1<<20, 0); err == nil {
+		t.Error("factor 0 accepted")
+	}
+	if _, err := Sensitivity(g, m, v, 1<<20, 1); err == nil {
+		t.Error("factor 1 accepted")
+	}
+	bad := m
+	bad.Banks = 3
+	if _, err := Sensitivity(g, bad, v, 1<<20, 0.2); err == nil {
+		t.Error("bad machine accepted")
+	}
+}
+
+func TestSensitivityDirections(t *testing.T) {
+	// B = 1K keeps the direct cache on the winning side of the Figure 8
+	// crossover, so reuse helps; at B = 4K the reuse pass is slower than
+	// the memory pass and the R direction legitimately flips.
+	m := DefaultMachine(64, 32)
+	v := DefaultVCM(1024)
+	v.R = 8 // moderate reuse so the R excursion has visible effect
+	g := DirectGeom(13)
+	entries, err := Sensitivity(g, m, v, 1<<20, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 6 {
+		t.Fatalf("entries = %d, want 6", len(entries))
+	}
+	byName := map[string]SensitivityEntry{}
+	for _, e := range entries {
+		byName[e.Parameter] = e
+		if e.Base <= 0 || e.Low <= 0 || e.High <= 0 {
+			t.Errorf("%s: non-positive CPR %+v", e.Parameter, e)
+		}
+	}
+	// More memory latency, more double streams, bigger blocks → slower;
+	// more unit strides → faster.
+	for _, name := range []string{"t_m", "P_ds", "B"} {
+		if e := byName[name]; !(e.Low < e.High) {
+			t.Errorf("%s: CPR not increasing (%v → %v)", name, e.Low, e.High)
+		}
+	}
+	if e := byName["P_stride1"]; !(e.Low > e.High) {
+		t.Errorf("P_stride1: CPR not decreasing (%v → %v)", e.Low, e.High)
+	}
+	// More reuse amortises the memory pass → faster.
+	if e := byName["R"]; !(e.Low > e.High) {
+		t.Errorf("R: CPR not decreasing (%v → %v)", e.Low, e.High)
+	}
+}
+
+// TestSensitivityPrimeDominatedByPds: the prime-mapped design's only
+// material stall term at this point is cross-interference, so P_ds should
+// have the largest swing and P_stride1 almost none — the model's way of
+// saying the prime cache removed the stride sensitivity.
+func TestSensitivityPrimeDominatedByPds(t *testing.T) {
+	m := DefaultMachine(64, 32)
+	v := DefaultVCM(4096)
+	entries, err := Sensitivity(PrimeGeom(13), m, v, 1<<20, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pds, p1 float64
+	for _, e := range entries {
+		switch e.Parameter {
+		case "P_ds":
+			pds = abs(e.Swing())
+		case "P_stride1":
+			p1 = abs(e.Swing())
+		}
+	}
+	if pds < 5*p1 {
+		t.Errorf("prime P_ds swing %v not ≫ P_stride1 swing %v", pds, p1)
+	}
+	// On the direct map the stride distribution still matters a lot.
+	dEntries, _ := Sensitivity(DirectGeom(13), m, v, 1<<20, 0.25)
+	var dp1 float64
+	for _, e := range dEntries {
+		if e.Parameter == "P_stride1" {
+			dp1 = abs(e.Swing())
+		}
+	}
+	if dp1 < 10*p1 {
+		t.Errorf("direct P_stride1 swing %v not ≫ prime's %v", dp1, p1)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,91 @@
+package vcm
+
+import "fmt"
+
+// SubblockConditions reports whether a b1×b2 sub-block of a P×Q
+// column-major matrix is guaranteed conflict-free in a prime-mapped cache
+// of C lines. b1 is the column height (consecutive words), b2 the number
+// of columns; consecutive columns start P words apart, i.e. s = P mod C
+// apart in the cache.
+//
+// The paper (§4) states the conditions
+//
+//	b1 ≤ min(P mod C, C − P mod C)  and  b2 ≤ ⌊C/b1⌋,
+//
+// but as literally written they are not sufficient: with C = 127,
+// P ≡ 45, b1 = 2, b2 = 51 they hold, yet columns 0 and 48 collide because
+// 48·45 ≡ 1 (mod 127) — once b1 < s, column starts wrap around and can
+// land inside an earlier column's footprint. This function implements the
+// corrected sufficient condition: the columns must tile without wraparound
+// in one of the two directions,
+//
+//	(b1 ≤ s  and (b2−1)·s  + b1 ≤ C)  or
+//	(b1 ≤ s′ and (b2−1)·s′ + b1 ≤ C),   s = P mod C, s′ = C − s,
+//
+// which reduces to the paper's conditions exactly at its recommended
+// maximal block b1 = min(s, s′), b2 = ⌊C/b1⌋. Use SubblockConflictFree for
+// an exact (but O(b1·b2)) check of arbitrary blocks.
+func SubblockConditions(c, p, b1, b2 int) bool {
+	if b1 <= 0 || b2 <= 0 || p <= 0 || c <= 1 {
+		return false
+	}
+	s := p % c
+	if s == 0 {
+		return b2 == 1 && b1 <= c // all columns collide; only one column is safe
+	}
+	sp := c - s
+	if b1 <= s && (b2-1)*s+b1 <= c {
+		return true
+	}
+	return b1 <= sp && (b2-1)*sp+b1 <= c
+}
+
+// SubblockConflictFree exhaustively checks that the b1·b2 words of the
+// sub-block map to distinct residues mod C — the ground truth the cheap
+// SubblockConditions test is validated against.
+func SubblockConflictFree(c, p, b1, b2 int) bool {
+	if b1 <= 0 || b2 <= 0 || p <= 0 || c <= 1 || b1*b2 > c {
+		return false
+	}
+	seen := make(map[int]bool, b1*b2)
+	for col := 0; col < b2; col++ {
+		base := col * p % c
+		for row := 0; row < b1; row++ {
+			idx := (base + row) % c
+			if seen[idx] {
+				return false
+			}
+			seen[idx] = true
+		}
+	}
+	return true
+}
+
+// MaxConflictFreeBlock returns the paper's recommended blocking of a P×Q
+// column-major matrix for a prime-mapped cache of C lines: b1 = min(P mod
+// C, C − P mod C) and b2 = ⌊C/b1⌋, which drives cache utilisation b1·b2/C
+// toward 1 and is conflict-free (this maximal point of the paper's
+// conditions is correct; see SubblockConditions for the general-case
+// caveat). It fails when P ≡ 0 (mod C), the single degenerate dimension,
+// in which case the caller should re-block with a different leading
+// dimension.
+func MaxConflictFreeBlock(c, p int) (b1, b2 int, err error) {
+	if c <= 1 || p <= 0 {
+		return 0, 0, fmt.Errorf("vcm: invalid sub-block parameters C=%d P=%d", c, p)
+	}
+	pm := p % c
+	if pm == 0 {
+		return 0, 0, fmt.Errorf("vcm: leading dimension P=%d is a multiple of C=%d; no conflict-free block exists", p, c)
+	}
+	b1 = pm
+	if c-pm < b1 {
+		b1 = c - pm
+	}
+	return b1, c / b1, nil
+}
+
+// SubblockUtilization returns b1·b2/C, the fraction of the cache a
+// conflict-free sub-block occupies.
+func SubblockUtilization(c, b1, b2 int) float64 {
+	return float64(b1*b2) / float64(c)
+}

@@ -1,0 +1,171 @@
+package vcm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxConflictFreeBlock(t *testing.T) {
+	const c = 8191
+	cases := []struct {
+		p      int
+		b1, b2 int
+	}{
+		{1000, 1000, 8},  // P mod C = 1000 < C−1000
+		{8000, 191, 42},  // C − 8000 mod C = 191
+		{8190, 1, 8191},  // stride ≡ −1
+		{10000, 1809, 4}, // 10000 mod 8191 = 1809
+		{4096, 4095, 2},  // min(4096, 4095)
+	}
+	for _, tc := range cases {
+		b1, b2, err := MaxConflictFreeBlock(c, tc.p)
+		if err != nil {
+			t.Errorf("P=%d: %v", tc.p, err)
+			continue
+		}
+		if b1 != tc.b1 || b2 != tc.b2 {
+			t.Errorf("P=%d: got (%d,%d), want (%d,%d)", tc.p, b1, b2, tc.b1, tc.b2)
+		}
+		if !SubblockConditions(c, tc.p, b1, b2) {
+			t.Errorf("P=%d: maximal block fails the sufficient conditions", tc.p)
+		}
+	}
+}
+
+func TestMaxConflictFreeBlockDegenerate(t *testing.T) {
+	if _, _, err := MaxConflictFreeBlock(8191, 8191); err == nil {
+		t.Error("P ≡ 0 (mod C) should fail")
+	}
+	if _, _, err := MaxConflictFreeBlock(8191, 2*8191); err == nil {
+		t.Error("P ≡ 0 (mod C) should fail")
+	}
+	if _, _, err := MaxConflictFreeBlock(0, 5); err == nil {
+		t.Error("invalid C should fail")
+	}
+	if _, _, err := MaxConflictFreeBlock(8191, 0); err == nil {
+		t.Error("invalid P should fail")
+	}
+}
+
+// TestPaperConditionCounterexample records the reproduction finding: the
+// paper's literal §4 conditions admit a colliding block. C = 127, P ≡ 45:
+// b1 = 2 ≤ min(45, 82) and b2 = 51 ≤ ⌊127/2⌋, yet 48·45 ≡ 1 (mod 127), so
+// column 48 lands one line above column 0 and their footprints overlap.
+func TestPaperConditionCounterexample(t *testing.T) {
+	const c, p, b1, b2 = 127, 45, 2, 51
+	paperOK := b1 <= min(p%c, c-p%c) && b2 <= c/b1
+	if !paperOK {
+		t.Fatal("counterexample no longer satisfies the paper's conditions")
+	}
+	if SubblockConflictFree(c, p, b1, b2) {
+		t.Fatal("counterexample is actually conflict-free; finding is wrong")
+	}
+	if SubblockConditions(c, p, b1, b2) {
+		t.Error("corrected conditions must reject the counterexample")
+	}
+}
+
+func TestSubblockConditionsBounds(t *testing.T) {
+	const c = 127
+	// 1000 mod 127 = 111, so columns are 111 apart going forward or 16
+	// going backward; b1 = 7 with b2 = 8 tiles backward: 7·16 + 7 ≤ 127.
+	if !SubblockConditions(c, 1000, 7, 8) {
+		t.Error("valid block rejected")
+	}
+	if SubblockConditions(c, 1000, 17, 8) { // b1 > 16 and 7·111+17 > 127
+		t.Error("b1 over both limits accepted")
+	}
+	if SubblockConditions(c, 1000, 7, 19) { // 18·16+7 > 127 and 18·111+7 > 127
+		t.Error("b2 over the tiling limit accepted")
+	}
+	if SubblockConditions(c, 1000, 0, 1) || SubblockConditions(c, 0, 1, 1) {
+		t.Error("degenerate parameters accepted")
+	}
+	// P ≡ 0: only a single column can be safe.
+	if !SubblockConditions(c, c, 5, 1) || SubblockConditions(c, c, 5, 2) {
+		t.Error("P ≡ 0 handling wrong")
+	}
+}
+
+func TestSubblockConflictFreeExact(t *testing.T) {
+	if !SubblockConflictFree(127, 1000, 16, 7) {
+		t.Error("known-good block reported colliding")
+	}
+	if SubblockConflictFree(127, 127, 2, 2) {
+		t.Error("P ≡ 0 collision missed")
+	}
+	if SubblockConflictFree(127, 45, 2, 51) {
+		t.Error("counterexample block reported conflict-free")
+	}
+	if SubblockConflictFree(127, 45, 64, 2) == false {
+		// columns 0 and 45..108: footprints [0,64) and [45,109) overlap.
+		t.Log("64x2 at spacing 45 collides as expected")
+	}
+	if SubblockConflictFree(0, 1, 1, 1) || SubblockConflictFree(127, 1, 128, 1) {
+		t.Error("degenerate inputs accepted")
+	}
+}
+
+// TestSubblockConditionsImplyConflictFree is the soundness property: every
+// block the cheap test accepts is exactly conflict-free.
+func TestSubblockConditionsImplyConflictFree(t *testing.T) {
+	const c = 127
+	f := func(pRaw uint16, b1Raw, b2Raw uint8) bool {
+		p := int(pRaw)%5000 + 1
+		b1 := int(b1Raw)%c + 1
+		b2 := int(b2Raw)%c + 1
+		if !SubblockConditions(c, p, b1, b2) {
+			return true // only soundness is claimed
+		}
+		return SubblockConflictFree(c, p, b1, b2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMaxBlockConflictFreeProperty: the paper's recommended maximal block
+// is always conflict-free (the point of §4).
+func TestMaxBlockConflictFreeProperty(t *testing.T) {
+	const c = 127
+	f := func(pRaw uint16) bool {
+		p := int(pRaw)%5000 + 1
+		if p%c == 0 {
+			return true
+		}
+		b1, b2, err := MaxConflictFreeBlock(c, p)
+		if err != nil {
+			return false
+		}
+		return SubblockConflictFree(c, p, b1, b2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubblockUtilizationApproachesOne(t *testing.T) {
+	// With the maximal block, utilisation b1·b2/C exceeds 0.5 for any P
+	// (b2 = ⌊C/b1⌋ wastes less than b1 lines) and is often ≈1.
+	const c = 8191
+	for p := 1; p < 3*c; p += 37 {
+		if p%c == 0 {
+			continue
+		}
+		b1, b2, err := MaxConflictFreeBlock(c, p)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		u := SubblockUtilization(c, b1, b2)
+		if u <= 0.5 || u > 1 {
+			t.Errorf("P=%d: utilization %v outside (0.5, 1]", p, u)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,108 @@
+package vcm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Machine holds the machine-model parameters shared by the MM- and
+// CC-models: M = 2^m interleaved banks of access time Tm cycles, vector
+// registers of MVL words, and the loop-overhead constants of Eq. (1)
+// (taken, like the paper, from Hennessy & Patterson's DLX vector model).
+type Machine struct {
+	// MVL is the maximum vector register length (paper: 64).
+	MVL int
+	// Banks is M, the number of interleaved memory banks (power of two).
+	Banks int
+	// Tm is the memory access time in processor cycles.
+	Tm int
+	// OuterOverhead is the fixed per-block overhead (paper: 10 cycles).
+	OuterOverhead float64
+	// InnerOverhead is the per-strip overhead added to T_start
+	// (paper: 15 cycles).
+	InnerOverhead float64
+	// TStartExtra is the stride-independent part of the vector start-up
+	// time; T_start = TStartExtra + Tm (paper: 30 + t_m).
+	TStartExtra float64
+}
+
+// DefaultMachine returns the paper's machine parameters for a given bank
+// count and memory access time: MVL = 64, T_start = 30 + t_m, overheads 10
+// and 15 cycles.
+func DefaultMachine(banks, tm int) Machine {
+	return Machine{MVL: 64, Banks: banks, Tm: tm, OuterOverhead: 10, InnerOverhead: 15, TStartExtra: 30}
+}
+
+// Validate checks machine parameters.
+func (m Machine) Validate() error {
+	if m.MVL <= 0 {
+		return fmt.Errorf("vcm: MVL must be positive, got %d", m.MVL)
+	}
+	if m.Banks <= 0 || m.Banks&(m.Banks-1) != 0 {
+		return fmt.Errorf("vcm: Banks must be a positive power of two, got %d", m.Banks)
+	}
+	if m.Tm <= 0 {
+		return fmt.Errorf("vcm: Tm must be positive, got %d", m.Tm)
+	}
+	return nil
+}
+
+// TStart returns the vector start-up time T_start = TStartExtra + Tm.
+func (m Machine) TStart() float64 { return m.TStartExtra + float64(m.Tm) }
+
+// VCM is the paper's seven-tuple workload model. Stride distributions are
+// represented the way the paper uses them: a stride is 1 with probability
+// P1, otherwise uniform over the remaining residues (2..M for the MM-model,
+// 2..C for the CC-model). Setting P1 = 1 models a fixed unit stride;
+// P1 ≈ 1/C models a fully random stride (the paper's row-access case).
+type VCM struct {
+	// B is the blocking factor: the length of the first vector.
+	B int
+	// R is the reuse factor: how many times each block is operated on.
+	R int
+	// Pds is the probability a vector operation loads two streams from
+	// memory simultaneously; the second stream has length B·Pds.
+	Pds float64
+	// P1S1 and P1S2 are P_stride1 for the first and second stream.
+	P1S1, P1S2 float64
+}
+
+// Pss returns the single-stream probability 1 − Pds.
+func (v VCM) Pss() float64 { return 1 - v.Pds }
+
+// Validate checks workload parameters.
+func (v VCM) Validate() error {
+	if v.B <= 0 {
+		return fmt.Errorf("vcm: blocking factor B must be positive, got %d", v.B)
+	}
+	if v.R <= 0 {
+		return fmt.Errorf("vcm: reuse factor R must be positive, got %d", v.R)
+	}
+	for _, p := range []float64{v.Pds, v.P1S1, v.P1S2} {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return fmt.Errorf("vcm: probability %v out of [0,1]", p)
+		}
+	}
+	return nil
+}
+
+// DefaultVCM returns the workload used for the paper's random-stride
+// figures: reuse factor R = B, double-stream probability 0.25, and
+// P_stride1 = 0.25 (the average of the Fu & Patel measurements the paper
+// cites) for both streams. The paper does not state its P_ds; 0.25
+// reproduces the headline ratios of Figure 7 (see EXPERIMENTS.md).
+func DefaultVCM(b int) VCM {
+	return VCM{B: b, R: b, Pds: 0.25, P1S1: 0.25, P1S2: 0.25}
+}
+
+// TBlock is Eq. (1): the execution time of one sequence of operations on a
+// vector of length B given a per-element time telemt,
+//
+//	T_B = 10 + ceil(B/MVL)·(15 + T_start) + B·telemt.
+func (m Machine) TBlock(b int, telemt float64) float64 {
+	strips := math.Ceil(float64(b) / float64(m.MVL))
+	return m.OuterOverhead + strips*(m.InnerOverhead+m.TStart()) + float64(b)*telemt
+}
+
+// ceilDiv returns ceil(a/b) for positive ints.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

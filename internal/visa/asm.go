@@ -1,0 +1,248 @@
+package visa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Assembler builds Programs fluently. Each method appends one instruction
+// and returns the assembler, so strip-mined loops read top to bottom:
+//
+//	var a Assembler
+//	a.SetVL(64).LoadA(0, base).LoadA(1, stride).LoadV(0, 0, 1)
+type Assembler struct {
+	p Program
+}
+
+// Program returns the assembled program.
+func (a *Assembler) Program() Program { return a.p }
+
+// SetVL appends a set-vector-length instruction.
+func (a *Assembler) SetVL(n int) *Assembler {
+	a.p = append(a.p, Instr{Op: OpSetVL, Imm: int64(n)})
+	return a
+}
+
+// LoadA sets address register d to the immediate.
+func (a *Assembler) LoadA(d int, imm int64) *Assembler {
+	a.p = append(a.p, Instr{Op: OpLoadA, D: d, Imm: imm})
+	return a
+}
+
+// AddA adds the immediate to address register d.
+func (a *Assembler) AddA(d int, imm int64) *Assembler {
+	a.p = append(a.p, Instr{Op: OpAddA, D: d, Imm: imm})
+	return a
+}
+
+// LoadS sets scalar register d to the float immediate.
+func (a *Assembler) LoadS(d int, f float64) *Assembler {
+	a.p = append(a.p, Instr{Op: OpLoadS, D: d, FImm: f})
+	return a
+}
+
+// LoadV loads vector register d from [A[base]] with stride A[stride].
+func (a *Assembler) LoadV(d, base, stride int) *Assembler {
+	a.p = append(a.p, Instr{Op: OpLoadV, D: d, A: base, B: stride})
+	return a
+}
+
+// StoreV stores vector register d to [A[base]] with stride A[stride].
+func (a *Assembler) StoreV(d, base, stride int) *Assembler {
+	a.p = append(a.p, Instr{Op: OpStoreV, D: d, A: base, B: stride})
+	return a
+}
+
+// AddVV appends V[d] = V[x] + V[y].
+func (a *Assembler) AddVV(d, x, y int) *Assembler {
+	a.p = append(a.p, Instr{Op: OpAddVV, D: d, A: x, B: y})
+	return a
+}
+
+// MulVV appends V[d] = V[x] · V[y].
+func (a *Assembler) MulVV(d, x, y int) *Assembler {
+	a.p = append(a.p, Instr{Op: OpMulVV, D: d, A: x, B: y})
+	return a
+}
+
+// AddVS appends V[d] = V[x] + S[s].
+func (a *Assembler) AddVS(d, x, s int) *Assembler {
+	a.p = append(a.p, Instr{Op: OpAddVS, D: d, A: x, B: s})
+	return a
+}
+
+// MulVS appends V[d] = V[x] · S[s].
+func (a *Assembler) MulVS(d, x, s int) *Assembler {
+	a.p = append(a.p, Instr{Op: OpMulVS, D: d, A: x, B: s})
+	return a
+}
+
+// SumV appends S[d] = Σ V[x].
+func (a *Assembler) SumV(d, x int) *Assembler {
+	a.p = append(a.p, Instr{Op: OpSumV, D: d, A: x})
+	return a
+}
+
+// DAXPY assembles the strip-mined y ← α·x + y over n elements with the
+// given word strides — the paper's prototypical vector operation. It uses
+// V0/V1, S0, and address registers A0–A3.
+func DAXPY(alpha float64, xBase, yBase int64, strideX, strideY int64, n, mvl int) Program {
+	var a Assembler
+	a.LoadS(0, alpha)
+	a.LoadA(0, xBase)
+	a.LoadA(1, strideX)
+	a.LoadA(2, yBase)
+	a.LoadA(3, strideY)
+	for done := 0; done < n; done += mvl {
+		l := mvl
+		if n-done < l {
+			l = n - done
+		}
+		a.SetVL(l)
+		a.LoadV(0, 0, 1)  // V0 = x
+		a.MulVS(0, 0, 0)  // V0 = α·x
+		a.LoadV(1, 2, 3)  // V1 = y
+		a.AddVV(1, 1, 0)  // V1 = y + α·x
+		a.StoreV(1, 2, 3) // y = V1
+		a.AddA(0, int64(l)*strideX)
+		a.AddA(2, int64(l)*strideY)
+	}
+	return a.Program()
+}
+
+// AddSS appends S[d] = S[x] + S[y].
+func (a *Assembler) AddSS(d, x, y int) *Assembler {
+	a.p = append(a.p, Instr{Op: OpAddSS, D: d, A: x, B: y})
+	return a
+}
+
+// DotProduct assembles S1 = Σ x·y over n elements (unit stride),
+// accumulating strip partial sums.
+func DotProduct(xBase, yBase int64, n, mvl int) Program {
+	var a Assembler
+	a.LoadS(1, 0)
+	a.LoadA(0, xBase)
+	a.LoadA(2, yBase)
+	a.LoadA(1, 1) // unit stride
+	for done := 0; done < n; done += mvl {
+		l := mvl
+		if n-done < l {
+			l = n - done
+		}
+		a.SetVL(l)
+		a.LoadV(0, 0, 1)
+		a.LoadV(1, 2, 1)
+		a.MulVV(0, 0, 1)
+		a.SumV(2, 0)     // S2 = strip sum
+		a.AddSS(1, 1, 2) // S1 += S2
+		a.AddA(0, int64(l))
+		a.AddA(2, int64(l))
+	}
+	return a.Program()
+}
+
+// Gather appends V[d][i] = mem[A[base] + V[idx][i]].
+func (a *Assembler) Gather(d, base, idx int) *Assembler {
+	a.p = append(a.p, Instr{Op: OpGather, D: d, A: base, B: idx})
+	return a
+}
+
+// Scatter appends mem[A[base] + V[idx][i]] = V[d][i].
+func (a *Assembler) Scatter(d, base, idx int) *Assembler {
+	a.p = append(a.p, Instr{Op: OpScatter, D: d, A: base, B: idx})
+	return a
+}
+
+// LoopStart opens a counted loop of n iterations.
+func (a *Assembler) LoopStart(n int64) *Assembler {
+	a.p = append(a.p, Instr{Op: OpLoopStart, Imm: n})
+	return a
+}
+
+// LoopEnd closes the innermost loop.
+func (a *Assembler) LoopEnd() *Assembler {
+	a.p = append(a.p, Instr{Op: OpLoopEnd})
+	return a
+}
+
+// DAXPYLoop is DAXPY expressed with a hardware loop instead of unrolled
+// strips; n must be a multiple of mvl (trailing elements would need a
+// separately assembled tail strip).
+func DAXPYLoop(alpha float64, xBase, yBase int64, strideX, strideY int64, n, mvl int) (Program, error) {
+	if n%mvl != 0 {
+		return nil, fmt.Errorf("visa: DAXPYLoop needs n divisible by MVL (n=%d, mvl=%d)", n, mvl)
+	}
+	var a Assembler
+	a.LoadS(0, alpha)
+	a.LoadA(0, xBase)
+	a.LoadA(1, strideX)
+	a.LoadA(2, yBase)
+	a.LoadA(3, strideY)
+	a.SetVL(mvl)
+	a.LoopStart(int64(n / mvl))
+	a.LoadV(0, 0, 1)
+	a.MulVS(0, 0, 0)
+	a.LoadV(1, 2, 3)
+	a.AddVV(1, 1, 0)
+	a.StoreV(1, 2, 3)
+	a.AddA(0, int64(mvl)*strideX)
+	a.AddA(2, int64(mvl)*strideY)
+	a.LoopEnd()
+	return a.Program(), nil
+}
+
+// Disassemble renders the program as readable assembly, one instruction
+// per line, with loop bodies indented.
+func Disassemble(p Program) string {
+	var b strings.Builder
+	indent := 0
+	for pc, ins := range p {
+		if ins.Op == OpLoopEnd && indent > 0 {
+			indent--
+		}
+		fmt.Fprintf(&b, "%4d  %s%s\n", pc, strings.Repeat("  ", indent), formatInstr(ins))
+		if ins.Op == OpLoopStart {
+			indent++
+		}
+	}
+	return b.String()
+}
+
+func formatInstr(ins Instr) string {
+	switch ins.Op {
+	case OpSetVL:
+		return fmt.Sprintf("setvl  %d", ins.Imm)
+	case OpLoadA:
+		return fmt.Sprintf("loada  a%d, %d", ins.D, ins.Imm)
+	case OpAddA:
+		return fmt.Sprintf("adda   a%d, %d", ins.D, ins.Imm)
+	case OpLoadS:
+		return fmt.Sprintf("loads  s%d, %g", ins.D, ins.FImm)
+	case OpLoadV:
+		return fmt.Sprintf("loadv  v%d, (a%d), a%d", ins.D, ins.A, ins.B)
+	case OpStoreV:
+		return fmt.Sprintf("storev v%d, (a%d), a%d", ins.D, ins.A, ins.B)
+	case OpAddVV:
+		return fmt.Sprintf("addvv  v%d, v%d, v%d", ins.D, ins.A, ins.B)
+	case OpMulVV:
+		return fmt.Sprintf("mulvv  v%d, v%d, v%d", ins.D, ins.A, ins.B)
+	case OpAddVS:
+		return fmt.Sprintf("addvs  v%d, v%d, s%d", ins.D, ins.A, ins.B)
+	case OpMulVS:
+		return fmt.Sprintf("mulvs  v%d, v%d, s%d", ins.D, ins.A, ins.B)
+	case OpSumV:
+		return fmt.Sprintf("sumv   s%d, v%d", ins.D, ins.A)
+	case OpAddSS:
+		return fmt.Sprintf("addss  s%d, s%d, s%d", ins.D, ins.A, ins.B)
+	case OpGather:
+		return fmt.Sprintf("gather v%d, (a%d + v%d)", ins.D, ins.A, ins.B)
+	case OpScatter:
+		return fmt.Sprintf("scatter v%d, (a%d + v%d)", ins.D, ins.A, ins.B)
+	case OpLoopStart:
+		return fmt.Sprintf("loop   %d", ins.Imm)
+	case OpLoopEnd:
+		return "endloop"
+	default:
+		return fmt.Sprintf("op(%d)", int(ins.Op))
+	}
+}

@@ -1,0 +1,95 @@
+package visa
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"primecache/internal/vcm"
+)
+
+// CompileVCM translates the paper's generic vector computation (one block
+// of the VCM tuple, all R passes) into a concrete instruction sequence:
+// strip-mined strided loads of the first vector, double-stream loads of
+// the second with probability P_ds per strip, and a SAXPY-style multiply
+// accumulate per strip. Strides are drawn from the VCM distribution with
+// the given seed, so the same program can be replayed on every machine
+// configuration — the instruction-level counterpart of package vproc.
+//
+// The returned program assumes memory of at least MemWordsForVCM words.
+func CompileVCM(work vcm.VCM, mach vcm.Machine, strideLimit int, seed int64) (Program, error) {
+	if err := work.Validate(); err != nil {
+		return nil, err
+	}
+	if err := mach.Validate(); err != nil {
+		return nil, err
+	}
+	if strideLimit < 1 {
+		return nil, fmt.Errorf("visa: stride limit must be positive, got %d", strideLimit)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	draw := func(p1 float64) int64 {
+		if strideLimit < 2 || rng.Float64() < p1 {
+			return 1
+		}
+		return int64(2 + rng.Intn(strideLimit-1))
+	}
+	s1 := draw(work.P1S1)
+	s2 := draw(work.P1S2)
+	b2len := int(math.Round(float64(work.B) * work.Pds))
+
+	var a Assembler
+	a.LoadA(1, s1) // stride register, stream 1
+	a.LoadA(3, s2) // stride register, stream 2
+	a.LoadS(0, 1.0001)
+	base2 := int64(work.B)*s1 + 4096 // second vector beyond the first
+	i2 := 0
+	if work.Pds == 0 {
+		// Single-stream passes are identical: emit one body inside a
+		// hardware loop (OpLoopStart) instead of unrolling R copies.
+		a.LoopStart(int64(work.R))
+		a.LoadA(0, 0)
+		for done := 0; done < work.B; done += mach.MVL {
+			l := mach.MVL
+			if work.B-done < l {
+				l = work.B - done
+			}
+			a.SetVL(l)
+			a.LoadV(0, 0, 1)
+			a.MulVS(0, 0, 0)
+			a.AddA(0, int64(l)*s1)
+		}
+		a.LoopEnd()
+		return a.Program(), nil
+	}
+	for pass := 0; pass < work.R; pass++ {
+		a.LoadA(0, 0) // stream-1 cursor
+		for done := 0; done < work.B; done += mach.MVL {
+			l := mach.MVL
+			if work.B-done < l {
+				l = work.B - done
+			}
+			a.SetVL(l)
+			a.LoadV(0, 0, 1)
+			if work.Pds > 0 && b2len > 0 && rng.Float64() < work.Pds {
+				start2 := base2 + int64(i2%b2len)*s2
+				a.LoadA(2, start2)
+				a.LoadV(1, 2, 3)
+				a.MulVV(0, 0, 1)
+				i2 += l
+			} else {
+				a.MulVS(0, 0, 0)
+			}
+			a.AddA(0, int64(l)*s1)
+		}
+	}
+	return a.Program(), nil
+}
+
+// MemWordsForVCM returns a safe memory size for a program compiled from
+// work with the given stride limit.
+func MemWordsForVCM(work vcm.VCM, strideLimit int) int {
+	b2len := int(math.Round(float64(work.B) * work.Pds))
+	span := work.B*strideLimit + 4096 + (b2len+1)*strideLimit + 1
+	return span + 1
+}

@@ -1,0 +1,123 @@
+package visa
+
+import (
+	"testing"
+
+	"primecache/internal/vcm"
+)
+
+func TestCompileVCMValidation(t *testing.T) {
+	mach := vcm.DefaultMachine(64, 32)
+	if _, err := CompileVCM(vcm.VCM{B: 0, R: 1}, mach, 64, 1); err == nil {
+		t.Error("bad workload accepted")
+	}
+	bad := mach
+	bad.Banks = 3
+	if _, err := CompileVCM(vcm.DefaultVCM(64), bad, 64, 1); err == nil {
+		t.Error("bad machine accepted")
+	}
+	if _, err := CompileVCM(vcm.DefaultVCM(64), mach, 0, 1); err == nil {
+		t.Error("bad stride limit accepted")
+	}
+}
+
+func TestCompileVCMDeterministic(t *testing.T) {
+	mach := vcm.DefaultMachine(64, 32)
+	w := vcm.DefaultVCM(512)
+	w.R = 4
+	p1, err := CompileVCM(w, mach, 64, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := CompileVCM(w, mach, 64, 9)
+	if len(p1) != len(p2) {
+		t.Fatalf("lengths differ: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("instruction %d differs", i)
+		}
+	}
+	p3, _ := CompileVCM(w, mach, 64, 10)
+	same := len(p3) == len(p1)
+	if same {
+		diff := false
+		for i := range p1 {
+			if p1[i] != p3[i] {
+				diff = true
+				break
+			}
+		}
+		same = !diff
+	}
+	if same {
+		t.Error("different seeds compiled identical programs (suspicious)")
+	}
+}
+
+// TestThreeFidelityAgreement is the capstone cross-check: the same VCM
+// operating point evaluated at three fidelities — the analytic model
+// (vcm), the trace-level machine simulator (vproc, exercised in its own
+// package), and the instruction-level machine (this package) — must agree
+// on the paper's ordering: prime-mapped below direct-mapped, both serving
+// reuse better than no cache at all at t_m = 32.
+func TestThreeFidelityAgreement(t *testing.T) {
+	mach := vcm.DefaultMachine(64, 32)
+	work := vcm.VCM{B: 2048, R: 8, Pds: 0, P1S1: 0, P1S2: 0} // all-random strides
+	const strideLimit = 1 << 13                              // the CC stride range; shared so the ISA program is identical
+
+	// One compiled program holds one stride draw; aggregate several
+	// blocks so the stride distribution (the model's averaging) plays
+	// out.
+	memWords := MemWordsForVCM(work, strideLimit)
+	run := func(geom *vcm.CacheGeom) int64 {
+		var total int64
+		for seed := int64(0); seed < 32; seed++ {
+			prog, err := CompileVCM(work, mach, strideLimit, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cpu, err := New(Config{Mach: mach, MemWords: memWords, CacheGeom: geom})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cpu.Run(prog); err != nil {
+				t.Fatal(err)
+			}
+			total += cpu.Cycles()
+		}
+		return total
+	}
+	dg, pg := vcm.DirectGeom(13), vcm.PrimeGeom(13)
+	mm := run(nil)
+	dir := run(&dg)
+	prm := run(&pg)
+
+	if !(prm < dir) {
+		t.Errorf("ISA level: prime %d not below direct %d", prm, dir)
+	}
+	if !(prm < mm) {
+		t.Errorf("ISA level: prime %d not below MM %d", prm, mm)
+	}
+	// The analytic model agrees on the ordering at this point.
+	anaDir := vcm.CyclesPerResultCC(dg, mach, work, work.B)
+	anaPrm := vcm.CyclesPerResultCC(pg, mach, work, work.B)
+	anaMM := vcm.CyclesPerResultMM(mach, work, work.B)
+	if !(anaPrm < anaDir && anaPrm < anaMM) {
+		t.Errorf("analytic ordering broken: prime %v direct %v mm %v", anaPrm, anaDir, anaMM)
+	}
+	// And the magnitudes correspond loosely: ISA prime/direct ratio within
+	// 3× of the analytic ratio.
+	isaRatio := float64(dir) / float64(prm)
+	anaRatio := anaDir / anaPrm
+	if isaRatio < anaRatio/3 || isaRatio > anaRatio*3 {
+		t.Errorf("ISA direct/prime %v vs analytic %v (beyond 3x)", isaRatio, anaRatio)
+	}
+}
+
+func TestMemWordsForVCM(t *testing.T) {
+	w := vcm.DefaultVCM(512)
+	if got := MemWordsForVCM(w, 64); got < 512*64 {
+		t.Errorf("MemWords = %d, too small", got)
+	}
+}

@@ -1,0 +1,198 @@
+package visa
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads textual vector assembly — the format Disassemble emits,
+// minus the leading program-counter column — into a Program. One
+// instruction per line; blank lines and '#' or ';' comments are ignored.
+// Register operands are v0–v7, s0–s7, a0–a7; memory operands are
+// "(aN)"-style. Example:
+//
+//	loads  s0, 2.5
+//	loada  a0, 0
+//	loada  a1, 1
+//	setvl  64
+//	loop   4
+//	  loadv  v0, (a0), a1
+//	  mulvs  v0, v0, s0
+//	  adda   a0, 64
+//	endloop
+func Parse(r io.Reader) (Program, error) {
+	var prog Program
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, ";") {
+			continue
+		}
+		// Tolerate Disassemble's leading pc column ("  12  loadv …").
+		fields := strings.Fields(line)
+		if len(fields) > 1 {
+			if _, err := strconv.Atoi(fields[0]); err == nil {
+				fields = fields[1:]
+			}
+		}
+		ins, err := parseInstr(fields)
+		if err != nil {
+			return nil, fmt.Errorf("visa: line %d: %w", lineNo, err)
+		}
+		prog = append(prog, ins)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("visa: %w", err)
+	}
+	return prog, nil
+}
+
+func parseInstr(fields []string) (Instr, error) {
+	if len(fields) == 0 {
+		return Instr{}, fmt.Errorf("empty instruction")
+	}
+	op := strings.ToLower(fields[0])
+	args := strings.Split(strings.Join(fields[1:], ""), ",")
+	if len(args) == 1 && args[0] == "" {
+		args = nil
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s needs %d operands, got %d", op, n, len(args))
+		}
+		return nil
+	}
+	switch op {
+	case "setvl":
+		if err := need(1); err != nil {
+			return Instr{}, err
+		}
+		n, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return Instr{}, fmt.Errorf("bad vector length %q", args[0])
+		}
+		return Instr{Op: OpSetVL, Imm: n}, nil
+	case "loada", "adda":
+		if err := need(2); err != nil {
+			return Instr{}, err
+		}
+		d, err := reg(args[0], 'a')
+		if err != nil {
+			return Instr{}, err
+		}
+		imm, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return Instr{}, fmt.Errorf("bad immediate %q", args[1])
+		}
+		o := OpLoadA
+		if op == "adda" {
+			o = OpAddA
+		}
+		return Instr{Op: o, D: d, Imm: imm}, nil
+	case "loads":
+		if err := need(2); err != nil {
+			return Instr{}, err
+		}
+		d, err := reg(args[0], 's')
+		if err != nil {
+			return Instr{}, err
+		}
+		f, err := strconv.ParseFloat(args[1], 64)
+		if err != nil {
+			return Instr{}, fmt.Errorf("bad float immediate %q", args[1])
+		}
+		return Instr{Op: OpLoadS, D: d, FImm: f}, nil
+	case "loadv", "storev":
+		if err := need(3); err != nil {
+			return Instr{}, err
+		}
+		d, err := reg(args[0], 'v')
+		if err != nil {
+			return Instr{}, err
+		}
+		base, err := reg(strings.Trim(args[1], "()"), 'a')
+		if err != nil {
+			return Instr{}, err
+		}
+		stride, err := reg(args[2], 'a')
+		if err != nil {
+			return Instr{}, err
+		}
+		o := OpLoadV
+		if op == "storev" {
+			o = OpStoreV
+		}
+		return Instr{Op: o, D: d, A: base, B: stride}, nil
+	case "addvv", "mulvv", "addvs", "mulvs", "addss":
+		if err := need(3); err != nil {
+			return Instr{}, err
+		}
+		kinds := map[string][3]byte{
+			"addvv": {'v', 'v', 'v'}, "mulvv": {'v', 'v', 'v'},
+			"addvs": {'v', 'v', 's'}, "mulvs": {'v', 'v', 's'},
+			"addss": {'s', 's', 's'},
+		}
+		ops := map[string]Op{"addvv": OpAddVV, "mulvv": OpMulVV, "addvs": OpAddVS, "mulvs": OpMulVS, "addss": OpAddSS}
+		k := kinds[op]
+		d, err := reg(args[0], k[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		a, err := reg(args[1], k[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		b, err := reg(args[2], k[2])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: ops[op], D: d, A: a, B: b}, nil
+	case "sumv":
+		if err := need(2); err != nil {
+			return Instr{}, err
+		}
+		d, err := reg(args[0], 's')
+		if err != nil {
+			return Instr{}, err
+		}
+		a, err := reg(args[1], 'v')
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpSumV, D: d, A: a}, nil
+	case "loop":
+		if err := need(1); err != nil {
+			return Instr{}, err
+		}
+		n, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return Instr{}, fmt.Errorf("bad loop count %q", args[0])
+		}
+		return Instr{Op: OpLoopStart, Imm: n}, nil
+	case "endloop":
+		if err := need(0); err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpLoopEnd}, nil
+	default:
+		return Instr{}, fmt.Errorf("unknown mnemonic %q", op)
+	}
+}
+
+// reg parses a register token like "v3" of the expected class.
+func reg(tok string, class byte) (int, error) {
+	tok = strings.TrimSpace(tok)
+	if len(tok) < 2 || tok[0] != class {
+		return 0, fmt.Errorf("expected %c-register, got %q", class, tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad register %q", tok)
+	}
+	return n, nil
+}

@@ -1,0 +1,104 @@
+package visa
+
+import (
+	"strings"
+	"testing"
+
+	"primecache/internal/vcm"
+)
+
+const demoAsm = `
+# strip-mined y += 2.5*x over 128 elements
+loads  s0, 2.5
+loada  a0, 0
+loada  a1, 1
+loada  a2, 1000
+loada  a3, 1
+setvl  64
+loop   2
+  loadv  v0, (a0), a1
+  mulvs  v0, v0, s0
+  loadv  v1, (a2), a3
+  addvv  v1, v1, v0
+  storev v1, (a2), a3
+  adda   a0, 64
+  adda   a2, 64
+endloop
+`
+
+func TestParseAndRun(t *testing.T) {
+	prog, err := Parse(strings.NewReader(demoAsm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCPU(t, Config{Mach: vcm.DefaultMachine(32, 8), MemWords: 4096})
+	for i := 0; i < 128; i++ {
+		c.Mem()[i] = 2
+		c.Mem()[1000+i] = 1
+	}
+	if err := c.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 128; i++ {
+		if got := c.Mem()[1000+i]; got != 6 {
+			t.Fatalf("y[%d] = %v, want 6", i, got)
+		}
+	}
+}
+
+// TestParseDisassembleRoundTrip: Parse inverts Disassemble.
+func TestParseDisassembleRoundTrip(t *testing.T) {
+	orig, err := DAXPYLoop(3, 0, 5000, 2, 1, 256, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(strings.NewReader(Disassemble(orig)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("len %d, want %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if back[i] != orig[i] {
+			t.Fatalf("instr %d: %+v != %+v", i, back[i], orig[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"bogus v0, v1\n",
+		"setvl\n",
+		"setvl x\n",
+		"loada s0, 5\n",
+		"loada a0\n",
+		"loada a0, z\n",
+		"loads s0, nan-ish\n",
+		"loadv v0, (s0), a1\n",
+		"loadv v0, (a0)\n",
+		"addvv v0, v1\n",
+		"addvv v0, v1, s2\n",
+		"sumv v0, v1\n",
+		"sumv s0\n",
+		"loop\n",
+		"loop x\n",
+		"endloop extra\n",
+		"mulvs v0, v0, a0\n",
+		"loadv vX, (a0), a1\n",
+	} {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", strings.TrimSpace(in))
+		}
+	}
+}
+
+func TestParseToleratesPcColumn(t *testing.T) {
+	prog, err := Parse(strings.NewReader("   0  setvl  64\n   1  addvv  v0, v1, v2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 2 || prog[1].Op != OpAddVV {
+		t.Errorf("parsed = %+v", prog)
+	}
+}

@@ -1,0 +1,535 @@
+// Package visa implements a small vector instruction set and a
+// cycle-accounting interpreter for it — the programmer-visible face of
+// the paper's machine models. A CPU has vector registers of MVL words, a
+// vector-length register, address and scalar register files, an
+// interleaved main memory (package membank) and optionally a vector data
+// cache in front of it; vector loads and stores run through the cache
+// exactly as the CC-model prescribes (first touch streams from banks,
+// hits cost one cycle, misses stall the full memory time).
+//
+// Programs are built with the Assembler and produce real numeric results
+// in the machine's memory, so tests can check both values and timing.
+package visa
+
+import (
+	"fmt"
+	"math"
+
+	"primecache/internal/cache"
+	"primecache/internal/membank"
+	"primecache/internal/vcm"
+)
+
+// Register-file sizes.
+const (
+	NumVectorRegs  = 8
+	NumScalarRegs  = 8
+	NumAddressRegs = 8
+)
+
+// Op is an instruction opcode.
+type Op int
+
+// The instruction set: enough to express strip-mined BLAS-1-style
+// kernels (the paper's SAXPY-like computation model).
+const (
+	// OpSetVL sets the vector length register to min(Imm, MVL).
+	OpSetVL Op = iota
+	// OpLoadA loads the immediate into address register D.
+	OpLoadA
+	// OpAddA adds the immediate to address register D.
+	OpAddA
+	// OpLoadS loads the float immediate into scalar register D.
+	OpLoadS
+	// OpLoadV loads VL elements into vector register D from the address
+	// in address register A with the stride in address register B.
+	OpLoadV
+	// OpStoreV stores VL elements of vector register D to the address in
+	// address register A with the stride in address register B.
+	OpStoreV
+	// OpAddVV sets V[D] = V[A] + V[B] elementwise over VL.
+	OpAddVV
+	// OpMulVV sets V[D] = V[A] · V[B] elementwise over VL.
+	OpMulVV
+	// OpAddVS sets V[D] = V[A] + S[B] over VL.
+	OpAddVS
+	// OpMulVS sets V[D] = V[A] · S[B] over VL.
+	OpMulVS
+	// OpSumV reduces V[A] into scalar register D (sum over VL).
+	OpSumV
+	// OpAddSS sets S[D] = S[A] + S[B].
+	OpAddSS
+	// OpGather loads V[D][i] = mem[A[A] + V[B][i]] — indexed (gather)
+	// load, the access mode vector machines provide for irregular data.
+	// The index vector's elements are truncated to integers.
+	OpGather
+	// OpScatter stores V[D][i] to mem[A[A] + V[B][i]].
+	OpScatter
+	// OpLoopStart begins a counted loop of Imm iterations; loops nest up
+	// to MaxLoopDepth deep.
+	OpLoopStart
+	// OpLoopEnd closes the innermost loop, branching back while
+	// iterations remain.
+	OpLoopEnd
+)
+
+// MaxLoopDepth bounds loop nesting.
+const MaxLoopDepth = 8
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	names := [...]string{"setvl", "loada", "adda", "loads", "loadv", "storev",
+		"addvv", "mulvv", "addvs", "mulvs", "sumv", "addss", "gather", "scatter", "loop", "endloop"}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Instr is one instruction.
+type Instr struct {
+	Op      Op
+	D, A, B int
+	Imm     int64
+	FImm    float64
+}
+
+// Program is an instruction sequence.
+type Program []Instr
+
+// Config describes a CPU.
+type Config struct {
+	// Mach supplies MVL, bank count and t_m.
+	Mach vcm.Machine
+	// MemWords is the size of main memory in words.
+	MemWords int
+	// CacheGeom optionally puts a vector cache in front of memory
+	// (direct- or prime-mapped one-word lines).
+	CacheGeom *vcm.CacheGeom
+	// PrimeBankedMemory selects a prime number of banks (largest
+	// Mersenne prime ≤ Mach.Banks) instead of 2^m low-order interleaving.
+	PrimeBankedMemory bool
+	// Chaining enables vector chaining: an arithmetic vector operation
+	// that consumes the register the previous vector instruction produced
+	// overlaps its element traversal with the producer, paying only its
+	// start-up cost (the DLX-style chaining the paper's T_start constants
+	// presume).
+	Chaining bool
+}
+
+// CPU is the vector machine.
+type CPU struct {
+	cfg   Config
+	mem   []float64
+	banks *membank.System
+	cache *cache.Cache
+
+	v  [NumVectorRegs][]float64
+	s  [NumScalarRegs]float64
+	a  [NumAddressRegs]int64
+	vl int
+
+	cycles   int64
+	prevVDst int // destination of the previous vector instruction (−1 none)
+}
+
+// New builds a CPU.
+func New(cfg Config) (*CPU, error) {
+	if err := cfg.Mach.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MemWords <= 0 {
+		return nil, fmt.Errorf("visa: MemWords must be positive, got %d", cfg.MemWords)
+	}
+	var banks *membank.System
+	var err error
+	if cfg.PrimeBankedMemory {
+		p, ok := primeAtMost(cfg.Mach.Banks)
+		if !ok {
+			return nil, fmt.Errorf("visa: no Mersenne prime ≤ %d banks", cfg.Mach.Banks)
+		}
+		banks, err = membank.NewPrimeBanked(p, cfg.Mach.Tm)
+	} else {
+		banks, err = membank.New(cfg.Mach.Banks, cfg.Mach.Tm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c := &CPU{cfg: cfg, mem: make([]float64, cfg.MemWords), banks: banks, vl: cfg.Mach.MVL, prevVDst: -1}
+	for i := range c.v {
+		c.v[i] = make([]float64, cfg.Mach.MVL)
+	}
+	if cfg.CacheGeom != nil {
+		if err := cfg.CacheGeom.Validate(); err != nil {
+			return nil, err
+		}
+		var mapper cache.Mapper
+		if cfg.CacheGeom.Mapping == vcm.MapPrime {
+			exp := uint(math.Round(math.Log2(float64(cfg.CacheGeom.Lines + 1))))
+			pm, err := cache.NewPrimeMapper(exp)
+			if err != nil {
+				return nil, err
+			}
+			mapper = pm
+		} else {
+			dm, err := cache.NewDirectMapper(cfg.CacheGeom.Lines)
+			if err != nil {
+				return nil, err
+			}
+			mapper = dm
+		}
+		arr, err := cache.New(cache.Config{Mapper: mapper, Ways: 1})
+		if err != nil {
+			return nil, err
+		}
+		c.cache = arr
+	}
+	return c, nil
+}
+
+func primeAtMost(n int) (int, bool) {
+	best, ok := 0, false
+	for _, c := range []uint{2, 3, 5, 7, 13, 17, 19} {
+		if p := 1<<c - 1; p <= n && p > best {
+			best, ok = p, true
+		}
+	}
+	return best, ok
+}
+
+// Mem returns the backing memory for initialisation and inspection.
+func (c *CPU) Mem() []float64 { return c.mem }
+
+// Cycles returns the accumulated cycle count.
+func (c *CPU) Cycles() int64 { return c.cycles }
+
+// CacheStats returns the vector cache's statistics (zero value without a
+// cache).
+func (c *CPU) CacheStats() cache.Stats {
+	if c.cache == nil {
+		return cache.Stats{}
+	}
+	return c.cache.Stats()
+}
+
+// Scalar returns scalar register i.
+func (c *CPU) Scalar(i int) float64 { return c.s[i] }
+
+// Run executes the program from the beginning; register state persists
+// across calls, cycle counts accumulate. Counted loops (OpLoopStart /
+// OpLoopEnd) branch structurally and may nest to MaxLoopDepth.
+func (c *CPU) Run(p Program) error {
+	type frame struct {
+		body      int   // pc of the first body instruction
+		remaining int64 // iterations left after the current one
+	}
+	var stack []frame
+	for pc := 0; pc < len(p); pc++ {
+		ins := p[pc]
+		switch ins.Op {
+		case OpLoopStart:
+			if ins.Imm < 0 {
+				return fmt.Errorf("visa: pc %d: negative loop count %d", pc, ins.Imm)
+			}
+			if len(stack) >= MaxLoopDepth {
+				return fmt.Errorf("visa: pc %d: loop nesting exceeds %d", pc, MaxLoopDepth)
+			}
+			c.cycles++
+			if ins.Imm == 0 {
+				// Skip to the matching end.
+				depth := 1
+				for pc++; pc < len(p); pc++ {
+					switch p[pc].Op {
+					case OpLoopStart:
+						depth++
+					case OpLoopEnd:
+						depth--
+					}
+					if depth == 0 {
+						break
+					}
+				}
+				if pc >= len(p) {
+					return fmt.Errorf("visa: unmatched loop start")
+				}
+				continue
+			}
+			stack = append(stack, frame{body: pc + 1, remaining: ins.Imm - 1})
+		case OpLoopEnd:
+			if len(stack) == 0 {
+				return fmt.Errorf("visa: pc %d: loop end without start", pc)
+			}
+			c.cycles++
+			top := &stack[len(stack)-1]
+			if top.remaining > 0 {
+				top.remaining--
+				pc = top.body - 1
+			} else {
+				stack = stack[:len(stack)-1]
+			}
+		default:
+			if err := c.step(ins); err != nil {
+				return fmt.Errorf("visa: pc %d (%v): %w", pc, ins.Op, err)
+			}
+		}
+	}
+	if len(stack) != 0 {
+		return fmt.Errorf("visa: %d unterminated loop(s)", len(stack))
+	}
+	return nil
+}
+
+func (c *CPU) step(ins Instr) error {
+	switch ins.Op {
+	case OpSetVL:
+		if ins.Imm < 0 {
+			return fmt.Errorf("negative vector length %d", ins.Imm)
+		}
+		c.vl = int(ins.Imm)
+		if c.vl > c.cfg.Mach.MVL {
+			c.vl = c.cfg.Mach.MVL
+		}
+		c.cycles++
+	case OpLoadA:
+		if err := checkReg(ins.D, NumAddressRegs); err != nil {
+			return err
+		}
+		c.a[ins.D] = ins.Imm
+		c.cycles++
+	case OpAddA:
+		if err := checkReg(ins.D, NumAddressRegs); err != nil {
+			return err
+		}
+		c.a[ins.D] += ins.Imm
+		c.cycles++
+	case OpLoadS:
+		if err := checkReg(ins.D, NumScalarRegs); err != nil {
+			return err
+		}
+		c.s[ins.D] = ins.FImm
+		c.cycles++
+	case OpLoadV:
+		return c.vectorMem(ins, false)
+	case OpStoreV:
+		return c.vectorMem(ins, true)
+	case OpAddVV, OpMulVV:
+		if err := checkRegs(ins, NumVectorRegs, NumVectorRegs); err != nil {
+			return err
+		}
+		for i := 0; i < c.vl; i++ {
+			if ins.Op == OpAddVV {
+				c.v[ins.D][i] = c.v[ins.A][i] + c.v[ins.B][i]
+			} else {
+				c.v[ins.D][i] = c.v[ins.A][i] * c.v[ins.B][i]
+			}
+		}
+		c.chargeVectorOp(ins.A, ins.B)
+		c.prevVDst = ins.D
+	case OpAddVS, OpMulVS:
+		if err := checkReg(ins.D, NumVectorRegs); err != nil {
+			return err
+		}
+		if err := checkReg(ins.A, NumVectorRegs); err != nil {
+			return err
+		}
+		if err := checkReg(ins.B, NumScalarRegs); err != nil {
+			return err
+		}
+		for i := 0; i < c.vl; i++ {
+			if ins.Op == OpAddVS {
+				c.v[ins.D][i] = c.v[ins.A][i] + c.s[ins.B]
+			} else {
+				c.v[ins.D][i] = c.v[ins.A][i] * c.s[ins.B]
+			}
+		}
+		c.chargeVectorOp(ins.A, -1)
+		c.prevVDst = ins.D
+	case OpSumV:
+		if err := checkReg(ins.D, NumScalarRegs); err != nil {
+			return err
+		}
+		if err := checkReg(ins.A, NumVectorRegs); err != nil {
+			return err
+		}
+		var sum float64
+		for i := 0; i < c.vl; i++ {
+			sum += c.v[ins.A][i]
+		}
+		c.s[ins.D] = sum
+		c.chargeVectorOp(ins.A, -1)
+		c.prevVDst = -1 // reductions end a chain
+	case OpAddSS:
+		if err := checkRegs(ins, NumScalarRegs, NumScalarRegs); err != nil {
+			return err
+		}
+		c.s[ins.D] = c.s[ins.A] + c.s[ins.B]
+		c.cycles++
+	case OpGather, OpScatter:
+		return c.vectorIndexed(ins, ins.Op == OpScatter)
+	default:
+		return fmt.Errorf("unknown opcode %d", int(ins.Op))
+	}
+	return nil
+}
+
+// vectorStartup is the functional-unit start-up cost per vector
+// operation.
+const vectorStartup = 4
+
+// chargeVectorOp accounts one arithmetic vector operation: with chaining
+// enabled and an input fed by the previous vector instruction's
+// destination, the traversal overlaps and only the start-up is paid.
+func (c *CPU) chargeVectorOp(srcA, srcB int) {
+	if c.cfg.Chaining && c.prevVDst >= 0 && (srcA == c.prevVDst || srcB == c.prevVDst) {
+		c.cycles += vectorStartup
+		return
+	}
+	c.cycles += int64(c.vl) + vectorStartup
+}
+
+func (c *CPU) vectorMem(ins Instr, store bool) error {
+	if err := checkReg(ins.D, NumVectorRegs); err != nil {
+		return err
+	}
+	if err := checkReg(ins.A, NumAddressRegs); err != nil {
+		return err
+	}
+	if err := checkReg(ins.B, NumAddressRegs); err != nil {
+		return err
+	}
+	base, stride := c.a[ins.A], c.a[ins.B]
+	// Bounds check the whole sweep first: the machine traps, it does not
+	// corrupt.
+	addr := base
+	for i := 0; i < c.vl; i++ {
+		if addr < 0 || addr >= int64(len(c.mem)) {
+			return fmt.Errorf("address %d out of memory (%d words) at element %d", addr, len(c.mem), i)
+		}
+		addr += stride
+	}
+	// Data movement.
+	addr = base
+	for i := 0; i < c.vl; i++ {
+		if store {
+			c.mem[addr] = c.v[ins.D][i]
+		} else {
+			c.v[ins.D][i] = c.mem[addr]
+		}
+		addr += stride
+	}
+	if !store {
+		c.prevVDst = ins.D
+	} else {
+		c.prevVDst = -1
+	}
+	// Timing. Stores are buffered (the paper's write-buffer assumption):
+	// they cost issue cycles but no stalls.
+	c.cycles += int64(c.cfg.Mach.TStart())
+	if store {
+		c.cycles += int64(c.vl)
+		if c.cache != nil {
+			addr = base
+			for i := 0; i < c.vl; i++ {
+				c.cache.Access(cache.Access{Addr: uint64(addr) * 8, Write: true, Stream: ins.D})
+				addr += stride
+			}
+		}
+		return nil
+	}
+	if c.cache == nil {
+		r := c.banks.VectorLoad(uint64(base), stride, c.vl)
+		c.cycles += int64(c.vl) + r.StallCycles
+		c.banks.Reset()
+		return nil
+	}
+	// CC-model. The paper distinguishes two regimes: *compulsory* misses
+	// stream from the pipelined banks (Eq. 1 — "the compulsory misses …
+	// can be properly pipelined in a vector computer"), while
+	// interference misses on reuse passes stall the full unpipelined t_m
+	// each.
+	compulsory := 0
+	addr = base
+	for i := 0; i < c.vl; i++ {
+		r := c.cache.Access(cache.Access{Addr: uint64(addr) * 8, Stream: ins.D})
+		switch {
+		case r.Hit:
+			c.cycles++
+		case r.Kind == cache.MissCompulsory:
+			compulsory++ // charged below as one pipelined bank stream
+		default:
+			c.cycles += int64(c.cfg.Mach.Tm)
+		}
+		addr += stride
+	}
+	if compulsory > 0 {
+		r := c.banks.VectorLoad(uint64(base), stride, compulsory)
+		c.cycles += int64(compulsory) + r.StallCycles
+		c.banks.Reset()
+	}
+	return nil
+}
+
+// vectorIndexed implements gather/scatter: element i uses the address
+// A[base] + trunc(V[idx][i]). Timing mirrors the strided paths — gathers
+// hit the cache element by element (or the banks, unpipelined: random
+// addresses defeat the issue pipeline, so each element pays t_m on the
+// MM-model); scatters are buffered.
+func (c *CPU) vectorIndexed(ins Instr, store bool) error {
+	if err := checkReg(ins.D, NumVectorRegs); err != nil {
+		return err
+	}
+	if err := checkReg(ins.A, NumAddressRegs); err != nil {
+		return err
+	}
+	if err := checkReg(ins.B, NumVectorRegs); err != nil {
+		return err
+	}
+	base := c.a[ins.A]
+	idx := c.v[ins.B]
+	for i := 0; i < c.vl; i++ {
+		addr := base + int64(idx[i])
+		if addr < 0 || addr >= int64(len(c.mem)) {
+			return fmt.Errorf("gather/scatter address %d out of memory (%d words) at element %d", addr, len(c.mem), i)
+		}
+	}
+	c.cycles += int64(c.cfg.Mach.TStart())
+	for i := 0; i < c.vl; i++ {
+		addr := base + int64(idx[i])
+		if store {
+			c.mem[addr] = c.v[ins.D][i]
+			c.cycles++
+			if c.cache != nil {
+				c.cache.Access(cache.Access{Addr: uint64(addr) * 8, Write: true, Stream: ins.D})
+			}
+			continue
+		}
+		c.v[ins.D][i] = c.mem[addr]
+		if c.cache != nil {
+			if r := c.cache.Access(cache.Access{Addr: uint64(addr) * 8, Stream: ins.D}); r.Hit {
+				c.cycles++
+			} else {
+				c.cycles += int64(c.cfg.Mach.Tm)
+			}
+		} else {
+			c.cycles += int64(c.cfg.Mach.Tm)
+		}
+	}
+	return nil
+}
+
+func checkReg(r, n int) error {
+	if r < 0 || r >= n {
+		return fmt.Errorf("register %d out of range [0,%d)", r, n)
+	}
+	return nil
+}
+
+func checkRegs(ins Instr, nd, nab int) error {
+	if err := checkReg(ins.D, nd); err != nil {
+		return err
+	}
+	if err := checkReg(ins.A, nab); err != nil {
+		return err
+	}
+	return checkReg(ins.B, nab)
+}

@@ -1,0 +1,560 @@
+package visa
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"primecache/internal/vcm"
+)
+
+func newCPU(t *testing.T, cfg Config) *CPU {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func mmConfig() Config {
+	return Config{Mach: vcm.DefaultMachine(32, 8), MemWords: 1 << 16}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Mach: vcm.DefaultMachine(32, 8), MemWords: 0}); err == nil {
+		t.Error("zero memory accepted")
+	}
+	bad := vcm.DefaultMachine(32, 8)
+	bad.Banks = 33
+	if _, err := New(Config{Mach: bad, MemWords: 100}); err == nil {
+		t.Error("bad machine accepted")
+	}
+	g := vcm.CacheGeom{Mapping: vcm.MapDirect, Lines: 100}
+	if _, err := New(Config{Mach: vcm.DefaultMachine(32, 8), MemWords: 100, CacheGeom: &g}); err == nil {
+		t.Error("bad cache geometry accepted")
+	}
+}
+
+func TestScalarAndAddressOps(t *testing.T) {
+	c := newCPU(t, mmConfig())
+	var a Assembler
+	a.LoadA(0, 100).AddA(0, -30).LoadS(2, 1.5).LoadS(3, 2.5).AddSS(1, 2, 3)
+	if err := c.Run(a.Program()); err != nil {
+		t.Fatal(err)
+	}
+	if c.a[0] != 70 {
+		t.Errorf("A0 = %d, want 70", c.a[0])
+	}
+	if c.Scalar(1) != 4 {
+		t.Errorf("S1 = %v, want 4", c.Scalar(1))
+	}
+}
+
+func TestVectorLoadStoreRoundTrip(t *testing.T) {
+	c := newCPU(t, mmConfig())
+	for i := 0; i < 64; i++ {
+		c.Mem()[100+i*3] = float64(i) * 1.5
+	}
+	var a Assembler
+	a.SetVL(64).LoadA(0, 100).LoadA(1, 3).LoadV(0, 0, 1).
+		LoadA(2, 5000).LoadA(3, 1).StoreV(0, 2, 3)
+	if err := c.Run(a.Program()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if got := c.Mem()[5000+i]; got != float64(i)*1.5 {
+			t.Fatalf("mem[%d] = %v, want %v", 5000+i, got, float64(i)*1.5)
+		}
+	}
+}
+
+func TestVectorArithmetic(t *testing.T) {
+	c := newCPU(t, mmConfig())
+	for i := 0; i < 8; i++ {
+		c.Mem()[i] = float64(i)
+		c.Mem()[100+i] = 10
+	}
+	var a Assembler
+	a.SetVL(8).
+		LoadA(0, 0).LoadA(1, 1).LoadV(0, 0, 1). // V0 = 0..7
+		LoadA(2, 100).LoadV(1, 2, 1).           // V1 = 10s
+		AddVV(2, 0, 1).                         // V2 = 10..17
+		MulVV(3, 0, 1).                         // V3 = 0,10,...,70
+		LoadS(0, 2).MulVS(4, 0, 0).             // V4 = 0,2,...,14
+		AddVS(5, 0, 0).                         // V5 = 2..9
+		SumV(1, 2)                              // S1 = Σ V2 = 108
+	if err := c.Run(a.Program()); err != nil {
+		t.Fatal(err)
+	}
+	if c.v[2][3] != 13 || c.v[3][3] != 30 || c.v[4][3] != 6 || c.v[5][3] != 5 {
+		t.Errorf("vector results: %v %v %v %v", c.v[2][3], c.v[3][3], c.v[4][3], c.v[5][3])
+	}
+	if c.Scalar(1) != 108 {
+		t.Errorf("S1 = %v, want 108", c.Scalar(1))
+	}
+}
+
+func TestSetVLClampsToMVL(t *testing.T) {
+	c := newCPU(t, mmConfig())
+	if err := c.Run(Program{{Op: OpSetVL, Imm: 1000}}); err != nil {
+		t.Fatal(err)
+	}
+	if c.vl != 64 {
+		t.Errorf("vl = %d, want MVL=64", c.vl)
+	}
+	if err := c.Run(Program{{Op: OpSetVL, Imm: -1}}); err == nil {
+		t.Error("negative VL accepted")
+	}
+}
+
+func TestMemoryBoundsTrap(t *testing.T) {
+	c := newCPU(t, Config{Mach: vcm.DefaultMachine(32, 8), MemWords: 100})
+	var a Assembler
+	a.SetVL(64).LoadA(0, 90).LoadA(1, 1).LoadV(0, 0, 1)
+	if err := c.Run(a.Program()); err == nil {
+		t.Error("out-of-bounds load accepted")
+	}
+	var b Assembler
+	b.SetVL(4).LoadA(0, 2).LoadA(1, -1).LoadV(0, 0, 1)
+	if err := c.Run(b.Program()); err == nil {
+		t.Error("negative-address load accepted")
+	}
+}
+
+func TestRegisterBoundsTrap(t *testing.T) {
+	c := newCPU(t, mmConfig())
+	for _, p := range []Program{
+		{{Op: OpLoadA, D: 8}},
+		{{Op: OpLoadS, D: -1}},
+		{{Op: OpLoadV, D: 9}},
+		{{Op: OpAddVV, D: 0, A: 0, B: 8}},
+		{{Op: OpSumV, D: 9}},
+		{{Op: Op(99)}},
+	} {
+		if err := c.Run(p); err == nil {
+			t.Errorf("program %+v accepted", p)
+		}
+	}
+}
+
+func TestDAXPYCorrectness(t *testing.T) {
+	c := newCPU(t, mmConfig())
+	const n = 200
+	for i := 0; i < n; i++ {
+		c.Mem()[i] = float64(i)         // x
+		c.Mem()[10000+i*2] = float64(i) // y, stride 2
+	}
+	if err := c.Run(DAXPY(3, 0, 10000, 1, 2, n, 64)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want := 3*float64(i) + float64(i)
+		if got := c.Mem()[10000+i*2]; got != want {
+			t.Fatalf("y[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestDotProductCorrectness(t *testing.T) {
+	c := newCPU(t, mmConfig())
+	const n = 150
+	var want float64
+	for i := 0; i < n; i++ {
+		c.Mem()[i] = float64(i % 7)
+		c.Mem()[20000+i] = float64(i % 5)
+		want += float64(i%7) * float64(i%5)
+	}
+	if err := c.Run(DotProduct(0, 20000, n, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Scalar(1); math.Abs(got-want) > 1e-9 {
+		t.Errorf("dot = %v, want %v", got, want)
+	}
+}
+
+func TestCyclesAccumulate(t *testing.T) {
+	c := newCPU(t, mmConfig())
+	p := DAXPY(2, 0, 30000, 1, 1, 128, 64)
+	if err := c.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	first := c.Cycles()
+	if first <= 0 {
+		t.Fatal("no cycles counted")
+	}
+	if err := c.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if c.Cycles() <= first {
+		t.Error("cycles did not accumulate")
+	}
+}
+
+// TestCachedCPUPrimeVsDirect runs the same strided re-reduction program
+// on three machines — no cache, direct cache, prime cache — and checks
+// both identical numerics and the paper's timing ordering.
+func TestCachedCPUPrimeVsDirect(t *testing.T) {
+	const (
+		stride = 512
+		n      = 2048
+		reps   = 4
+	)
+	prog := func() Program {
+		var a Assembler
+		a.LoadA(1, stride)
+		a.LoadS(1, 0)
+		for r := 0; r < reps; r++ {
+			a.LoadA(0, 0)
+			for done := 0; done < n; done += 64 {
+				a.SetVL(64)
+				a.LoadV(0, 0, 1)
+				a.SumV(2, 0)
+				a.AddSS(1, 1, 2)
+				a.AddA(0, 64*stride)
+			}
+		}
+		return a.Program()
+	}()
+
+	run := func(geom *vcm.CacheGeom) (float64, int64) {
+		cfg := Config{Mach: vcm.DefaultMachine(64, 32), MemWords: stride*n + 1, CacheGeom: geom}
+		c := newCPU(t, cfg)
+		for i := 0; i < n; i++ {
+			c.Mem()[i*stride] = float64(i % 9)
+		}
+		if err := c.Run(prog); err != nil {
+			t.Fatal(err)
+		}
+		return c.Scalar(1), c.Cycles()
+	}
+
+	dg, pg := vcm.DirectGeom(13), vcm.PrimeGeom(13)
+	vMM, cyMM := run(nil)
+	vDir, cyDir := run(&dg)
+	vPrm, cyPrm := run(&pg)
+
+	if vMM != vDir || vMM != vPrm {
+		t.Fatalf("results differ: %v %v %v", vMM, vDir, vPrm)
+	}
+	if !(cyPrm < cyDir) {
+		t.Errorf("prime cycles %d not below direct %d", cyPrm, cyDir)
+	}
+	if !(cyPrm < cyMM) {
+		t.Errorf("prime cycles %d not below MM %d", cyPrm, cyMM)
+	}
+	// Direct-mapped at stride 512 thrashes: every reuse load misses, so
+	// it should be at least as slow as the cacheless machine.
+	if cyDir < cyMM/2 {
+		t.Errorf("direct cycles %d suspiciously fast vs MM %d", cyDir, cyMM)
+	}
+}
+
+func TestPrimeBankedMemoryCPU(t *testing.T) {
+	cfg := Config{Mach: vcm.DefaultMachine(64, 32), MemWords: 1 << 16, PrimeBankedMemory: true}
+	c := newCPU(t, cfg)
+	for i := 0; i < 64; i++ {
+		c.Mem()[i*64] = 1
+	}
+	var a Assembler
+	a.SetVL(64).LoadA(0, 0).LoadA(1, 64).LoadV(0, 0, 1).SumV(0, 0)
+	if err := c.Run(a.Program()); err != nil {
+		t.Fatal(err)
+	}
+	primeCycles := c.Cycles()
+
+	cfg.PrimeBankedMemory = false
+	c2 := newCPU(t, cfg)
+	for i := 0; i < 64; i++ {
+		c2.Mem()[i*64] = 1
+	}
+	if err := c2.Run(a.Program()); err != nil {
+		t.Fatal(err)
+	}
+	if primeCycles >= c2.Cycles() {
+		t.Errorf("prime-banked stride-64 load (%d cycles) not faster than 2^m banks (%d)", primeCycles, c2.Cycles())
+	}
+	if c.Scalar(0) != 64 {
+		t.Errorf("sum = %v, want 64", c.Scalar(0))
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpSetVL.String() != "setvl" || OpAddSS.String() != "addss" {
+		t.Error("Op names wrong")
+	}
+	if Op(99).String() != "op(99)" {
+		t.Error("unknown op name wrong")
+	}
+}
+
+func TestCacheStatsExposed(t *testing.T) {
+	g := vcm.PrimeGeom(13)
+	c := newCPU(t, Config{Mach: vcm.DefaultMachine(32, 8), MemWords: 1 << 16, CacheGeom: &g})
+	var a Assembler
+	a.SetVL(64).LoadA(0, 0).LoadA(1, 1).LoadV(0, 0, 1)
+	if err := c.Run(a.Program()); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.CacheStats(); s.Accesses != 64 {
+		t.Errorf("cache accesses = %d, want 64", s.Accesses)
+	}
+	mm := newCPU(t, mmConfig())
+	if s := mm.CacheStats(); s.Accesses != 0 {
+		t.Error("MM machine should report zero cache stats")
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	c := newCPU(t, mmConfig())
+	// Data at scattered addresses; index vector selects them.
+	for i := 0; i < 16; i++ {
+		c.Mem()[100+i*37] = float64(i) * 2
+	}
+	var a Assembler
+	a.SetVL(16).LoadA(0, 100)
+	// Build the index vector in memory first, then load it.
+	for i := 0; i < 16; i++ {
+		c.Mem()[5000+i] = float64(i * 37)
+	}
+	a.LoadA(2, 5000).LoadA(3, 1).LoadV(1, 2, 3) // V1 = indices
+	a.Gather(0, 0, 1)                           // V0 = mem[100 + V1]
+	a.LoadA(4, 8000).Scatter(0, 4, 1)           // mem[8000 + V1] = V0
+	if err := c.Run(a.Program()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if got := c.Mem()[8000+i*37]; got != float64(i)*2 {
+			t.Fatalf("scattered[%d] = %v, want %v", i, got, float64(i)*2)
+		}
+	}
+}
+
+func TestGatherBoundsTrap(t *testing.T) {
+	c := newCPU(t, Config{Mach: vcm.DefaultMachine(32, 8), MemWords: 100})
+	var a Assembler
+	a.SetVL(4).LoadA(0, 95)
+	c.Mem()[0] = 0
+	c.Mem()[1] = 10 // 95+10 > 100
+	a.LoadA(2, 0).LoadA(3, 1).LoadV(1, 2, 3).Gather(0, 0, 1)
+	if err := c.Run(a.Program()); err == nil {
+		t.Error("out-of-bounds gather accepted")
+	}
+	var b Assembler
+	b.p = Program{{Op: OpGather, D: 9, A: 0, B: 0}}
+	if err := c.Run(b.p); err == nil {
+		t.Error("bad register accepted")
+	}
+}
+
+func TestGatherCachedVsUncached(t *testing.T) {
+	// Repeated gathers of the same index set: cached machine hits on the
+	// second pass, the MM machine pays t_m per element every time.
+	prog := func() Program {
+		var a Assembler
+		a.SetVL(64).LoadA(2, 5000).LoadA(3, 1).LoadV(1, 2, 3).LoadA(0, 0)
+		// Three passes: the cached machine pays its unpipelined misses
+		// once, the MM machine pays t_m per element every pass.
+		a.Gather(0, 0, 1)
+		a.Gather(0, 0, 1)
+		a.Gather(0, 0, 1)
+		return a.Program()
+	}()
+	g := vcm.PrimeGeom(13)
+	run := func(geom *vcm.CacheGeom) int64 {
+		c := newCPU(t, Config{Mach: vcm.DefaultMachine(64, 32), MemWords: 1 << 16, CacheGeom: geom})
+		for i := 0; i < 64; i++ {
+			c.Mem()[5000+i] = float64(i * 97 % 4000)
+		}
+		if err := c.Run(prog); err != nil {
+			t.Fatal(err)
+		}
+		return c.Cycles()
+	}
+	if cached, raw := run(&g), run(nil); cached >= raw {
+		t.Errorf("cached gather cycles %d not below uncached %d", cached, raw)
+	}
+}
+
+func TestLoopBasics(t *testing.T) {
+	c := newCPU(t, mmConfig())
+	var a Assembler
+	a.LoadS(1, 0).LoadS(2, 1)
+	a.LoopStart(5).AddSS(1, 1, 2).LoopEnd()
+	if err := c.Run(a.Program()); err != nil {
+		t.Fatal(err)
+	}
+	if c.Scalar(1) != 5 {
+		t.Errorf("S1 = %v, want 5", c.Scalar(1))
+	}
+}
+
+func TestLoopNested(t *testing.T) {
+	c := newCPU(t, mmConfig())
+	var a Assembler
+	a.LoadS(1, 0).LoadS(2, 1)
+	a.LoopStart(3).LoopStart(4).AddSS(1, 1, 2).LoopEnd().LoopEnd()
+	if err := c.Run(a.Program()); err != nil {
+		t.Fatal(err)
+	}
+	if c.Scalar(1) != 12 {
+		t.Errorf("S1 = %v, want 12", c.Scalar(1))
+	}
+}
+
+func TestLoopZeroIterations(t *testing.T) {
+	c := newCPU(t, mmConfig())
+	var a Assembler
+	a.LoadS(1, 7).LoadS(2, 1)
+	a.LoopStart(0).AddSS(1, 1, 2).LoopEnd()
+	a.AddSS(1, 1, 2) // executes once after the skipped loop
+	if err := c.Run(a.Program()); err != nil {
+		t.Fatal(err)
+	}
+	if c.Scalar(1) != 8 {
+		t.Errorf("S1 = %v, want 8 (body skipped)", c.Scalar(1))
+	}
+}
+
+func TestLoopErrors(t *testing.T) {
+	c := newCPU(t, mmConfig())
+	if err := c.Run(Program{{Op: OpLoopEnd}}); err == nil {
+		t.Error("dangling loop end accepted")
+	}
+	if err := c.Run(Program{{Op: OpLoopStart, Imm: 2}}); err == nil {
+		t.Error("unterminated loop accepted")
+	}
+	if err := c.Run(Program{{Op: OpLoopStart, Imm: -1}, {Op: OpLoopEnd}}); err == nil {
+		t.Error("negative count accepted")
+	}
+	if err := c.Run(Program{{Op: OpLoopStart, Imm: 0}}); err == nil {
+		t.Error("unmatched zero loop accepted")
+	}
+	deep := Program{}
+	for i := 0; i < MaxLoopDepth+1; i++ {
+		deep = append(deep, Instr{Op: OpLoopStart, Imm: 1})
+	}
+	for i := 0; i < MaxLoopDepth+1; i++ {
+		deep = append(deep, Instr{Op: OpLoopEnd})
+	}
+	if err := c.Run(deep); err == nil {
+		t.Error("over-deep nesting accepted")
+	}
+}
+
+func TestDAXPYLoopMatchesUnrolled(t *testing.T) {
+	const n = 256
+	setup := func(c *CPU) {
+		for i := 0; i < n; i++ {
+			c.Mem()[i] = float64(i % 11)
+			c.Mem()[30000+i] = float64(i % 5)
+		}
+	}
+	unrolled := newCPU(t, mmConfig())
+	setup(unrolled)
+	if err := unrolled.Run(DAXPY(2, 0, 30000, 1, 1, n, 64)); err != nil {
+		t.Fatal(err)
+	}
+	looped := newCPU(t, mmConfig())
+	setup(looped)
+	prog, err := DAXPYLoop(2, 0, 30000, 1, 1, n, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := looped.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if unrolled.Mem()[30000+i] != looped.Mem()[30000+i] {
+			t.Fatalf("y[%d]: unrolled %v, looped %v", i, unrolled.Mem()[30000+i], looped.Mem()[30000+i])
+		}
+	}
+	// The looped program is far shorter as code.
+	if len(prog) >= n/64*7 {
+		t.Errorf("looped program %d instrs, want ≪ unrolled", len(prog))
+	}
+	if _, err := DAXPYLoop(1, 0, 0, 1, 1, 100, 64); err == nil {
+		t.Error("non-multiple n accepted")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	prog, err := DAXPYLoop(2, 0, 100, 1, 1, 128, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Disassemble(prog)
+	for _, want := range []string{"loop   2", "loadv  v0, (a0), a1", "mulvs  v0, v0, s0", "endloop", "storev"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+	// Every opcode formats.
+	all := Program{
+		{Op: OpSetVL, Imm: 64}, {Op: OpLoadA}, {Op: OpAddA}, {Op: OpLoadS},
+		{Op: OpLoadV}, {Op: OpStoreV}, {Op: OpAddVV}, {Op: OpMulVV},
+		{Op: OpAddVS}, {Op: OpMulVS}, {Op: OpSumV}, {Op: OpAddSS},
+		{Op: OpGather}, {Op: OpScatter}, {Op: OpLoopStart, Imm: 1}, {Op: OpLoopEnd},
+		{Op: Op(99)},
+	}
+	lines := strings.Count(Disassemble(all), "\n")
+	if lines != len(all) {
+		t.Errorf("disassembly lines = %d, want %d", lines, len(all))
+	}
+}
+
+func TestChainingSpeedsDependentOps(t *testing.T) {
+	prog := DAXPY(2.5, 0, 32768, 1, 1, 1024, 64)
+	setup := func(chain bool) *CPU {
+		c := newCPU(t, Config{Mach: vcm.DefaultMachine(32, 8), MemWords: 1 << 16, Chaining: chain})
+		for i := 0; i < 1024; i++ {
+			c.Mem()[i] = float64(i % 7)
+			c.Mem()[32768+i] = 1
+		}
+		return c
+	}
+	plain := setup(false)
+	if err := plain.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	chained := setup(true)
+	if err := chained.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if chained.Cycles() >= plain.Cycles() {
+		t.Errorf("chained %d cycles not below unchained %d", chained.Cycles(), plain.Cycles())
+	}
+	// Numerics identical.
+	for i := 0; i < 1024; i++ {
+		if plain.Mem()[32768+i] != chained.Mem()[32768+i] {
+			t.Fatalf("y[%d] differs: %v vs %v", i, plain.Mem()[32768+i], chained.Mem()[32768+i])
+		}
+	}
+}
+
+func TestChainingOnlyAppliesToDependents(t *testing.T) {
+	// Independent back-to-back ops never chain.
+	mk := func(chain bool) int64 {
+		c := newCPU(t, Config{Mach: vcm.DefaultMachine(32, 8), MemWords: 1 << 10, Chaining: chain})
+		var a Assembler
+		a.SetVL(64).AddVV(2, 0, 1).AddVV(5, 3, 4) // second op independent of first
+		if err := c.Run(a.Program()); err != nil {
+			t.Fatal(err)
+		}
+		return c.Cycles()
+	}
+	if mk(true) != mk(false) {
+		t.Error("independent ops should cost the same with and without chaining")
+	}
+	// Dependent pair chains.
+	c := newCPU(t, Config{Mach: vcm.DefaultMachine(32, 8), MemWords: 1 << 10, Chaining: true})
+	var a Assembler
+	a.SetVL(64).AddVV(2, 0, 1).MulVV(3, 2, 1)
+	if err := c.Run(a.Program()); err != nil {
+		t.Fatal(err)
+	}
+	// setvl(1) + (64+4) + 4 = 73.
+	if c.Cycles() != 73 {
+		t.Errorf("chained pair cycles = %d, want 73", c.Cycles())
+	}
+}

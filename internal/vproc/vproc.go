@@ -1,0 +1,261 @@
+// Package vproc contains cycle-approximate simulators of the paper's two
+// machine models. Unlike package vcm, which evaluates the paper's closed
+// formulas, vproc *executes* the generic vector computation: it draws
+// strides from the VCM distributions, issues strided register loads
+// against the event-driven interleaved memory (package membank), and runs
+// reuse passes through a real cache simulator (package cache), counting
+// cycles as it goes. The experiments use it as independent ground truth
+// for the analytic model's shape.
+package vproc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"primecache/internal/cache"
+	"primecache/internal/membank"
+	"primecache/internal/vcm"
+)
+
+// Config selects a machine, a workload and (for the CC-model) a cache
+// geometry.
+type Config struct {
+	// Mach is the shared machine model.
+	Mach vcm.Machine
+	// Work is the VCM workload tuple.
+	Work vcm.VCM
+	// Geom selects the CC-model cache; nil runs the MM-model.
+	Geom *vcm.CacheGeom
+	// Seed makes stride/base draws reproducible.
+	Seed int64
+}
+
+// Result is the outcome of a simulated run.
+type Result struct {
+	// Cycles is the simulated total execution time.
+	Cycles float64
+	// Results is N·R, the number of element results produced.
+	Results int
+	// CacheStats holds the CC-model cache counters (zero for MM).
+	CacheStats cache.Stats
+}
+
+// CyclesPerResult is the paper's metric.
+func (r Result) CyclesPerResult() float64 {
+	if r.Results == 0 {
+		return 0
+	}
+	return r.Cycles / float64(r.Results)
+}
+
+type machine struct {
+	cfg   Config
+	rng   *rand.Rand
+	banks *membank.System
+	cache *cache.Cache
+	total cache.Stats // accumulated across per-block flushes
+}
+
+// Run simulates the blocked computation over n data elements and returns
+// measured cycles.
+func Run(cfg Config, n int) (Result, error) {
+	if err := cfg.Mach.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.Work.Validate(); err != nil {
+		return Result{}, err
+	}
+	if n <= 0 {
+		return Result{}, fmt.Errorf("vproc: data size must be positive, got %d", n)
+	}
+	m := &machine{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		banks: membank.MustNew(cfg.Mach.Banks, cfg.Mach.Tm),
+	}
+	if cfg.Geom != nil {
+		if err := cfg.Geom.Validate(); err != nil {
+			return Result{}, err
+		}
+		arr, err := buildCache(*cfg.Geom)
+		if err != nil {
+			return Result{}, err
+		}
+		m.cache = arr
+	}
+
+	var cycles float64
+	blocks := (n + cfg.Work.B - 1) / cfg.Work.B
+	for b := 0; b < blocks; b++ {
+		cycles += m.runBlock()
+	}
+	res := Result{Cycles: cycles, Results: n * cfg.Work.R}
+	if m.cache != nil {
+		m.total.Add(m.cache.Stats())
+		res.CacheStats = m.total
+	}
+	return res, nil
+}
+
+// buildCache realises a vcm geometry as a cache simulator: prime and
+// bit-selection mappings, any associativity (LRU).
+func buildCache(g vcm.CacheGeom) (*cache.Cache, error) {
+	if g.Mapping == vcm.MapPrime {
+		c := uint(math.Round(math.Log2(float64(g.Lines + 1))))
+		pm, err := cache.NewPrimeMapper(c)
+		if err != nil {
+			return nil, err
+		}
+		return cache.New(cache.Config{Mapper: pm, Ways: 1})
+	}
+	ways := g.Ways
+	if ways < 1 {
+		ways = 1
+	}
+	dm, err := cache.NewDirectMapper(g.Lines / ways)
+	if err != nil {
+		return nil, err
+	}
+	return cache.New(cache.Config{Mapper: dm, Ways: ways, Policy: cache.LRU})
+}
+
+// drawStride draws from the paper's distribution: 1 with probability p1,
+// otherwise uniform on 2..limit.
+func (m *machine) drawStride(p1 float64, limit int) int64 {
+	if limit < 2 || m.rng.Float64() < p1 {
+		return 1
+	}
+	return int64(2 + m.rng.Intn(limit-1))
+}
+
+// strideLimit is the modulus-relevant stride range: C for the CC-model, M
+// for the MM-model, as §3.1 prescribes.
+func (m *machine) strideLimit() int {
+	if m.cfg.Geom != nil {
+		return m.cfg.Geom.Lines
+	}
+	return m.cfg.Mach.Banks
+}
+
+// runBlock simulates one block: an initial memory pass plus R−1 reuse
+// passes (through the cache on the CC-model, through memory again on the
+// MM-model).
+func (m *machine) runBlock() float64 {
+	w := m.cfg.Work
+	s1 := m.drawStride(w.P1S1, m.strideLimit())
+	s2 := m.drawStride(w.P1S2, m.strideLimit())
+	base1 := uint64(m.rng.Intn(1 << 28))
+	base2 := uint64(m.rng.Intn(1 << 28))
+	b2len := int(math.Round(float64(w.B) * w.Pds))
+
+	var cycles float64
+	if m.cache != nil {
+		// Blocks evict each other; the paper's model charges each block
+		// its own compulsory load, which a flush mirrors without
+		// polluting interference counts across unrelated base addresses.
+		m.total.Add(m.cache.Stats())
+		m.cache.Flush()
+	}
+	for pass := 0; pass < w.R; pass++ {
+		if pass == 0 || m.cache == nil {
+			cycles += m.memoryPass(base1, s1, base2, s2, b2len)
+		} else {
+			cycles += m.cachePass(base1, s1, base2, s2, b2len)
+		}
+	}
+	return cycles
+}
+
+// memoryPass streams the block from the interleaved banks: Eq. (1)'s
+// overhead structure with stalls measured by the event-driven bank model.
+func (m *machine) memoryPass(base1 uint64, s1 int64, base2 uint64, s2 int64, b2len int) float64 {
+	w := m.cfg.Work
+	mach := m.cfg.Mach
+	cycles := mach.OuterOverhead
+	processed := 0
+	i2 := 0
+	for processed < w.B {
+		l := mach.MVL
+		if w.B-processed < l {
+			l = w.B - processed
+		}
+		cycles += mach.InnerOverhead + mach.TStart() + float64(l)
+		m.banks.Reset()
+		start1 := uint64(int64(base1) + int64(processed)*s1)
+		if w.Pds > 0 && m.rng.Float64() < w.Pds && b2len > 0 {
+			start2 := uint64(int64(base2) + int64(i2%b2len)*s2)
+			r1, r2 := m.banks.DualLoad(start1, s1, l, start2, s2, l)
+			st := r1.StallCycles
+			if r2.StallCycles > st {
+				st = r2.StallCycles
+			}
+			cycles += float64(st)
+			i2 += l
+		} else {
+			r := m.banks.VectorLoad(start1, s1, l)
+			cycles += float64(r.StallCycles)
+		}
+		m.fillCache(start1, s1, l, 1)
+		processed += l
+	}
+	// The double-stream operations of the first pass stream the whole
+	// second vector through the cache (its load time is charged via the
+	// dual-issue stalls above); install its footprint so reuse passes see
+	// it resident, exactly as the analytic model assumes.
+	if b2len > 0 && w.Pds > 0 {
+		m.fillCache(base2, s2, b2len, 2)
+	}
+	return cycles
+}
+
+// fillCache installs the lines touched by a memory pass; the fills are
+// pipelined with the load so they add no cycles.
+func (m *machine) fillCache(start uint64, stride int64, l, stream int) {
+	if m.cache == nil {
+		return
+	}
+	a := int64(start)
+	for i := 0; i < l; i++ {
+		m.cache.Access(cache.Access{Addr: uint64(a) * 8, Stream: stream})
+		a += stride
+	}
+}
+
+// cachePass re-runs the block against the cache: hits cost one cycle,
+// misses stall the full memory time (the paper's un-pipelined miss
+// penalty).
+func (m *machine) cachePass(base1 uint64, s1 int64, base2 uint64, s2 int64, b2len int) float64 {
+	w := m.cfg.Work
+	mach := m.cfg.Mach
+	cycles := mach.OuterOverhead
+	processed := 0
+	i2 := 0
+	miss := float64(mach.Tm)
+	for processed < w.B {
+		l := mach.MVL
+		if w.B-processed < l {
+			l = w.B - processed
+		}
+		cycles += mach.InnerOverhead + mach.TStart() - float64(mach.Tm)
+		access := func(start uint64, stride int64, count, stream int) {
+			a := int64(start)
+			for i := 0; i < count; i++ {
+				r := m.cache.Access(cache.Access{Addr: uint64(a) * 8, Stream: stream})
+				if r.Hit {
+					cycles++
+				} else {
+					cycles += miss
+				}
+				a += stride
+			}
+		}
+		access(uint64(int64(base1)+int64(processed)*s1), s1, l, 1)
+		if w.Pds > 0 && m.rng.Float64() < w.Pds && b2len > 0 {
+			access(uint64(int64(base2)+int64(i2%b2len)*s2), s2, l, 2)
+			i2 += l
+		}
+		processed += l
+	}
+	return cycles
+}

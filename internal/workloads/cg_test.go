@@ -1,0 +1,108 @@
+package workloads
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"primecache/internal/cache"
+)
+
+// spdMatrix builds a random symmetric positive-definite matrix.
+func spdMatrix(n int, base uint64, rng *rand.Rand) *Matrix {
+	m := NewMatrix(n, n, base)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := rng.Float64() - 0.5
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+		m.Set(i, i, m.At(i, i)+float64(n)) // diagonal dominance → SPD
+	}
+	return m
+}
+
+func TestConjugateGradientSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const n = 32
+	a := spdMatrix(n, 0, rng)
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.Float64()*2 - 1
+	}
+	b := NewVector(n, 1<<16)
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			s += a.At(i, j) * xTrue[j]
+		}
+		b.Data[i] = s
+	}
+	x := NewVector(n, 1<<17)
+	res, err := ConjugateGradient(a, b, x, 200, 1e-9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("CG did not converge: %+v", res)
+	}
+	for i := range xTrue {
+		if math.Abs(x.Data[i]-xTrue[i]) > 1e-6 {
+			t.Fatalf("x[%d] = %v, want %v", i, x.Data[i], xTrue[i])
+		}
+	}
+	if res.Iterations > n+5 {
+		t.Errorf("CG took %d iterations for n=%d", res.Iterations, n)
+	}
+}
+
+func TestConjugateGradientErrors(t *testing.T) {
+	a := NewMatrix(3, 4, 0)
+	if _, err := ConjugateGradient(a, NewVector(3, 0), NewVector(3, 0), 10, 1e-6, nil); err == nil {
+		t.Error("non-square accepted")
+	}
+	sq := NewMatrix(3, 3, 0)
+	if _, err := ConjugateGradient(sq, NewVector(2, 0), NewVector(3, 0), 10, 1e-6, nil); err == nil {
+		t.Error("bad vector length accepted")
+	}
+	if _, err := ConjugateGradient(sq, NewVector(3, 0), NewVector(3, 0), 0, 1e-6, nil); err == nil {
+		t.Error("zero maxIter accepted")
+	}
+	if _, err := ConjugateGradient(sq, NewVector(3, 0), NewVector(3, 0), 5, 0, nil); err == nil {
+		t.Error("zero tol accepted")
+	}
+}
+
+func TestConjugateGradientTraced(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const n = 24
+	// Bases chosen so their residues mod 8191 don't overlap A's sets
+	// (powers of two land near set 0 and would cross-interfere — itself
+	// a nice demonstration, but not this test's point).
+	a := spdMatrix(n, 0, rng)
+	b := NewVector(n, 100000)
+	for i := range b.Data {
+		b.Data[i] = rng.Float64()
+	}
+	x := NewVector(n, 200000)
+	mem, _ := cache.NewPrime(13)
+	res, err := ConjugateGradient(a, b, x, 100, 1e-8, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("traced CG did not converge")
+	}
+	s := mem.Stats()
+	if s.Accesses == 0 || s.Writes == 0 {
+		t.Errorf("trace not emitted: %+v", s)
+	}
+	// Everything fits in the 8191-line cache: misses are the compulsory
+	// loads only — no conflicts at all — and the solve runs hot.
+	if s.Conflict != 0 {
+		t.Errorf("conflicts = %d, want 0 for an in-cache solve", s.Conflict)
+	}
+	if s.HitRatio() < 0.9 {
+		t.Errorf("hit ratio %v, want ≥ 0.9 (compulsory-only misses)", s.HitRatio())
+	}
+}

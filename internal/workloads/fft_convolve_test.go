@@ -1,0 +1,97 @@
+package workloads
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"primecache/internal/cache"
+)
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	x := make([]complex128, 256)
+	for i := range x {
+		x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	y := make([]complex128, len(x))
+	copy(y, x)
+	if err := FFTForwardInPlace(y, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := IFFTInPlace(y, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range y {
+		got := y[i] / complex(float64(len(x)), 0)
+		if cmplx.Abs(got-x[i]) > 1e-9 {
+			t.Fatalf("round trip x[%d] = %v, want %v", i, got, x[i])
+		}
+	}
+}
+
+func TestConvolveMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 64
+	x := make([]complex128, n)
+	h := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.Float64()*2-1, 0)
+		h[i] = complex(rng.Float64()*2-1, 0)
+	}
+	got, err := Convolve(x, h, 0, 1<<16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct circular convolution.
+	for k := 0; k < n; k++ {
+		var want complex128
+		for j := 0; j < n; j++ {
+			want += x[j] * h[(k-j+n)%n]
+		}
+		if cmplx.Abs(got[k]-want) > 1e-9*(1+cmplx.Abs(want)) {
+			t.Fatalf("conv[%d] = %v, want %v", k, got[k], want)
+		}
+	}
+}
+
+func TestConvolveErrors(t *testing.T) {
+	x := make([]complex128, 8)
+	if _, err := Convolve(x, make([]complex128, 4), 0, 0, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Convolve(make([]complex128, 6), make([]complex128, 6), 0, 0, nil); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+	if _, err := Convolve(nil, nil, 0, 0, nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if err := IFFTInPlace(make([]complex128, 3), 0, nil); err == nil {
+		t.Error("bad inverse length accepted")
+	}
+	if err := FFTForwardInPlace(make([]complex128, 3), 0, nil); err == nil {
+		t.Error("bad forward length accepted")
+	}
+}
+
+func TestConvolveTraced(t *testing.T) {
+	const n = 1024
+	x := make([]complex128, n)
+	h := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(float64(i%7), 0)
+		h[i] = complex(float64(i%3), 0)
+	}
+	prime, _ := cache.NewPrime(13)
+	if _, err := Convolve(x, h, 0, 100000, prime); err != nil { // base ≢ x's residues (powers of two collide mod 8191)
+		t.Fatal(err)
+	}
+	s := prime.Stats()
+	if s.Accesses == 0 {
+		t.Fatal("no trace emitted")
+	}
+	// Unit-stride transforms over 2·1024 words fit the cache: conflicts 0.
+	if s.Conflict != 0 {
+		t.Errorf("conflicts = %d, want 0", s.Conflict)
+	}
+}

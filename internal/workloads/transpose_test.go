@@ -1,0 +1,116 @@
+package workloads
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"primecache/internal/cache"
+)
+
+func TestTransposeCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randMatrix(7, 11, 0, rng)
+	b := NewMatrix(11, 7, 4096)
+	if err := Transpose(a, b, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 11; j++ {
+			if a.At(i, j) != b.At(j, i) {
+				t.Fatalf("b(%d,%d) = %v, want %v", j, i, b.At(j, i), a.At(i, j))
+			}
+		}
+	}
+	if err := Transpose(a, NewMatrix(7, 11, 0), nil); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestBlockedTransposeMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, blk := range []int{1, 3, 8, 64} {
+		a := randMatrix(13, 9, 0, rng)
+		plain := NewMatrix(9, 13, 0)
+		blocked := NewMatrix(9, 13, 0)
+		if err := Transpose(a, plain, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := BlockedTranspose(a, blocked, blk, nil); err != nil {
+			t.Fatal(err)
+		}
+		for i := range plain.Data {
+			if plain.Data[i] != blocked.Data[i] {
+				t.Fatalf("blk=%d element %d differs", blk, i)
+			}
+		}
+	}
+	if err := BlockedTranspose(randMatrix(4, 4, 0, rng), NewMatrix(4, 4, 0), 0, nil); err == nil {
+		t.Error("zero block accepted")
+	}
+	if err := BlockedTranspose(randMatrix(4, 5, 0, rng), NewMatrix(4, 5, 0), 2, nil); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestTransposeEmitsBothStreams(t *testing.T) {
+	a := NewMatrix(8, 8, 0)
+	b := NewMatrix(8, 8, 1024)
+	mem, _ := cache.NewDirect(64)
+	if err := Transpose(a, b, mem); err != nil {
+		t.Fatal(err)
+	}
+	s := mem.Stats()
+	if s.Reads != 64 || s.Writes != 64 {
+		t.Errorf("reads/writes = %d/%d, want 64/64", s.Reads, s.Writes)
+	}
+}
+
+func TestStencil5Correct(t *testing.T) {
+	src := NewMatrix(4, 4, 0)
+	for i := range src.Data {
+		src.Data[i] = float64(i)
+	}
+	dst := NewMatrix(4, 4, 100)
+	if err := Stencil5(src, dst, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Interior points (1,1),(2,1),(1,2),(2,2).
+	want := (src.At(1, 1) + src.At(0, 1) + src.At(2, 1) + src.At(1, 0) + src.At(1, 2)) / 5
+	if math.Abs(dst.At(1, 1)-want) > 1e-12 {
+		t.Errorf("dst(1,1) = %v, want %v", dst.At(1, 1), want)
+	}
+	if dst.At(0, 0) != 0 || dst.At(3, 3) != 0 {
+		t.Error("boundary written")
+	}
+	if err := Stencil5(src, NewMatrix(5, 4, 0), nil); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	if err := Stencil5(NewMatrix(2, 2, 0), NewMatrix(2, 2, 0), nil); err == nil {
+		t.Error("tiny matrix accepted")
+	}
+}
+
+// TestTransposePowerOfTwoLDPrimeVsDirect: a transpose with LD = 8192 on
+// both caches. Direct: write stream's stride-8192 rows fold onto a single
+// set per row — interference against the unit-stride read stream; prime:
+// spread.
+func TestTransposePowerOfTwoLDPrimeVsDirect(t *testing.T) {
+	run := func(mem Memory) cache.Stats {
+		a := NewMatrixLD(64, 16, 8192, 0)
+		b := NewMatrixLD(16, 64, 8192, 1<<25)
+		for i := range a.Data {
+			a.Data[i] = float64(i)
+		}
+		if err := BlockedTranspose(a, b, 16, mem); err != nil {
+			t.Fatal(err)
+		}
+		return mem.(*cache.Cache).Stats()
+	}
+	dm, _ := cache.NewDirect(8192)
+	pm, _ := cache.NewPrime(13)
+	direct, prime := run(dm), run(pm)
+	if prime.MissRatio() > direct.MissRatio() {
+		t.Errorf("prime miss ratio %v above direct %v", prime.MissRatio(), direct.MissRatio())
+	}
+}

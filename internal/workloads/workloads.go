@@ -1,0 +1,90 @@
+// Package workloads implements the blocked numerical kernels the paper's
+// introduction motivates — blocked matrix multiply (Lam et al.), blocked LU
+// decomposition, the two-dimensional blocked Cooley–Tukey FFT, and SAXPY —
+// as real computations that additionally emit their memory reference
+// streams into a cache simulator. Each kernel both produces numerically
+// verifiable results and exercises exactly the access patterns (unit
+// stride, large stride, sub-block, power-of-two FFT strides) whose cache
+// behaviour the paper analyses.
+package workloads
+
+import (
+	"primecache/internal/cache"
+)
+
+// Memory receives the kernels' memory references; *cache.Cache satisfies
+// it. A nil Memory runs the kernel without tracing.
+type Memory interface {
+	Access(cache.Access) cache.Result
+}
+
+// nop drops references.
+type nop struct{}
+
+func (nop) Access(cache.Access) cache.Result { return cache.Result{} }
+
+func sink(m Memory) Memory {
+	if m == nil {
+		return nop{}
+	}
+	return m
+}
+
+// Stream ids used by the kernels, so interference attribution can tell the
+// operand matrices apart.
+const (
+	StreamA = 1
+	StreamB = 2
+	StreamC = 3
+)
+
+// Matrix is a column-major float64 matrix bound to a word address range,
+// so element (i, j) has a definite memory address for tracing. LD is the
+// leading dimension used for addressing; when it exceeds Rows the matrix
+// models a Rows×Cols sub-block of a larger LD-row array (the §4 sub-block
+// setting) while still storing only its own elements.
+type Matrix struct {
+	Rows, Cols int
+	// LD is the addressing leading dimension, ≥ Rows.
+	LD int
+	// BaseWord is the word address of element (0, 0).
+	BaseWord uint64
+	Data     []float64
+}
+
+// NewMatrix allocates a rows×cols zero matrix based at baseWord with
+// LD = rows (a self-contained array).
+func NewMatrix(rows, cols int, baseWord uint64) *Matrix {
+	return NewMatrixLD(rows, cols, rows, baseWord)
+}
+
+// NewMatrixLD allocates a rows×cols zero matrix addressed as a sub-block
+// of an array with leading dimension ld ≥ rows.
+func NewMatrixLD(rows, cols, ld int, baseWord uint64) *Matrix {
+	if ld < rows {
+		ld = rows
+	}
+	return &Matrix{Rows: rows, Cols: cols, LD: ld, BaseWord: baseWord, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i+j*m.Rows] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i+j*m.Rows] = v }
+
+// WordAddr returns the word address of element (i, j) under column-major
+// storage with leading dimension LD.
+func (m *Matrix) WordAddr(i, j int) uint64 { return m.BaseWord + uint64(i+j*m.LD) }
+
+// load emits a read of (i, j) and returns its value.
+func (m *Matrix) load(mem Memory, stream, i, j int) float64 {
+	mem.Access(cache.Access{Addr: m.WordAddr(i, j) * 8, Stream: stream})
+	return m.At(i, j)
+}
+
+// store emits a write of (i, j).
+func (m *Matrix) store(mem Memory, stream, i, j int, v float64) {
+	mem.Access(cache.Access{Addr: m.WordAddr(i, j) * 8, Write: true, Stream: stream})
+	m.Set(i, j, v)
+}

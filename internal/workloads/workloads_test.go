@@ -1,0 +1,322 @@
+package workloads
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"primecache/internal/cache"
+)
+
+func randMatrix(rows, cols int, base uint64, rng *rand.Rand) *Matrix {
+	m := NewMatrix(rows, cols, base)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()*2 - 1
+	}
+	return m
+}
+
+func TestMatrixAddressing(t *testing.T) {
+	m := NewMatrix(10, 5, 1000)
+	m.Set(3, 2, 7.5)
+	if m.At(3, 2) != 7.5 {
+		t.Error("At/Set mismatch")
+	}
+	if got := m.WordAddr(3, 2); got != 1000+3+2*10 {
+		t.Errorf("WordAddr = %d, want %d", got, 1023)
+	}
+}
+
+func TestBlockedMatMulCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, blk := range []int{1, 3, 8, 16, 100} {
+		a := randMatrix(17, 13, 0, rng)
+		b := randMatrix(13, 11, 4096, rng)
+		c := NewMatrix(17, 11, 8192)
+		ref := NewMatrix(17, 11, 8192)
+		if err := BlockedMatMul(a, b, c, blk, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := MatMulReference(a, b, ref); err != nil {
+			t.Fatal(err)
+		}
+		for i := range c.Data {
+			if math.Abs(c.Data[i]-ref.Data[i]) > 1e-9 {
+				t.Fatalf("blk=%d: element %d = %v, want %v", blk, i, c.Data[i], ref.Data[i])
+			}
+		}
+	}
+}
+
+func TestBlockedMatMulShapeErrors(t *testing.T) {
+	a := NewMatrix(3, 4, 0)
+	b := NewMatrix(5, 6, 0)
+	c := NewMatrix(3, 6, 0)
+	if err := BlockedMatMul(a, b, c, 2, nil); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	b2 := NewMatrix(4, 6, 0)
+	if err := BlockedMatMul(a, b2, c, 0, nil); err == nil {
+		t.Error("zero block accepted")
+	}
+	if err := MatMulReference(a, b, c); err == nil {
+		t.Error("reference shape mismatch accepted")
+	}
+}
+
+func TestBlockedMatMulEmitsReferences(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randMatrix(8, 8, 0, rng)
+	b := randMatrix(8, 8, 1000, rng)
+	c := NewMatrix(8, 8, 2000)
+	mem, _ := cache.NewDirect(64)
+	if err := BlockedMatMul(a, b, c, 4, mem); err != nil {
+		t.Fatal(err)
+	}
+	s := mem.Stats()
+	// Eight 4×4×4 tiles: per tile 16 (j,k) pairs × (1 B-load + 4 rows ×
+	// (2 loads + 1 store)) = 208 → 1664 accesses, 512 of them stores.
+	if s.Accesses != 1664 {
+		t.Errorf("accesses = %d, want 1664", s.Accesses)
+	}
+	if s.Writes != 512 {
+		t.Errorf("writes = %d, want 512", s.Writes)
+	}
+}
+
+func TestBlockedLUCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, blk := range []int{1, 2, 5, 16, 64} {
+		n := 24
+		a := randMatrix(n, n, 0, rng)
+		for i := 0; i < n; i++ { // diagonal dominance for pivot-free LU
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		orig := NewMatrix(n, n, 0)
+		copy(orig.Data, a.Data)
+		if err := BlockedLU(a, blk, nil); err != nil {
+			t.Fatalf("blk=%d: %v", blk, err)
+		}
+		rec := LUReconstruct(a)
+		for i := range rec.Data {
+			if math.Abs(rec.Data[i]-orig.Data[i]) > 1e-8 {
+				t.Fatalf("blk=%d: L·U element %d = %v, want %v", blk, i, rec.Data[i], orig.Data[i])
+			}
+		}
+	}
+}
+
+func TestBlockedLUErrors(t *testing.T) {
+	if err := BlockedLU(NewMatrix(3, 4, 0), 2, nil); err == nil {
+		t.Error("non-square accepted")
+	}
+	if err := BlockedLU(NewMatrix(3, 3, 0), 0, nil); err == nil {
+		t.Error("zero block accepted")
+	}
+	z := NewMatrix(3, 3, 0) // all zeros → zero pivot
+	if err := BlockedLU(z, 2, nil); err == nil {
+		t.Error("zero pivot accepted")
+	}
+}
+
+func TestFFT2DMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, dims := range [][2]int{{4, 4}, {8, 4}, {4, 8}, {16, 16}, {64, 8}} {
+		b1, b2 := dims[0], dims[1]
+		n := b1 * b2
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+		}
+		want := FFTReference(x)
+		got := make([]complex128, n)
+		copy(got, x)
+		if err := FFT2D(got, b1, b2, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+		// FFT2D leaves X[k2 + B1·k1] at got[k1 + B2·k2].
+		for k1 := 0; k1 < b2; k1++ {
+			for k2 := 0; k2 < b1; k2++ {
+				g := got[k1+b2*k2]
+				w := want[k2+b1*k1]
+				if cmplx.Abs(g-w) > 1e-8*(1+cmplx.Abs(w)) {
+					t.Fatalf("B1=%d B2=%d: X[%d,%d] = %v, want %v", b1, b2, k1, k2, g, w)
+				}
+			}
+		}
+	}
+}
+
+func TestFFT2DErrors(t *testing.T) {
+	x := make([]complex128, 16)
+	if err := FFT2D(x, 3, 5, 0, nil); err == nil {
+		t.Error("non-power-of-two factors accepted")
+	}
+	if err := FFT2D(x, 8, 4, 0, nil); err == nil {
+		t.Error("B1·B2 ≠ N accepted")
+	}
+	if err := FFT2D(x[:15], 5, 3, 0, nil); err == nil {
+		t.Error("non-power-of-two length accepted")
+	}
+}
+
+func TestFFT2DStridePattern(t *testing.T) {
+	// Row-FFT phase must access stride-B2 addresses: with B2 = 32 and a
+	// direct-mapped cache of 32 lines, the row phase folds onto one line
+	// and conflicts; the unit-stride column phase does not.
+	const b1, b2 = 64, 32
+	x := make([]complex128, b1*b2)
+	for i := range x {
+		x[i] = complex(float64(i%7), 0)
+	}
+	mem, _ := cache.NewDirect(32)
+	if err := FFT2D(x, b1, b2, 0, mem); err != nil {
+		t.Fatal(err)
+	}
+	if s := mem.Stats(); s.Conflict == 0 {
+		t.Error("expected conflicts from the stride-B2 row phase")
+	}
+}
+
+func TestSAXPY(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{10, 20, 30, 40}
+	mem, _ := cache.NewDirect(16)
+	if err := SAXPY(2, x, y, 0, 100, 1, 1, 4, mem); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{12, 24, 36, 48}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+	if s := mem.Stats(); s.Accesses != 12 || s.Writes != 4 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestSAXPYStridedAndErrors(t *testing.T) {
+	x := make([]float64, 10)
+	y := make([]float64, 10)
+	for i := range x {
+		x[i] = 1
+	}
+	if err := SAXPY(3, x, y, 0, 0, 3, 2, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if y[2*i] != 3 {
+			t.Errorf("y[%d] = %v, want 3", 2*i, y[2*i])
+		}
+	}
+	if err := SAXPY(1, x, y, 0, 0, 3, 4, 4, nil); err == nil {
+		t.Error("short buffer accepted")
+	}
+	if err := SAXPY(1, x, y, 0, 0, 0, 1, 4, nil); err == nil {
+		t.Error("zero stride accepted")
+	}
+}
+
+// TestMatMulPrimeVsDirect runs the real blocked kernel on tiles of a huge
+// matrix whose leading dimension is a multiple of the direct-mapped cache
+// size (LD = 300·8192): in the direct-mapped cache all columns of a tile
+// fold onto the same sets and the k-sweep thrashes, while the prime-mapped
+// cache sees columns spaced LD mod 8191 = 300 lines apart — the §4
+// sub-block geometry — and stays conflict-free.
+func TestMatMulPrimeVsDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const rows, inner, cols, ld, blk = 64, 16, 16, 300 * 8192, 16
+	mk := func(base uint64) *Matrix {
+		m := NewMatrixLD(rows, inner, ld, base)
+		for i := range m.Data {
+			m.Data[i] = rng.Float64()
+		}
+		return m
+	}
+	run := func(mem Memory) cache.Stats {
+		a := mk(0)
+		b := randMatrix(inner, cols, 1<<20, rng)
+		c := NewMatrixLD(rows, cols, ld, 1<<26+128)
+		if err := BlockedMatMul(a, b, c, blk, mem); err != nil {
+			t.Fatal(err)
+		}
+		return mem.(*cache.Cache).Stats()
+	}
+	dm, _ := cache.NewDirect(8192)
+	pm, _ := cache.NewPrime(13)
+	direct, prime := run(dm), run(pm)
+	if direct.Conflict == 0 {
+		t.Fatal("direct-mapped tile sweep should thrash")
+	}
+	if prime.Conflict*20 >= direct.Conflict {
+		t.Errorf("prime conflicts %d not ≪ direct %d", prime.Conflict, direct.Conflict)
+	}
+	if prime.MissRatio() >= direct.MissRatio() {
+		t.Errorf("prime miss ratio %v ≥ direct %v", prime.MissRatio(), direct.MissRatio())
+	}
+}
+
+// TestFFTPrimeVsDirect compares the two mappings on the real blocked FFT:
+// with N = B1·B2 > C the row phase's power-of-two stride folds in the
+// direct-mapped cache but stays spread in the prime-mapped one.
+func TestFFTPrimeVsDirect(t *testing.T) {
+	const b1, b2 = 128, 128
+	mkInput := func() []complex128 {
+		x := make([]complex128, b1*b2)
+		for i := range x {
+			x[i] = complex(float64(i%13)-6, float64(i%7)-3)
+		}
+		return x
+	}
+	dm, _ := cache.NewDirect(8192)
+	pm, _ := cache.NewPrime(13)
+	if err := FFT2D(mkInput(), b1, b2, 0, dm); err != nil {
+		t.Fatal(err)
+	}
+	if err := FFT2D(mkInput(), b1, b2, 0, pm); err != nil {
+		t.Fatal(err)
+	}
+	ds, ps := dm.Stats(), pm.Stats()
+	if ds.Conflict == 0 {
+		t.Fatal("direct-mapped FFT rows should conflict (128 > 8192/128)")
+	}
+	if ps.Conflict*20 >= ds.Conflict {
+		t.Errorf("prime FFT conflicts %d not ≪ direct %d", ps.Conflict, ds.Conflict)
+	}
+	if ps.MissRatio() >= ds.MissRatio() {
+		t.Errorf("prime miss ratio %v ≥ direct %v", ps.MissRatio(), ds.MissRatio())
+	}
+}
+
+func TestGEMV(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	a := randMatrix(7, 5, 0, rng)
+	x := NewVector(5, 10000)
+	y := NewVector(7, 20000)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+	}
+	want := make([]float64, 7)
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 5; j++ {
+			want[i] += a.At(i, j) * x.Data[j]
+		}
+	}
+	mem, _ := cache.NewPrime(13)
+	if err := GEMV(a, x, y, mem); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(y.Data[i]-want[i]) > 1e-12 {
+			t.Fatalf("y[%d] = %v, want %v", i, y.Data[i], want[i])
+		}
+	}
+	if mem.Stats().Accesses == 0 {
+		t.Error("no trace emitted")
+	}
+	if err := GEMV(a, NewVector(4, 0), y, nil); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}

@@ -1,0 +1,122 @@
+package primecache
+
+import "testing"
+
+func TestFacadeConstructors(t *testing.T) {
+	if _, err := NewPrimeCache(13); err != nil {
+		t.Errorf("NewPrimeCache: %v", err)
+	}
+	if _, err := NewDirectCache(8192); err != nil {
+		t.Errorf("NewDirectCache: %v", err)
+	}
+	if _, err := NewSetAssocCache(8192, 4, LRU); err != nil {
+		t.Errorf("NewSetAssocCache: %v", err)
+	}
+	if _, err := NewFullyAssocCache(64); err != nil {
+		t.Errorf("NewFullyAssocCache: %v", err)
+	}
+	if _, err := NewPrimeCache(12); err == nil {
+		t.Error("composite exponent accepted")
+	}
+}
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	vc, err := NewPrimeCache(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		if _, err := vc.LoadVector(0, 512, 4096, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := vc.Stats()
+	if s.Hits != 4096 || s.Conflict != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestFacadeAnalyticModel(t *testing.T) {
+	m := DefaultMachine(64, 64)
+	w := DefaultWorkload(4096)
+	const n = 1 << 20
+	mm := CyclesPerResultMM(m, w, n)
+	dir := CyclesPerResultCC(DirectGeometry(13), m, w, n)
+	prm := CyclesPerResultCC(PrimeGeometry(13), m, w, n)
+	if !(prm < dir && dir < mm) {
+		t.Errorf("ordering: prime %v direct %v mm %v", prm, dir, mm)
+	}
+}
+
+func TestFacadeSubblock(t *testing.T) {
+	b1, b2, err := MaxConflictFreeBlock(8191, 10000)
+	if err != nil || b1 != 1809 || b2 != 4 {
+		t.Errorf("MaxConflictFreeBlock = (%d,%d,%v)", b1, b2, err)
+	}
+}
+
+func TestFacadeExperimentEntryPoints(t *testing.T) {
+	if figs := Figures(); len(figs) != 9 {
+		t.Errorf("Figures returned %d figures, want 9", len(figs))
+	}
+	if SubblockTable().Rows() == 0 {
+		t.Error("SubblockTable empty")
+	}
+	if SummaryTable().Rows() == 0 {
+		t.Error("SummaryTable empty")
+	}
+}
+
+func TestFacadeAlternativeOrganisations(t *testing.T) {
+	sk, err := NewSkewedCache(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk.Access(Access{Addr: 0, Stream: 1})
+	if sk.Stats().Accesses != 1 {
+		t.Error("skewed access not counted")
+	}
+	pf, err := NewPrefetchDirectCache(8192, PrefetchStride, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 64; i++ {
+		pf.Access(Access{Addr: i * 13 * 8, Stream: 1})
+	}
+	if pf.PrefetchStats().Issued == 0 {
+		t.Error("stride prefetcher never armed")
+	}
+	if _, err := NewSkewedCache(100); err == nil {
+		t.Error("bad skewed size accepted")
+	}
+	if _, err := NewPrefetchDirectCache(100, PrefetchStride, 2); err == nil {
+		t.Error("bad prefetch base accepted")
+	}
+}
+
+func TestFacadeBlocking(t *testing.T) {
+	ch, err := ChooseBlocking(PrimeGeometry(13), 10000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ch.ConflictFree || ch.B1 != 1809 {
+		t.Errorf("choice = %+v", ch)
+	}
+}
+
+func TestFacadeExtensionTables(t *testing.T) {
+	for name, tab := range map[string]*Table{
+		"problemsize": ProblemSizeTable(),
+		"linesize":    LineSizeTable(),
+		"prefetch":    PrefetchTable(),
+		"primemem":    PrimeMemoryTable(),
+		"assoc":       AssociativityTable(),
+		"multistream": MultiStreamTable(),
+		"writepolicy": WritePolicyTable(),
+		"cachesize":   CacheSizeTable(),
+	} {
+		if tab.Rows() == 0 {
+			t.Errorf("%s table empty", name)
+		}
+	}
+}
