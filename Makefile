@@ -1,0 +1,29 @@
+# Development and CI entry points. `make ci` is the gate every PR must
+# pass: vet, the full test suite, and the concurrency-sensitive packages
+# under the race detector.
+
+GO ?= go
+
+.PHONY: build test vet race race-server bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The server and its daemon are the concurrent subsystems; always race
+# them. `make race` runs the whole tree when time permits.
+race-server:
+	$(GO) test -race ./internal/server/... ./cmd/vcached/...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=NONE ./...
+
+ci: vet build test race-server

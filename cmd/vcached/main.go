@@ -1,0 +1,81 @@
+// Command vcached is the long-running simulation service: it serves
+// cache simulations and VCM analytic-model evaluations over HTTP/JSON,
+// with a worker pool bounding concurrent compute, an LRU memoizer
+// deduplicating repeated configurations, and a metrics endpoint.
+//
+//	vcached -addr :8372
+//
+// Endpoints:
+//
+//	POST /v1/simulate  {"cache":{"kind":"prime","c":13},
+//	                    "pattern":{"name":"strided","stride":512,"n":4096},
+//	                    "passes":4}
+//	POST /v1/model     {"banks":64,"tm":64,"b":4096}
+//	POST /v1/sweep     {"jobs":[{"model":{...}},{"simulate":{...}}, ...]}
+//	GET  /v1/healthz
+//	GET  /v1/stats
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests drain
+// (bounded by -drain) before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"primecache/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8372", "listen address")
+		workers = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		memo    = flag.Int("memo", 4096, "memoization cache entries (negative disables)")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request compute timeout (0 disables)")
+		drain   = flag.Duration("drain", time.Minute, "graceful-shutdown drain limit")
+	)
+	flag.Parse()
+
+	reqTimeout := *timeout
+	if reqTimeout == 0 {
+		reqTimeout = -1 // Options treats 0 as "default"; <0 disables
+	}
+	srv := server.New(server.Options{
+		Workers:        *workers,
+		MemoEntries:    *memo,
+		RequestTimeout: reqTimeout,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	log.Printf("vcached listening on %s (workers=%d memo=%d timeout=%v)",
+		*addr, *workers, *memo, *timeout)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("vcached: %v", err)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Printf("vcached: signal received, draining (limit %v)", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "vcached: shutdown:", err)
+			os.Exit(1)
+		}
+		log.Print("vcached: drained, bye")
+	}
+}

@@ -43,7 +43,7 @@ func main() {
 	)
 	flag.Parse()
 
-	vc, err := buildCache(*kind, *cExp, *lines, *ways, *policy)
+	vc, err := core.FromSpec(cache.Spec{Kind: *kind, C: *cExp, Lines: *lines, Ways: *ways, Policy: *policy})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vcachesim:", err)
 		os.Exit(2)
@@ -106,7 +106,8 @@ func main() {
 			}
 		}
 	default:
-		tr, err := buildTrace(*pattern, *start, *stride, *n, *ld, *b1, *b2)
+		tr, err := trace.Pattern{Name: *pattern, Start: *start, Stride: *stride,
+			N: *n, LD: *ld, B1: *b1, B2: *b2}.Build()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vcachesim:", err)
 			os.Exit(2)
@@ -150,64 +151,3 @@ func printStats(vc *core.VectorCache, pattern string, passes, refsPerPass int, a
 	}
 }
 
-func buildCache(kind string, cExp uint, lines, ways int, policy string) (*core.VectorCache, error) {
-	switch kind {
-	case "prime":
-		return core.NewPrime(cExp)
-	case "direct":
-		return core.NewDirect(lines)
-	case "assoc":
-		var p cache.Policy
-		switch policy {
-		case "lru":
-			p = cache.LRU
-		case "fifo":
-			p = cache.FIFO
-		case "random":
-			p = cache.Random
-		default:
-			return nil, fmt.Errorf("unknown policy %q", policy)
-		}
-		return core.NewSetAssoc(lines, ways, p)
-	case "full":
-		return core.NewFullyAssoc(lines)
-	default:
-		return nil, fmt.Errorf("unknown cache kind %q (skewed/victim/prefetch organisations run in cmd/primebench)", kind)
-	}
-}
-
-func buildTrace(pattern string, start uint64, stride int64, n, ld, b1, b2 int) (trace.Trace, error) {
-	switch pattern {
-	case "strided":
-		return trace.Strided(start, stride, n, 1), nil
-	case "diagonal":
-		return trace.Diagonal(start, ld, n, 1), nil
-	case "subblock":
-		return trace.Subblock(start, ld, b1, b2, 1), nil
-	case "rowcol":
-		// Alternating column (stride 1) and row (stride ld) sweeps.
-		col := trace.Column(start, ld, 0, 1)
-		row := trace.Row(start, ld, n/2, 0, 2)
-		return trace.Concat(col[:min(len(col), n/2)], row), nil
-	case "fft":
-		if b2 <= 0 || n%b2 != 0 {
-			return nil, fmt.Errorf("fft pattern needs b2 dividing n")
-		}
-		rows := b2
-		cols := n / b2
-		var tr trace.Trace
-		for r := 0; r < rows; r++ {
-			tr = append(tr, trace.Strided(start+uint64(r), int64(b2), cols, 1)...)
-		}
-		return tr, nil
-	default:
-		return nil, fmt.Errorf("unknown pattern %q", pattern)
-	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -56,4 +56,16 @@ func main() {
 	fmt.Printf("  no cache      %5.2f\n", primecache.CyclesPerResultMM(m, w, total))
 	fmt.Printf("  direct-mapped %5.2f\n", primecache.CyclesPerResultCC(primecache.DirectGeometry(13), m, w, total))
 	fmt.Printf("  prime-mapped  %5.2f\n", primecache.CyclesPerResultCC(primecache.PrimeGeometry(13), m, w, total))
+
+	// The same two evaluations are served by the long-running daemon —
+	// start `go run ./cmd/vcached` and try:
+	//
+	//	curl -s localhost:8372/v1/model -d '{"banks":64,"tm":32,"b":4096}'
+	//	curl -s localhost:8372/v1/simulate -d '{
+	//	  "cache":   {"kind": "prime", "c": 13},
+	//	  "pattern": {"name": "strided", "stride": 512, "n": 4096},
+	//	  "passes":  4}'
+	//
+	// See TUTORIAL.md §7 for sweeps, memoization, and /v1/stats.
+	fmt.Println("\n(long-running form: `go run ./cmd/vcached`, then curl /v1/model — TUTORIAL.md §7)")
 }

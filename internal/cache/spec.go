@@ -1,0 +1,252 @@
+package cache
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sim is the minimal interface every cache organisation in this package
+// implements: the plain Cache, the SkewedCache, and the VictimCache. It
+// is what trace replay and the vcached server program against, so one
+// codec can drive any organisation. Implementations are not safe for
+// concurrent use; callers own one Sim per goroutine.
+type Sim interface {
+	Access(Access) Result
+	Stats() Stats
+	Describe() string
+	Flush()
+}
+
+var (
+	_ Sim = (*Cache)(nil)
+	_ Sim = (*SkewedCache)(nil)
+	_ Sim = (*VictimCache)(nil)
+)
+
+// Spec is a serialisable description of a cache organisation — the one
+// configuration codec shared by the vcachesim CLI flags, the vcached
+// server's JSON API, and tests. Zero-valued fields take kind-appropriate
+// defaults in Normalize.
+type Spec struct {
+	// Kind selects the organisation: "prime", "direct", "assoc", "full",
+	// "prime-assoc", "skewed", or "victim".
+	Kind string `json:"kind"`
+	// C is the Mersenne exponent for prime and prime-assoc kinds
+	// (lines = 2^c − 1; default 13).
+	C uint `json:"c,omitempty"`
+	// Lines is the line count for the non-prime kinds (default 8192).
+	Lines int `json:"lines,omitempty"`
+	// Ways is the associativity for assoc and prime-assoc (default 4
+	// resp. 2).
+	Ways int `json:"ways,omitempty"`
+	// Policy is the replacement policy for assoc: "lru", "fifo",
+	// "random" (default "lru").
+	Policy string `json:"policy,omitempty"`
+	// VictimLines is the victim-buffer size for kind "victim"
+	// (default 8).
+	VictimLines int `json:"victimLines,omitempty"`
+}
+
+// SpecKinds lists the valid Spec.Kind values.
+func SpecKinds() []string {
+	return []string{"prime", "direct", "assoc", "full", "prime-assoc", "skewed", "victim"}
+}
+
+// ParsePolicy converts a policy name ("lru", "fifo", "random") into a
+// Policy.
+func ParsePolicy(name string) (Policy, error) {
+	switch strings.ToLower(name) {
+	case "", "lru":
+		return LRU, nil
+	case "fifo":
+		return FIFO, nil
+	case "random":
+		return Random, nil
+	default:
+		return 0, fmt.Errorf("cache: unknown policy %q (want lru, fifo, or random)", name)
+	}
+}
+
+// Normalize returns a copy of s with defaults filled in for zero-valued
+// fields.
+func (s Spec) Normalize() Spec {
+	if s.Kind == "" {
+		s.Kind = "prime"
+	}
+	s.Kind = strings.ToLower(s.Kind)
+	if s.C == 0 {
+		s.C = 13
+	}
+	if s.Lines == 0 {
+		s.Lines = 8192
+	}
+	if s.Ways == 0 {
+		switch s.Kind {
+		case "prime-assoc":
+			s.Ways = 2
+		default:
+			s.Ways = 4
+		}
+	}
+	if s.Policy == "" {
+		s.Policy = "lru"
+	}
+	if s.VictimLines == 0 {
+		s.VictimLines = 8
+	}
+	return s
+}
+
+// Validate checks the (normalised) spec without building anything.
+func (s Spec) Validate() error {
+	_, err := s.Build()
+	return err
+}
+
+// Build constructs the described cache organisation. The spec is
+// normalised first, so zero-valued fields take their defaults.
+func (s Spec) Build() (Sim, error) {
+	s = s.Normalize()
+	switch s.Kind {
+	case "prime":
+		return NewPrime(s.C)
+	case "direct":
+		return NewDirect(s.Lines)
+	case "assoc":
+		p, err := ParsePolicy(s.Policy)
+		if err != nil {
+			return nil, err
+		}
+		return NewSetAssoc(s.Lines, s.Ways, p)
+	case "full":
+		return NewFullyAssoc(s.Lines)
+	case "prime-assoc":
+		return NewPrimeAssoc(s.C, s.Ways)
+	case "skewed":
+		return NewSkewed(s.Lines)
+	case "victim":
+		return NewVictim(s.Lines, s.VictimLines)
+	default:
+		return nil, fmt.Errorf("cache: unknown kind %q (want one of %s)",
+			s.Kind, strings.Join(SpecKinds(), ", "))
+	}
+}
+
+// ParseSpec parses the compact one-string form "kind" or
+// "kind:key=val,key=val" (e.g. "prime:c=13", "assoc:lines=8192,ways=4,
+// policy=fifo", "victim:lines=8192,victim=8") used by CLI flags and
+// tests. Keys: c, lines, ways, policy, victim.
+func ParseSpec(expr string) (Spec, error) {
+	var s Spec
+	kind, rest, _ := strings.Cut(strings.TrimSpace(expr), ":")
+	s.Kind = strings.ToLower(strings.TrimSpace(kind))
+	if s.Kind == "" {
+		return s, fmt.Errorf("cache: empty spec %q", expr)
+	}
+	if rest != "" {
+		for _, field := range strings.Split(rest, ",") {
+			key, val, ok := strings.Cut(field, "=")
+			if !ok {
+				return s, fmt.Errorf("cache: spec field %q is not key=value", field)
+			}
+			key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+			switch key {
+			case "c":
+				n, err := strconv.ParseUint(val, 10, 8)
+				if err != nil {
+					return s, fmt.Errorf("cache: spec c=%q: %v", val, err)
+				}
+				s.C = uint(n)
+			case "lines":
+				n, err := strconv.Atoi(val)
+				if err != nil {
+					return s, fmt.Errorf("cache: spec lines=%q: %v", val, err)
+				}
+				s.Lines = n
+			case "ways":
+				n, err := strconv.Atoi(val)
+				if err != nil {
+					return s, fmt.Errorf("cache: spec ways=%q: %v", val, err)
+				}
+				s.Ways = n
+			case "policy":
+				s.Policy = val
+			case "victim":
+				n, err := strconv.Atoi(val)
+				if err != nil {
+					return s, fmt.Errorf("cache: spec victim=%q: %v", val, err)
+				}
+				s.VictimLines = n
+			default:
+				return s, fmt.Errorf("cache: unknown spec key %q", key)
+			}
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// SpecFromJSON decodes a Spec from JSON, rejecting unknown fields, and
+// validates it.
+func SpecFromJSON(r io.Reader) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return s, fmt.Errorf("cache: decoding spec: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// String returns the canonical compact form of the normalised spec: the
+// kind followed by the key=value fields that matter for it, in a fixed
+// order. Equal organisations render identically, so the string doubles
+// as a memoization key component.
+func (s Spec) String() string {
+	s = s.Normalize()
+	fields := map[string]string{}
+	switch s.Kind {
+	case "prime":
+		fields["c"] = strconv.FormatUint(uint64(s.C), 10)
+	case "prime-assoc":
+		fields["c"] = strconv.FormatUint(uint64(s.C), 10)
+		fields["ways"] = strconv.Itoa(s.Ways)
+	case "direct", "full", "skewed":
+		fields["lines"] = strconv.Itoa(s.Lines)
+	case "assoc":
+		fields["lines"] = strconv.Itoa(s.Lines)
+		fields["ways"] = strconv.Itoa(s.Ways)
+		fields["policy"] = strings.ToLower(s.Policy)
+	case "victim":
+		fields["lines"] = strconv.Itoa(s.Lines)
+		fields["victim"] = strconv.Itoa(s.VictimLines)
+	}
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b bytes.Buffer
+	b.WriteString(s.Kind)
+	for i, k := range keys {
+		if i == 0 {
+			b.WriteByte(':')
+		} else {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(fields[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,120 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		expr     string
+		want     Spec
+		describe string // substring of the built cache's Describe()
+	}{
+		{"prime", Spec{Kind: "prime"}, "prime-mapped"},
+		{"prime:c=5", Spec{Kind: "prime", C: 5}, "31"},
+		{"direct:lines=1024", Spec{Kind: "direct", Lines: 1024}, "1024"},
+		{"assoc:lines=4096,ways=4,policy=fifo", Spec{Kind: "assoc", Lines: 4096, Ways: 4, Policy: "fifo"}, "fifo"},
+		{"full:lines=64", Spec{Kind: "full", Lines: 64}, ""},
+		{"prime-assoc:c=5,ways=2", Spec{Kind: "prime-assoc", C: 5, Ways: 2}, ""},
+		{"skewed:lines=1024", Spec{Kind: "skewed", Lines: 1024}, "skewed"},
+		{"victim:lines=1024,victim=4", Spec{Kind: "victim", Lines: 1024, VictimLines: 4}, "victim"},
+		{"  direct : lines = 512 ", Spec{Kind: "direct", Lines: 512}, "512"},
+	}
+	for _, tc := range cases {
+		got, err := ParseSpec(tc.expr)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.expr, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", tc.expr, got, tc.want)
+		}
+		sim, err := got.Build()
+		if err != nil {
+			t.Errorf("ParseSpec(%q).Build: %v", tc.expr, err)
+			continue
+		}
+		if d := sim.Describe(); !strings.Contains(d, tc.describe) {
+			t.Errorf("ParseSpec(%q) describes %q, want substring %q", tc.expr, d, tc.describe)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, expr := range []string{
+		"",
+		"bogus",
+		"prime:c=4",          // 2^4-1 = 15 is not prime
+		"direct:lines=1000",  // not a power of two
+		"assoc:policy=weird", // unknown policy
+		"prime:c",            // not key=value
+		"prime:c=x",          // not a number
+		"prime:flavor=mint",  // unknown key
+		"victim:lines=64,victim=-1",
+	} {
+		if _, err := ParseSpec(expr); err == nil {
+			t.Errorf("ParseSpec(%q): want error, got nil", expr)
+		}
+	}
+}
+
+func TestSpecFromJSON(t *testing.T) {
+	s, err := SpecFromJSON(strings.NewReader(`{"kind":"assoc","lines":2048,"ways":2,"policy":"lru"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.Describe(); !strings.Contains(got, "2 ways") {
+		t.Errorf("Describe() = %q, want 2 ways", got)
+	}
+	if _, err := SpecFromJSON(strings.NewReader(`{"kind":"prime","bogus":1}`)); err == nil {
+		t.Error("unknown JSON field: want error, got nil")
+	}
+	if _, err := SpecFromJSON(strings.NewReader(`{"kind":"nope"}`)); err == nil {
+		t.Error("unknown kind: want error, got nil")
+	}
+}
+
+func TestSpecStringCanonical(t *testing.T) {
+	// Equal organisations render identically regardless of which fields
+	// were spelled out, and irrelevant fields do not leak into the key.
+	a := Spec{Kind: "prime"}.String()
+	b := Spec{Kind: "prime", C: 13, Lines: 4096, Ways: 7, Policy: "fifo"}.String()
+	if a != b {
+		t.Errorf("canonical strings differ: %q vs %q", a, b)
+	}
+	if want := "prime:c=13"; a != want {
+		t.Errorf("Spec.String() = %q, want %q", a, want)
+	}
+	if got, want := (Spec{Kind: "victim", Lines: 256, VictimLines: 4}).String(), "victim:lines=256,victim=4"; got != want {
+		t.Errorf("Spec.String() = %q, want %q", got, want)
+	}
+}
+
+func TestSpecBuildDefaults(t *testing.T) {
+	for _, kind := range SpecKinds() {
+		sim, err := Spec{Kind: kind}.Build()
+		if err != nil {
+			t.Errorf("default %s spec: %v", kind, err)
+			continue
+		}
+		// Every organisation must behave as a cache: a repeated access
+		// hits the second time.
+		sim.Access(Access{Addr: 8 * 100, Stream: 1})
+		r := sim.Access(Access{Addr: 8 * 100, Stream: 1})
+		if !r.Hit {
+			t.Errorf("%s: second access to same address missed", kind)
+		}
+		if got := sim.Stats().Accesses; got != 2 {
+			t.Errorf("%s: Stats().Accesses = %d, want 2", kind, got)
+		}
+		sim.Flush()
+		if got := sim.Stats().Accesses; got != 0 {
+			t.Errorf("%s: Accesses after Flush = %d, want 0", kind, got)
+		}
+	}
+}

@@ -48,6 +48,12 @@ func (v *VictimCache) VictimStats() VictimStats {
 	return VictimStats{SwapHits: v.hits, TrueMisses: v.misses}
 }
 
+// Stats returns the main array's counters so a VictimCache satisfies the
+// Sim interface. Swap hits are counted as main-array misses here (the
+// array did miss); use VictimStats and CombinedMissRatio for the
+// two-level view, which is how Access reports its per-reference Result.
+func (v *VictimCache) Stats() Stats { return v.main.Stats() }
+
 // CombinedMissRatio returns true misses over all accesses.
 func (v *VictimCache) CombinedMissRatio() float64 {
 	acc := v.main.Stats().Accesses

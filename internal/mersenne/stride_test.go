@@ -1,0 +1,141 @@
+package mersenne
+
+// Table-driven edge-case tests for the stride-conversion path — the
+// SetStride folding that loads the vector stride register, including the
+// modular-inverse arithmetic built on it. Covers strides congruent to 0
+// mod 2^c − 1, negative strides, and strides far beyond 2^c.
+
+import (
+	"math/big"
+	"testing"
+)
+
+// refMod computes stride mod (2^c − 1) in ordinary big-int arithmetic,
+// mapped to the non-negative residue — the specification SetStride's
+// folding hardware must match.
+func refMod(stride int64, modulus uint64) uint64 {
+	m := new(big.Int).SetUint64(modulus)
+	r := new(big.Int).Mod(big.NewInt(stride), m)
+	return r.Uint64()
+}
+
+func TestSetStrideEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		c      uint
+		stride int64
+	}{
+		{"zero", 13, 0},
+		{"unit", 13, 1},
+		{"modulus itself", 13, 8191},
+		{"multiple of modulus", 13, 3 * 8191},
+		{"huge multiple of modulus", 13, 8191 << 32},
+		{"negative unit", 13, -1},
+		{"negative modulus", 13, -8191},
+		{"negative multiple", 13, -5 * 8191},
+		{"negative general", 13, -517},
+		{"negative huge", 13, -(1 << 52) - 12345},
+		{"stride 2^c", 13, 1 << 13},
+		{"stride 2^c + 1", 13, (1 << 13) + 1},
+		{"stride far beyond 2^c", 13, (1 << 40) + 7},
+		{"max int53-ish", 13, 1<<53 - 1},
+		{"small modulus zero residue", 5, 31},
+		{"small modulus wrap", 5, 1 << 20},
+		{"small modulus negative", 5, -33},
+		{"large exponent", 31, (1 << 62) + 991},
+		{"large exponent negative", 31, -(1 << 45) - 17},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mod := MustNew(tc.c)
+			u := NewAddressUnit(mod)
+			converted, steps := u.SetStride(tc.stride)
+			if want := refMod(tc.stride, mod.Value()); converted != want {
+				t.Fatalf("SetStride(%d) mod 2^%d-1 = %d, want %d", tc.stride, tc.c, converted, want)
+			}
+			if converted != u.Stride() {
+				t.Fatalf("stride register holds %d, returned %d", u.Stride(), converted)
+			}
+			if converted >= mod.Value() {
+				t.Fatalf("converted stride %d not a canonical residue of %d", converted, mod.Value())
+			}
+			if steps < 0 {
+				t.Fatalf("negative conversion cost %d", steps)
+			}
+			// The conversion cost must be accounted in the cumulative
+			// adder-step counter the paper's cost argument is about.
+			if u.AdderOps() != uint64(steps) {
+				t.Fatalf("AdderOps() = %d after conversion of cost %d", u.AdderOps(), steps)
+			}
+		})
+	}
+}
+
+// TestSetStrideZeroResidueSequence: a stride ≡ 0 mod (2^c − 1) must pin
+// every element of the vector to the start index — the degenerate case
+// where all elements land on one cache line.
+func TestSetStrideZeroResidueSequence(t *testing.T) {
+	u := NewAddressUnit(MustNew(13))
+	for _, stride := range []int64{0, 8191, -8191, 2 * 8191} {
+		got := u.Indices(12345, stride, 8)
+		want := MustNew(13).Reduce(12345)
+		for i, idx := range got {
+			if idx != want {
+				t.Fatalf("stride %d: element %d has index %d, want pinned %d", stride, i, idx, want)
+			}
+		}
+	}
+}
+
+// TestSetStrideSequenceMatchesBigInt walks the Start/Next datapath for
+// edge-case strides and cross-checks every generated index against
+// big-int modular arithmetic on (start + i·stride).
+func TestSetStrideSequenceMatchesBigInt(t *testing.T) {
+	const n = 64
+	for _, c := range []uint{5, 13, 17} {
+		mod := MustNew(c)
+		for _, stride := range []int64{
+			-(1 << 33) - 7, -int64(mod.Value()), -513, -1,
+			0, 1, int64(mod.Value()), int64(mod.Value()) + 1,
+			1 << int64(c), (1 << 38) + 11,
+		} {
+			u := NewAddressUnit(mod)
+			const start = 987654321
+			got := u.Indices(start, stride, n)
+			m := new(big.Int).SetUint64(mod.Value())
+			for i := 0; i < n; i++ {
+				addr := new(big.Int).Mul(big.NewInt(stride), big.NewInt(int64(i)))
+				addr.Add(addr, big.NewInt(start))
+				want := new(big.Int).Mod(addr, m).Uint64()
+				if got[i] != want {
+					t.Fatalf("c=%d stride=%d: element %d index %d, want %d", c, stride, i, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestInverseOfConvertedStride: for prime moduli every non-zero
+// converted stride must be invertible, inverses must round-trip, and the
+// zero residue (stride ≡ 0) must report non-invertible — the
+// modular-inverse path the sub-block analysis depends on.
+func TestInverseOfConvertedStride(t *testing.T) {
+	mod := MustNew(13)
+	u := NewAddressUnit(mod)
+	for _, stride := range []int64{1, 2, 512, 8190, -1, -512, (1 << 30) + 3, 8191, 3 * 8191} {
+		conv, _ := u.SetStride(stride)
+		inv, ok := mod.Inverse(conv)
+		if conv == 0 {
+			if ok {
+				t.Fatalf("stride %d (residue 0) reported invertible", stride)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("stride %d (residue %d) not invertible under prime modulus", stride, conv)
+		}
+		if got := mod.MulMod(conv, inv); got != 1 {
+			t.Fatalf("stride %d: %d · %d ≡ %d, want 1", stride, conv, inv, got)
+		}
+	}
+}

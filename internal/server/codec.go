@@ -1,0 +1,286 @@
+// Package server implements vcached, a long-running HTTP/JSON service
+// that evaluates cache simulations and VCM analytical sweeps over the
+// shared internal/* core. Endpoints:
+//
+//	POST /v1/simulate  — run a synthetic pattern through one cache organisation
+//	POST /v1/model     — evaluate the MM/CC analytic models at one operating point
+//	POST /v1/sweep     — a batch of simulate/model jobs fanned out over a worker pool
+//	GET  /v1/healthz   — liveness
+//	GET  /v1/stats     — metrics registry, memoizer and worker-pool counters
+//
+// Identical requests are computed once (an LRU memoizer keyed on the
+// canonical form of the request), work is bounded by a GOMAXPROCS-sized
+// worker pool, and shutdown drains in-flight requests.
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"primecache/internal/cache"
+	"primecache/internal/trace"
+)
+
+// maxRefsPerJob bounds the accesses one simulate job may issue
+// (passes × refs/pass), so a single request cannot pin a worker
+// indefinitely.
+const maxRefsPerJob = 64 << 20
+
+// SimulateRequest asks for one synthetic pattern to be run through one
+// cache organisation.
+type SimulateRequest struct {
+	// Cache describes the organisation (see cache.Spec).
+	Cache cache.Spec `json:"cache"`
+	// Pattern describes the access pattern (see trace.Pattern).
+	Pattern trace.Pattern `json:"pattern"`
+	// Passes is the number of sweeps over the pattern (default 2).
+	Passes int `json:"passes,omitempty"`
+}
+
+// Normalize fills defaults.
+func (r SimulateRequest) Normalize() SimulateRequest {
+	r.Cache = r.Cache.Normalize()
+	r.Pattern = r.Pattern.Normalize()
+	if r.Passes == 0 {
+		r.Passes = 2
+	}
+	return r
+}
+
+// Validate checks the request, mapping bad configs to errors suitable
+// for a structured 400 response.
+func (r SimulateRequest) Validate() error {
+	r = r.Normalize()
+	if err := r.Cache.Validate(); err != nil {
+		return err
+	}
+	if err := r.Pattern.Validate(); err != nil {
+		return err
+	}
+	if r.Passes < 1 {
+		return fmt.Errorf("server: passes must be ≥ 1, got %d", r.Passes)
+	}
+	tr, err := r.Pattern.Build()
+	if err != nil {
+		return err
+	}
+	if refs := len(tr) * r.Passes; refs > maxRefsPerJob {
+		return fmt.Errorf("server: job would issue %d references, limit %d", refs, maxRefsPerJob)
+	}
+	return nil
+}
+
+// Key returns the canonical memoization key: equal requests (after
+// normalisation) produce equal keys.
+func (r SimulateRequest) Key() string {
+	r = r.Normalize()
+	return "simulate|" + r.Cache.String() + "|" + r.Pattern.String() + "|passes=" + strconv.Itoa(r.Passes)
+}
+
+// SimulateResponse reports the full stats of one simulation.
+type SimulateResponse struct {
+	Cache       string      `json:"cache"`
+	Spec        string      `json:"spec"`
+	Pattern     string      `json:"pattern"`
+	Passes      int         `json:"passes"`
+	RefsPerPass int         `json:"refsPerPass"`
+	Stats       cache.Stats `json:"stats"`
+	HitRatio    float64     `json:"hitRatio"`
+	MissRatio   float64     `json:"missRatio"`
+	// AdderSteps counts the Mersenne address unit's c-bit end-around
+	// additions (prime mapping driven through the vector API only).
+	AdderSteps uint64 `json:"adderSteps,omitempty"`
+	// Victim reports the victim-buffer counters for kind "victim".
+	Victim *cache.VictimStats `json:"victim,omitempty"`
+}
+
+// ModelRequest asks for one evaluation of the paper's analytic models.
+type ModelRequest struct {
+	// Banks is M, the number of interleaved banks (power of two,
+	// default 64); Tm the memory access time in cycles (default 32).
+	Banks int `json:"banks,omitempty"`
+	Tm    int `json:"tm,omitempty"`
+	// B is the blocking factor (default 4096); R the reuse factor
+	// (default B).
+	B int `json:"b,omitempty"`
+	R int `json:"r,omitempty"`
+	// Pds is the double-stream probability; P1 the unit-stride
+	// probability applied to both streams unless P1S2 overrides the
+	// second. Negative values select the defaults (0.25).
+	Pds  *float64 `json:"pds,omitempty"`
+	P1   *float64 `json:"p1,omitempty"`
+	P1S2 *float64 `json:"p1s2,omitempty"`
+	// N is the total problem size (default 2^20).
+	N int `json:"n,omitempty"`
+	// C is the cache-size exponent: direct-mapped 2^c lines, prime
+	// 2^c − 1 (default 13).
+	C uint `json:"c,omitempty"`
+}
+
+// Normalize fills defaults.
+func (r ModelRequest) Normalize() ModelRequest {
+	if r.Banks == 0 {
+		r.Banks = 64
+	}
+	if r.Tm == 0 {
+		r.Tm = 32
+	}
+	if r.B == 0 {
+		r.B = 4096
+	}
+	if r.R == 0 {
+		r.R = r.B
+	}
+	if r.Pds == nil {
+		r.Pds = f64(0.25)
+	}
+	if r.P1 == nil {
+		r.P1 = f64(0.25)
+	}
+	if r.P1S2 == nil {
+		r.P1S2 = f64(*r.P1)
+	}
+	if r.N == 0 {
+		r.N = 1 << 20
+	}
+	if r.C == 0 {
+		r.C = 13
+	}
+	return r
+}
+
+func f64(v float64) *float64 { return &v }
+
+// Validate checks the request.
+func (r ModelRequest) Validate() error {
+	r = r.Normalize()
+	if _, _, err := r.machineWork(); err != nil {
+		return err
+	}
+	if r.N <= 0 {
+		return fmt.Errorf("server: n must be positive, got %d", r.N)
+	}
+	if r.C < 2 || r.C > 31 {
+		return fmt.Errorf("server: c must be in [2, 31], got %d", r.C)
+	}
+	return nil
+}
+
+// Key returns the canonical memoization key.
+func (r ModelRequest) Key() string {
+	r = r.Normalize()
+	return fmt.Sprintf("model|banks=%d,tm=%d,b=%d,r=%d,pds=%g,p1=%g,p1s2=%g,n=%d,c=%d",
+		r.Banks, r.Tm, r.B, r.R, *r.Pds, *r.P1, *r.P1S2, r.N, r.C)
+}
+
+// ModelMachine is one column of the vcmodel table: every intermediate
+// quantity of the analytic model for one machine.
+type ModelMachine struct {
+	SelfInterference1 float64 `json:"selfInterference1"`
+	SelfInterference2 float64 `json:"selfInterference2"`
+	CrossInterference float64 `json:"crossInterference"`
+	TElemt            float64 `json:"tElemt"`
+	TBlock            float64 `json:"tBlock"`
+	Total             float64 `json:"total"`
+	CyclesPerResult   float64 `json:"cyclesPerResult"`
+	// MissRatio and HitRatio are the model's cache-level predictions;
+	// zero for the cacheless MM machine.
+	MissRatio float64 `json:"missRatio,omitempty"`
+	HitRatio  float64 `json:"hitRatio,omitempty"`
+}
+
+// ModelResponse reports the three machines side by side, like cmd/vcmodel.
+type ModelResponse struct {
+	Banks   int          `json:"banks"`
+	Tm      int          `json:"tm"`
+	B       int          `json:"b"`
+	R       int          `json:"r"`
+	Pds     float64      `json:"pds"`
+	P1      float64      `json:"p1"`
+	P1S2    float64      `json:"p1s2"`
+	N       int          `json:"n"`
+	C       uint         `json:"c"`
+	MM      ModelMachine `json:"mm"`
+	Direct  ModelMachine `json:"ccDirect"`
+	Prime   ModelMachine `json:"ccPrime"`
+	Speedup float64      `json:"primeOverDirect"`
+}
+
+// SweepJob is one element of a sweep batch: exactly one of Simulate or
+// Model must be set.
+type SweepJob struct {
+	Simulate *SimulateRequest `json:"simulate,omitempty"`
+	Model    *ModelRequest    `json:"model,omitempty"`
+}
+
+// Validate checks the job.
+func (j SweepJob) Validate() error {
+	switch {
+	case j.Simulate != nil && j.Model != nil:
+		return fmt.Errorf("server: sweep job sets both simulate and model")
+	case j.Simulate != nil:
+		return j.Simulate.Validate()
+	case j.Model != nil:
+		return j.Model.Validate()
+	default:
+		return fmt.Errorf("server: sweep job sets neither simulate nor model")
+	}
+}
+
+// Key returns the canonical memoization key of the underlying job.
+func (j SweepJob) Key() string {
+	if j.Simulate != nil {
+		return j.Simulate.Key()
+	}
+	if j.Model != nil {
+		return j.Model.Key()
+	}
+	return "invalid"
+}
+
+// SweepRequest is a batch of jobs fanned out across the worker pool.
+type SweepRequest struct {
+	Jobs []SweepJob `json:"jobs"`
+}
+
+// maxSweepJobs bounds one batch.
+const maxSweepJobs = 4096
+
+// Validate checks every job, reporting the first failure with its index.
+func (r SweepRequest) Validate() error {
+	if len(r.Jobs) == 0 {
+		return fmt.Errorf("server: sweep has no jobs")
+	}
+	if len(r.Jobs) > maxSweepJobs {
+		return fmt.Errorf("server: sweep has %d jobs, limit %d", len(r.Jobs), maxSweepJobs)
+	}
+	for i, j := range r.Jobs {
+		if err := j.Validate(); err != nil {
+			return fmt.Errorf("job %d: %v", i, err)
+		}
+	}
+	return nil
+}
+
+// SweepResult is one job's outcome, delivered in input order.
+type SweepResult struct {
+	Index    int               `json:"index"`
+	Simulate *SimulateResponse `json:"simulate,omitempty"`
+	Model    *ModelResponse    `json:"model,omitempty"`
+	Error    string            `json:"error,omitempty"`
+	// Memoized reports the result was served from the memo cache.
+	Memoized bool `json:"memoized"`
+}
+
+// apiError is the structured error body: {"error": {"code", "message"}}.
+type apiError struct {
+	Code    int    `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e apiError) Error() string { return e.Message }
+
+func badRequest(format string, args ...any) apiError {
+	return apiError{Code: 400, Message: strings.TrimSpace(fmt.Sprintf(format, args...))}
+}

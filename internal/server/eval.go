@@ -1,0 +1,172 @@
+package server
+
+import (
+	"context"
+	"math"
+
+	"primecache/internal/cache"
+	"primecache/internal/core"
+	"primecache/internal/trace"
+	"primecache/internal/vcm"
+)
+
+// evalChunk is how many references run between context checks, so a
+// timed-out or cancelled job stops promptly without a per-access check.
+const evalChunk = 1 << 16
+
+// runSimulate executes one simulation job. Results are deterministic:
+// the same request always produces byte-identical stats (the Random
+// replacement policy is deterministically seeded).
+func runSimulate(ctx context.Context, req SimulateRequest) (*SimulateResponse, error) {
+	req = req.Normalize()
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Strided and diagonal patterns on vector-capable organisations run
+	// through the vector API so the prime cache's Figure-1 address unit
+	// is exercised (mirroring cmd/vcachesim); everything else replays a
+	// prebuilt trace.
+	if req.Pattern.Name == "strided" || req.Pattern.Name == "diagonal" {
+		if vc, err := core.FromSpec(req.Cache); err == nil {
+			return runSimulateVector(ctx, req, vc)
+		}
+	}
+	sim, err := req.Cache.Build()
+	if err != nil {
+		return nil, err
+	}
+	tr, err := req.Pattern.Build()
+	if err != nil {
+		return nil, err
+	}
+	for p := 0; p < req.Passes; p++ {
+		for lo := 0; lo < len(tr); lo += evalChunk {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			hi := lo + evalChunk
+			if hi > len(tr) {
+				hi = len(tr)
+			}
+			trace.Replay(sim, tr[lo:hi])
+		}
+	}
+	resp := &SimulateResponse{
+		Cache:       sim.Describe(),
+		Spec:        req.Cache.String(),
+		Pattern:     req.Pattern.String(),
+		Passes:      req.Passes,
+		RefsPerPass: len(tr),
+		Stats:       sim.Stats(),
+	}
+	resp.HitRatio = resp.Stats.HitRatio()
+	resp.MissRatio = resp.Stats.MissRatio()
+	if v, ok := sim.(*cache.VictimCache); ok {
+		vs := v.VictimStats()
+		resp.Victim = &vs
+	}
+	return resp, nil
+}
+
+// runSimulateVector drives strided/diagonal patterns through the vector
+// front-end in chunks, checking the context between chunks.
+func runSimulateVector(ctx context.Context, req SimulateRequest, vc *core.VectorCache) (*SimulateResponse, error) {
+	p := req.Pattern
+	stride := p.Stride
+	if p.Name == "diagonal" {
+		stride = int64(p.LD) + 1
+	}
+	for pass := 0; pass < req.Passes; pass++ {
+		start := p.Start
+		for done := 0; done < p.N; done += evalChunk {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			n := p.N - done
+			if n > evalChunk {
+				n = evalChunk
+			}
+			if _, err := vc.LoadVector(start, stride, n, p.Stream); err != nil {
+				return nil, err
+			}
+			start += uint64(int64(n) * stride)
+		}
+	}
+	resp := &SimulateResponse{
+		Cache:       vc.Cache().Describe(),
+		Spec:        req.Cache.String(),
+		Pattern:     p.String(),
+		Passes:      req.Passes,
+		RefsPerPass: p.N,
+		Stats:       vc.Stats(),
+		AdderSteps:  vc.AdderSteps(),
+	}
+	resp.HitRatio = resp.Stats.HitRatio()
+	resp.MissRatio = resp.Stats.MissRatio()
+	return resp, nil
+}
+
+// machineWork converts a normalised ModelRequest into validated vcm
+// parameter structs.
+func (r ModelRequest) machineWork() (vcm.Machine, vcm.VCM, error) {
+	mach := vcm.DefaultMachine(r.Banks, r.Tm)
+	if err := mach.Validate(); err != nil {
+		return mach, vcm.VCM{}, err
+	}
+	work := vcm.VCM{B: r.B, R: r.R, Pds: *r.Pds, P1S1: *r.P1, P1S2: *r.P1S2}
+	if err := work.Validate(); err != nil {
+		return mach, work, err
+	}
+	return mach, work, nil
+}
+
+// runModel evaluates the MM model and the CC model for the direct and
+// prime geometries at one operating point — the service-side equivalent
+// of one cmd/vcmodel invocation.
+func runModel(req ModelRequest) (*ModelResponse, error) {
+	req = req.Normalize()
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	mach, work, err := req.machineWork()
+	if err != nil {
+		return nil, err
+	}
+	dg, pg := vcm.DirectGeom(req.C), vcm.PrimeGeom(req.C)
+	b2 := int(math.Round(float64(work.B) * work.Pds))
+
+	resp := &ModelResponse{
+		Banks: req.Banks, Tm: req.Tm, B: work.B, R: work.R,
+		Pds: work.Pds, P1: work.P1S1, P1S2: work.P1S2, N: req.N, C: req.C,
+		MM: ModelMachine{
+			SelfInterference1: vcm.IsM(mach, work.P1S1),
+			SelfInterference2: vcm.IsM(mach, work.P1S2),
+			CrossInterference: vcm.IcM(mach),
+			TElemt:            vcm.TElemtMM(mach, work),
+			TBlock:            vcm.TBlockMM(mach, work),
+			Total:             vcm.TotalMM(mach, work, req.N),
+			CyclesPerResult:   vcm.CyclesPerResultMM(mach, work, req.N),
+		},
+	}
+	for _, gc := range []struct {
+		g   vcm.CacheGeom
+		dst *ModelMachine
+	}{{dg, &resp.Direct}, {pg, &resp.Prime}} {
+		*gc.dst = ModelMachine{
+			SelfInterference1: vcm.IsC(gc.g, mach, work.B, work.P1S1),
+			SelfInterference2: vcm.IsC(gc.g, mach, b2, work.P1S2),
+			CrossInterference: vcm.IcC(gc.g, mach, work.B, work.Pds),
+			TElemt:            vcm.TElemtCC(gc.g, mach, work),
+			TBlock:            vcm.TBlockMM(mach, work),
+			Total:             vcm.TotalCC(gc.g, mach, work, req.N),
+			CyclesPerResult:   vcm.CyclesPerResultCC(gc.g, mach, work, req.N),
+			MissRatio:         vcm.MissRatioCC(gc.g, mach, work),
+			HitRatio:          vcm.HitRatioCC(gc.g, mach, work),
+		}
+	}
+	if resp.Prime.CyclesPerResult > 0 {
+		resp.Speedup = resp.Direct.CyclesPerResult / resp.Prime.CyclesPerResult
+	}
+	return resp, nil
+}

@@ -1,0 +1,220 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+)
+
+// decodeJSON strictly decodes the request body into dst, rejecting
+// unknown fields and trailing garbage.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return badRequest("decoding request: %v", err)
+	}
+	if dec.More() {
+		return badRequest("trailing data after JSON body")
+	}
+	return nil
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the connection is the only failure mode here
+}
+
+// writeError maps an error to the structured {"error": {...}} body.
+// Validation failures become 400s; timeouts 504s; everything else 500s.
+func writeError(w http.ResponseWriter, err error) {
+	var ae apiError
+	switch {
+	case errors.As(err, &ae):
+	case errors.Is(err, context.DeadlineExceeded):
+		ae = apiError{Code: http.StatusGatewayTimeout, Message: "request timed out"}
+	case errors.Is(err, context.Canceled):
+		ae = apiError{Code: 499, Message: "request cancelled"}
+	case errors.Is(err, ErrPoolClosed):
+		ae = apiError{Code: http.StatusServiceUnavailable, Message: "server shutting down"}
+	default:
+		ae = apiError{Code: http.StatusInternalServerError, Message: err.Error()}
+	}
+	writeJSON(w, ae.Code, map[string]apiError{"error": ae})
+}
+
+// computeJob evaluates one job through the memoizer and worker pool:
+// memo hit → cached result; miss → compute on a pool worker, then store.
+// Simulation panics (a config that slipped past validation) surface as
+// errors, not a crashed worker.
+func (s *Server) computeJob(ctx context.Context, job SweepJob) (result any, memoized bool, err error) {
+	key := job.Key()
+	if v, ok := s.memo.Get(key); ok {
+		return v, true, nil
+	}
+	v, err := s.pool.Submit(ctx, func(ctx context.Context) (out any, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("server: job panicked: %v\n%s", p, debug.Stack())
+			}
+		}()
+		switch {
+		case job.Simulate != nil:
+			return runSimulate(ctx, *job.Simulate)
+		case job.Model != nil:
+			return runModel(*job.Model)
+		default:
+			return nil, badRequest("empty job")
+		}
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	s.memo.Put(key, v)
+	return v, false, nil
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, badRequest("%v", err))
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	v, memoized, err := s.computeJob(ctx, SweepJob{Simulate: &req})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		*SimulateResponse
+		Memoized bool `json:"memoized"`
+	}{v.(*SimulateResponse), memoized})
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	var req ModelRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, badRequest("%v", err))
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	v, memoized, err := s.computeJob(ctx, SweepJob{Model: &req})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		*ModelResponse
+		Memoized bool `json:"memoized"`
+	}{v.(*ModelResponse), memoized})
+}
+
+// handleSweep fans the batch out across the worker pool and streams the
+// results back in input order as they complete.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, badRequest("%v", err))
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+
+	// Fan out: one goroutine per job, throughput bounded by the pool.
+	// Each job's slot is a single-element channel so the writer below
+	// can emit results in input order while later jobs keep computing.
+	slots := make([]chan SweepResult, len(req.Jobs))
+	for i := range req.Jobs {
+		slots[i] = make(chan SweepResult, 1)
+		go func(i int, job SweepJob) {
+			res := SweepResult{Index: i}
+			v, memoized, err := s.computeJob(ctx, job)
+			if err != nil {
+				res.Error = err.Error()
+			} else {
+				res.Memoized = memoized
+				switch t := v.(type) {
+				case *SimulateResponse:
+					res.Simulate = t
+				case *ModelResponse:
+					res.Model = t
+				}
+			}
+			slots[i] <- res
+		}(i, req.Jobs[i])
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	flusher, _ := w.(http.Flusher)
+	if _, err := fmt.Fprint(w, "{\"results\":[\n"); err != nil {
+		return
+	}
+	enc := json.NewEncoder(w)
+	for i := range slots {
+		if i > 0 {
+			fmt.Fprint(w, ",\n")
+		}
+		if err := enc.Encode(<-slots[i]); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	fmt.Fprint(w, "]}\n")
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// StatsResponse is the /v1/stats body.
+type StatsResponse struct {
+	Memo struct {
+		MemoStats
+		HitRatio float64 `json:"hitRatio"`
+	} `json:"memo"`
+	Pool struct {
+		Workers int   `json:"workers"`
+		Busy    int64 `json:"busy"`
+		Queued  int64 `json:"queued"`
+	} `json:"pool"`
+	Metrics MetricsSnapshot `json:"metrics"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	var resp StatsResponse
+	resp.Memo.MemoStats = s.memo.Stats()
+	resp.Memo.HitRatio = resp.Memo.MemoStats.HitRatio()
+	resp.Pool.Workers = s.pool.Size()
+	resp.Pool.Busy = s.metrics.Gauge("pool.busy").Value()
+	resp.Pool.Queued = s.metrics.Gauge("pool.queued").Value()
+	resp.Metrics = s.metrics.Snapshot()
+	writeJSON(w, http.StatusOK, resp)
+}

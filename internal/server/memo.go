@@ -1,0 +1,113 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Memo is a bounded LRU memoization cache from canonical request keys to
+// computed results. Sweeps routinely repeat configurations (a grid with a
+// fixed axis, retried batches), so identical work is computed once and
+// served from here afterwards. Safe for concurrent use.
+//
+// Get/Put do not deduplicate concurrent computations of the same key
+// (both compute, last Put wins) — results are deterministic, so the only
+// cost is one redundant computation in a race window.
+type Memo struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+
+	hits      Counter
+	misses    Counter
+	evictions Counter
+}
+
+type memoEntry struct {
+	key   string
+	value any
+}
+
+// NewMemo returns an LRU memo holding at most capacity entries; a
+// non-positive capacity disables memoization (every Get misses, Put is a
+// no-op).
+func NewMemo(capacity int) *Memo {
+	return &Memo{cap: capacity, entries: map[string]*list.Element{}, order: list.New()}
+}
+
+// Get returns the memoized value for key, if any.
+func (m *Memo) Get(key string) (any, bool) {
+	if m.cap <= 0 {
+		m.misses.Inc()
+		return nil, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.entries[key]
+	if !ok {
+		m.misses.Inc()
+		return nil, false
+	}
+	m.order.MoveToFront(el)
+	m.hits.Inc()
+	return el.Value.(*memoEntry).value, true
+}
+
+// Put stores value under key, evicting the least-recently-used entry when
+// full.
+func (m *Memo) Put(key string, value any) {
+	if m.cap <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.entries[key]; ok {
+		el.Value.(*memoEntry).value = value
+		m.order.MoveToFront(el)
+		return
+	}
+	m.entries[key] = m.order.PushFront(&memoEntry{key: key, value: value})
+	for m.order.Len() > m.cap {
+		oldest := m.order.Back()
+		m.order.Remove(oldest)
+		delete(m.entries, oldest.Value.(*memoEntry).key)
+		m.evictions.Inc()
+	}
+}
+
+// Len returns the current entry count.
+func (m *Memo) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.order.Len()
+}
+
+// MemoStats reports the memo's counters.
+type MemoStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Memo) Stats() MemoStats {
+	return MemoStats{
+		Hits:      m.hits.Value(),
+		Misses:    m.misses.Value(),
+		Evictions: m.evictions.Value(),
+		Entries:   m.Len(),
+		Capacity:  m.cap,
+	}
+}
+
+// HitRatio returns hits/(hits+misses), 0 before any lookup.
+func (s MemoStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}

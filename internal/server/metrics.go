@@ -1,0 +1,188 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (worker-pool occupancy,
+// in-flight requests).
+type Gauge struct{ v atomic.Int64 }
+
+// Inc increments the gauge.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec decrements the gauge.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Set stores an absolute value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets are the latency histogram upper bounds in microseconds,
+// log-spaced from 100µs to ~10s plus an overflow bucket.
+var histBuckets = [numHistBuckets]int64{
+	100, 316, 1_000, 3_160, 10_000, 31_600,
+	100_000, 316_000, 1_000_000, 3_160_000, 10_000_000,
+}
+
+const numHistBuckets = 11
+
+// Histogram accumulates request latencies into fixed log-spaced buckets.
+// All methods are safe for concurrent use.
+type Histogram struct {
+	buckets [numHistBuckets + 1]atomic.Uint64
+	count   atomic.Uint64
+	sumUs   atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	h.count.Add(1)
+	h.sumUs.Add(us)
+	i := sort.Search(len(histBuckets), func(i int) bool { return us <= histBuckets[i] })
+	h.buckets[i].Add(1)
+}
+
+// HistogramSnapshot is the JSON form of a Histogram.
+type HistogramSnapshot struct {
+	// Count is the number of observations; MeanUs their mean in
+	// microseconds.
+	Count  uint64  `json:"count"`
+	MeanUs float64 `json:"meanUs"`
+	// Buckets maps each upper bound (µs; the last is an overflow
+	// bucket reported as upperUs = -1) to its observation count.
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// HistogramBucket is one histogram bin.
+type HistogramBucket struct {
+	UpperUs int64  `json:"upperUs"`
+	Count   uint64 `json:"count"`
+}
+
+// Snapshot returns a consistent-enough copy for reporting (buckets are
+// read individually; concurrent observations may straddle the read).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load()}
+	if s.Count > 0 {
+		s.MeanUs = float64(h.sumUs.Load()) / float64(s.Count)
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		upper := int64(-1)
+		if i < len(histBuckets) {
+			upper = histBuckets[i]
+		}
+		s.Buckets = append(s.Buckets, HistogramBucket{UpperUs: upper, Count: n})
+	}
+	return s
+}
+
+// Metrics is the server's hand-rolled metric registry: named counters,
+// gauges, and latency histograms, rendered as one JSON object by the
+// /v1/stats endpoint. Metric creation is lazy and idempotent; lookups
+// after creation are lock-free on the metric itself.
+type Metrics struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	start      time.Time
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+		start:      time.Now(),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (m *Metrics) Counter(name string) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.counters[name]
+	if !ok {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (m *Metrics) Gauge(name string) *Gauge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (m *Metrics) Histogram(name string) *Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		m.histograms[name] = h
+	}
+	return h
+}
+
+// MetricsSnapshot is the JSON form of the whole registry.
+type MetricsSnapshot struct {
+	UptimeSeconds float64                      `json:"uptimeSeconds"`
+	Counters      map[string]uint64            `json:"counters"`
+	Gauges        map[string]int64             `json:"gauges"`
+	Latencies     map[string]HistogramSnapshot `json:"latencies"`
+}
+
+// Snapshot renders every registered metric.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Counters:      make(map[string]uint64, len(m.counters)),
+		Gauges:        make(map[string]int64, len(m.gauges)),
+		Latencies:     make(map[string]HistogramSnapshot, len(m.histograms)),
+	}
+	for name, c := range m.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range m.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range m.histograms {
+		s.Latencies[name] = h.Snapshot()
+	}
+	return s
+}

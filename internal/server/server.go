@@ -1,0 +1,194 @@
+package server
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Options configures a Server. The zero value is usable: GOMAXPROCS
+// workers, a 4096-entry memoizer, a 30-second per-request compute
+// timeout.
+type Options struct {
+	// Workers sizes the compute pool; <= 0 selects GOMAXPROCS.
+	Workers int
+	// MemoEntries caps the memoization LRU; < 0 disables memoization,
+	// 0 selects the default (4096).
+	MemoEntries int
+	// RequestTimeout bounds the compute time of one simulate/model job
+	// and of every job in a sweep; 0 selects 30s, < 0 disables.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies; 0 selects 8 MiB.
+	MaxBodyBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MemoEntries == 0 {
+		o.MemoEntries = 4096
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.MaxBodyBytes == 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+	return o
+}
+
+// Server is the vcached service: handlers over a shared worker pool,
+// memoizer, and metrics registry. Create with New, expose via Handler,
+// and stop with Shutdown (drains in-flight requests) or Close.
+type Server struct {
+	opts    Options
+	metrics *Metrics
+	memo    *Memo
+	pool    *Pool
+	mux     *http.ServeMux
+	httpSrv *http.Server
+
+	// Graceful-shutdown bookkeeping: handlers register with inflightWG
+	// under the read lock; Shutdown flips closing under the write lock
+	// and then waits, so the pool only closes after every in-flight
+	// request has written its response. This works no matter which
+	// http.Server fronts the handler (cmd/vcached, httptest, embedding).
+	drainMu  sync.RWMutex
+	closing  bool
+	inflight sync.WaitGroup
+}
+
+// New builds a Server and starts its worker pool.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	m := NewMetrics()
+	s := &Server{
+		opts:    opts,
+		metrics: m,
+		memo:    NewMemo(opts.MemoEntries),
+		pool:    NewPool(opts.Workers, m),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.Handle("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	s.mux.Handle("POST /v1/model", s.instrument("model", s.handleModel))
+	s.mux.Handle("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
+	s.mux.Handle("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.Handle("GET /v1/stats", s.instrument("stats", s.handleStats))
+	s.httpSrv = &http.Server{Handler: s.mux}
+	return s
+}
+
+// Handler returns the service's HTTP handler (for httptest and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the registry (for tests and embedding).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Serve accepts connections on l until Shutdown or Close. It always
+// returns a non-nil error; after Shutdown it returns http.ErrServerClosed.
+func (s *Server) Serve(l net.Listener) error {
+	return s.httpSrv.Serve(l)
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown stops listening, waits (up to ctx) for in-flight requests to
+// complete, then stops the worker pool. In-flight sweeps drain: their
+// responses are written before the listener closes and before workers
+// exit. New requests arriving during the drain get a structured 503.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.closing = true
+	s.drainMu.Unlock()
+
+	err := s.httpSrv.Shutdown(ctx)
+
+	drained := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	s.pool.Close()
+	return err
+}
+
+// Close stops the server without draining.
+func (s *Server) Close() error {
+	err := s.httpSrv.Close()
+	s.pool.Close()
+	return err
+}
+
+// requestCtx applies the per-request compute timeout.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.opts.RequestTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+}
+
+// instrument wraps a handler with request/error counters, an in-flight
+// gauge, and a latency histogram, all surfaced by /v1/stats.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
+	requests := s.metrics.Counter("requests." + name)
+	errors := s.metrics.Counter("errors." + name)
+	latency := s.metrics.Histogram("latency." + name)
+	inflight := s.metrics.Gauge("inflight")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.drainMu.RLock()
+		if s.closing {
+			s.drainMu.RUnlock()
+			errors.Inc()
+			writeError(w, ErrPoolClosed)
+			return
+		}
+		s.inflight.Add(1)
+		s.drainMu.RUnlock()
+		defer s.inflight.Done()
+
+		requests.Inc()
+		inflight.Inc()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		latency.Observe(time.Since(start))
+		inflight.Dec()
+		if sw.status >= 400 {
+			errors.Inc()
+		}
+	})
+}
+
+// statusWriter records the status code for error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards flushes so sweep streaming works through the wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

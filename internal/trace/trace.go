@@ -142,9 +142,9 @@ func FFTStage(baseWord uint64, n, span, stream int) (Trace, error) {
 	return t, nil
 }
 
-// Replay runs the trace through c and returns the stats delta for exactly
-// this trace.
-func Replay(c *cache.Cache, t Trace) cache.Stats {
+// Replay runs the trace through any cache organisation and returns the
+// stats delta for exactly this trace.
+func Replay(c cache.Sim, t Trace) cache.Stats {
 	before := c.Stats()
 	for _, r := range t {
 		c.Access(cache.Access{Addr: r.Addr, Write: r.Write, Stream: r.Stream})
