@@ -61,12 +61,19 @@ func (r SimulateRequest) Validate() error {
 	if r.Passes < 1 {
 		return fmt.Errorf("server: passes must be ≥ 1, got %d", r.Passes)
 	}
-	tr, err := r.Pattern.Build()
-	if err != nil {
-		return err
+	// Bound the job arithmetically before materialising anything: a
+	// request like strided n=2e9 must be rejected here, not after a
+	// multi-gigabyte trace allocation. The passes check divides rather
+	// than multiplies so huge values cannot overflow past the cap.
+	if r.Passes > maxRefsPerJob {
+		return fmt.Errorf("server: passes %d exceeds limit %d", r.Passes, maxRefsPerJob)
 	}
-	if refs := len(tr) * r.Passes; refs > maxRefsPerJob {
-		return fmt.Errorf("server: job would issue %d references, limit %d", refs, maxRefsPerJob)
+	refs := r.Pattern.RefCount()
+	if refs > maxRefsPerJob {
+		return fmt.Errorf("server: pattern yields %d references per pass, limit %d", refs, maxRefsPerJob)
+	}
+	if refs > 0 && r.Passes > maxRefsPerJob/refs {
+		return fmt.Errorf("server: job would issue %d passes × %d references, limit %d", r.Passes, refs, maxRefsPerJob)
 	}
 	return nil
 }

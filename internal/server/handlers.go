@@ -51,16 +51,76 @@ func writeError(w http.ResponseWriter, err error) {
 	writeJSON(w, ae.Code, map[string]apiError{"error": ae})
 }
 
+// inflightCall is one in-progress computation concurrent identical jobs
+// attach to: done is closed after val/err are set.
+type inflightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
 // computeJob evaluates one job through the memoizer and worker pool:
 // memo hit → cached result; miss → compute on a pool worker, then store.
-// Simulation panics (a config that slipped past validation) surface as
-// errors, not a crashed worker.
+// Concurrent identical jobs are single-flighted: the first becomes the
+// leader and computes, the rest share its result and count as memoized —
+// so a sweep repeating one config costs one worker slot, not many.
 func (s *Server) computeJob(ctx context.Context, job SweepJob) (result any, memoized bool, err error) {
 	key := job.Key()
-	if v, ok := s.memo.Get(key); ok {
-		return v, true, nil
+	for {
+		if v, ok := s.memo.Get(key); ok {
+			return v, true, nil
+		}
+		if !s.memo.Enabled() {
+			v, err := s.compute(ctx, job)
+			return v, false, err
+		}
+		s.callMu.Lock()
+		c, joined := s.calls[key]
+		if !joined {
+			c = &inflightCall{done: make(chan struct{})}
+			s.calls[key] = c
+		}
+		s.callMu.Unlock()
+
+		if !joined {
+			// Leader: compute, publish to the memo, then release joiners.
+			c.val, c.err = s.compute(ctx, job)
+			if c.err == nil {
+				s.memo.Put(key, c.val)
+			}
+			s.callMu.Lock()
+			delete(s.calls, key)
+			s.callMu.Unlock()
+			close(c.done)
+			return c.val, false, c.err
+		}
+
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		if c.err != nil {
+			// The leader failed on its own terms — its deadline, its
+			// cancelled client, or the shutdown race. That verdict does
+			// not apply to this request, so retry (likely as leader).
+			if errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded) || errors.Is(c.err, ErrPoolClosed) {
+				continue
+			}
+			return nil, false, c.err
+		}
+		// Re-read through the memo so the hit shows up in its counters.
+		if v, ok := s.memo.Get(key); ok {
+			return v, true, nil
+		}
+		return c.val, true, nil
 	}
-	v, err := s.pool.Submit(ctx, func(ctx context.Context) (out any, err error) {
+}
+
+// compute runs one job on a pool worker. Simulation panics (a config
+// that slipped past validation) surface as errors, not a crashed worker.
+func (s *Server) compute(ctx context.Context, job SweepJob) (any, error) {
+	return s.pool.Submit(ctx, func(ctx context.Context) (out any, err error) {
 		defer func() {
 			if p := recover(); p != nil {
 				err = fmt.Errorf("server: job panicked: %v\n%s", p, debug.Stack())
@@ -75,11 +135,6 @@ func (s *Server) computeJob(ctx context.Context, job SweepJob) (result any, memo
 			return nil, badRequest("empty job")
 		}
 	})
-	if err != nil {
-		return nil, false, err
-	}
-	s.memo.Put(key, v)
-	return v, false, nil
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {

@@ -11,8 +11,9 @@ import (
 // served from here afterwards. Safe for concurrent use.
 //
 // Get/Put do not deduplicate concurrent computations of the same key
-// (both compute, last Put wins) — results are deterministic, so the only
-// cost is one redundant computation in a race window.
+// (both compute, last Put wins) — the Server single-flights identical
+// in-flight jobs on top of this (see computeJob), so the memo itself
+// stays a plain cache.
 type Memo struct {
 	mu      sync.Mutex
 	cap     int
@@ -35,6 +36,9 @@ type memoEntry struct {
 func NewMemo(capacity int) *Memo {
 	return &Memo{cap: capacity, entries: map[string]*list.Element{}, order: list.New()}
 }
+
+// Enabled reports whether the memo stores anything (capacity > 0).
+func (m *Memo) Enabled() bool { return m.cap > 0 }
 
 // Get returns the memoized value for key, if any.
 func (m *Memo) Get(key string) (any, bool) {

@@ -129,6 +129,9 @@ func (p *Pool) Submit(ctx context.Context, fn func(context.Context) (any, error)
 		case r := <-t.done:
 			return r.value, r.err
 		default:
+			// Submit's increment is never matched by run(): the task
+			// is abandoned, so account for it here.
+			p.queued.Dec()
 			return nil, ErrPoolClosed
 		}
 	}

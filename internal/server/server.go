@@ -48,6 +48,12 @@ type Server struct {
 	mux     *http.ServeMux
 	httpSrv *http.Server
 
+	// Single-flight bookkeeping: concurrent identical jobs (the common
+	// case inside one sweep) share one in-flight computation instead of
+	// all missing the memo and computing redundantly.
+	callMu sync.Mutex
+	calls  map[string]*inflightCall
+
 	// Graceful-shutdown bookkeeping: handlers register with inflightWG
 	// under the read lock; Shutdown flips closing under the write lock
 	// and then waits, so the pool only closes after every in-flight
@@ -68,6 +74,7 @@ func New(opts Options) *Server {
 		memo:    NewMemo(opts.MemoEntries),
 		pool:    NewPool(opts.Workers, m),
 		mux:     http.NewServeMux(),
+		calls:   map[string]*inflightCall{},
 	}
 	s.mux.Handle("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
 	s.mux.Handle("POST /v1/model", s.instrument("model", s.handleModel))

@@ -6,10 +6,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -164,6 +166,9 @@ func TestValidationErrors(t *testing.T) {
 		{"/v1/simulate", `{"cache":{"kind":"prime","c":4}}`},
 		{"/v1/simulate", `{"pattern":{"name":"fft","n":10,"b2":3}}`},
 		{"/v1/simulate", `{"passes":-1}`},
+		{"/v1/simulate", `{"pattern":{"name":"strided","n":2000000000}}`},
+		{"/v1/simulate", `{"pattern":{"name":"subblock","b1":1000000,"b2":1000000}}`},
+		{"/v1/simulate", `{"pattern":{"name":"strided","n":4096},"passes":1152921504606846976}`},
 		{"/v1/simulate", `{"unknown":1}`},
 		{"/v1/simulate", `not json`},
 		{"/v1/model", `{"banks":63}`},
@@ -544,6 +549,88 @@ func TestPoolBounds(t *testing.T) {
 	}
 	if got := m.Counter("pool.completed").Value(); got != 10 {
 		t.Errorf("completed = %d, want 10", got)
+	}
+}
+
+// TestComputeJobSingleFlight: N concurrent identical jobs compute
+// exactly once — each goroutine either leads, joins the in-flight call,
+// or hits the memo, so pool.completed is 1 under every interleaving.
+func TestComputeJobSingleFlight(t *testing.T) {
+	s, _ := newTestServer(t, Options{Workers: 1})
+	job := SweepJob{Model: &ModelRequest{Banks: 16, Tm: 24, B: 512}}
+	var wg sync.WaitGroup
+	var memoized atomic.Int64
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, m, err := s.computeJob(context.Background(), job)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if m {
+				memoized.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.metrics.Counter("pool.completed").Value(); got != 1 {
+		t.Errorf("16 identical concurrent jobs computed %d times, want 1", got)
+	}
+	if got := memoized.Load(); got != 15 {
+		t.Errorf("memoized = %d of 16, want 15 (all but the leader)", got)
+	}
+}
+
+// TestValidateBoundsBeforeBuild covers the DoS fixes: oversized or
+// overflowing jobs must be rejected arithmetically, before any trace is
+// materialised. Each call must return promptly — a regression that
+// rebuilds the trace first would allocate tens of gigabytes here.
+func TestValidateBoundsBeforeBuild(t *testing.T) {
+	spec := cache.Spec{Kind: "prime", C: 7}
+	for _, tc := range []struct {
+		name string
+		req  SimulateRequest
+	}{
+		{"huge strided n", SimulateRequest{Cache: spec,
+			Pattern: trace.Pattern{Name: "strided", N: 2_000_000_000}}},
+		{"huge subblock b1*b2", SimulateRequest{Cache: spec,
+			Pattern: trace.Pattern{Name: "subblock", B1: 1_000_000, B2: 1_000_000}}},
+		{"subblock product overflows int", SimulateRequest{Cache: spec,
+			Pattern: trace.Pattern{Name: "subblock", B1: math.MaxInt, B2: 2}}},
+		{"passes overflows refs*passes", SimulateRequest{Cache: spec,
+			Pattern: trace.Pattern{Name: "strided", N: 4096}, Passes: 1 << 60}},
+		{"refs*passes over cap without overflow", SimulateRequest{Cache: spec,
+			Pattern: trace.Pattern{Name: "strided", N: 1 << 20}, Passes: 1 << 10}},
+		{"huge passes with default pattern", SimulateRequest{Cache: spec, Passes: 1 << 60}},
+	} {
+		if err := tc.req.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.req)
+		}
+	}
+	ok := SimulateRequest{Cache: spec, Pattern: trace.Pattern{Name: "strided", N: 4096}, Passes: 2}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("in-bounds request rejected: %v", err)
+	}
+}
+
+// TestPoolQueuedGaugeOnClose checks the shutdown race does not leak the
+// pool.queued gauge: a task that slips into the queue after the workers
+// drain is abandoned with ErrPoolClosed and must still be un-counted.
+func TestPoolQueuedGaugeOnClose(t *testing.T) {
+	m := NewMetrics()
+	p := NewPool(1, m)
+	p.Close()
+	for i := 0; i < 100; i++ {
+		if _, err := p.Submit(context.Background(), func(context.Context) (any, error) {
+			return nil, nil
+		}); err != ErrPoolClosed {
+			t.Fatalf("Submit after Close = %v, want ErrPoolClosed", err)
+		}
+	}
+	if q := m.Gauge("pool.queued").Value(); q != 0 {
+		t.Errorf("pool.queued = %d after close, want 0", q)
 	}
 }
 

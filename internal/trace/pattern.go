@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -81,6 +82,51 @@ func (p Pattern) Validate() error {
 		return fmt.Errorf("trace: fft pattern needs b2 (%d) dividing n (%d)", p.B2, p.N)
 	}
 	return nil
+}
+
+// RefCount returns the number of references one pass of the pattern
+// materialises — len(Build()) without the allocation — saturating at
+// math.MaxInt on overflow. Callers can bound a job against a reference
+// budget before paying for the trace.
+func (p Pattern) RefCount() int {
+	p = p.Normalize()
+	switch p.Name {
+	case "strided", "diagonal":
+		return p.N
+	case "subblock":
+		return satMul(p.B1, p.B2)
+	case "rowcol":
+		// Build caps the column sweep at min(n/2, ld) and appends an
+		// n/2-element row sweep.
+		col := p.N / 2
+		if col > p.LD {
+			col = p.LD
+		}
+		return satAdd(col, p.N/2)
+	case "fft":
+		if p.B2 <= 0 {
+			return 0
+		}
+		return satMul(p.B2, p.N/p.B2)
+	default:
+		return 0
+	}
+}
+
+// satMul and satAdd multiply/add non-negative ints, saturating at
+// math.MaxInt instead of wrapping.
+func satMul(a, b int) int {
+	if a > 0 && b > math.MaxInt/a {
+		return math.MaxInt
+	}
+	return a * b
+}
+
+func satAdd(a, b int) int {
+	if a > math.MaxInt-b {
+		return math.MaxInt
+	}
+	return a + b
 }
 
 // Build materialises one pass of the pattern as a Trace.

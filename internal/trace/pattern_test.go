@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math"
 	"testing"
 
 	"primecache/internal/cache"
@@ -73,6 +74,37 @@ func TestPatternValidate(t *testing.T) {
 		if err := (Pattern{Name: name}).Validate(); err != nil {
 			t.Errorf("default %s pattern: %v", name, err)
 		}
+	}
+}
+
+func TestPatternRefCount(t *testing.T) {
+	// RefCount must agree with len(Build()) for every generator,
+	// including rowcol's column-sweep cap at ld.
+	for _, p := range []Pattern{
+		{Name: "strided", Stride: 3, N: 5},
+		{Name: "strided"}, // defaults
+		{Name: "diagonal", LD: 100, N: 4},
+		{Name: "subblock", LD: 100, B1: 2, B2: 3},
+		{Name: "rowcol", LD: 64, N: 8},
+		{Name: "rowcol", LD: 4, N: 100}, // column sweep capped at ld
+		{Name: "fft", N: 8, B2: 2},
+	} {
+		tr, err := p.Build()
+		if err != nil {
+			t.Errorf("Build(%+v): %v", p, err)
+			continue
+		}
+		if got := p.RefCount(); got != len(tr) {
+			t.Errorf("RefCount(%+v) = %d, len(Build()) = %d", p, got, len(tr))
+		}
+	}
+	// Counts that would overflow int saturate instead of wrapping, so a
+	// bound check against them always rejects.
+	if got := (Pattern{Name: "subblock", B1: math.MaxInt, B2: 2}).RefCount(); got != math.MaxInt {
+		t.Errorf("overflowing subblock RefCount = %d, want MaxInt", got)
+	}
+	if got := (Pattern{Name: "unknown"}).RefCount(); got != 0 {
+		t.Errorf("unknown pattern RefCount = %d, want 0", got)
 	}
 }
 
