@@ -1,10 +1,21 @@
 # Development and CI entry points. `make ci` is the gate every PR must
-# pass: vet, the full test suite, and the concurrency-sensitive packages
-# under the race detector.
+# pass: vet, the full test suite, the concurrency-sensitive packages
+# under the race detector, a fuzz smoke pass over every fuzz target, and
+# a bounded differential-oracle campaign (see internal/oracle and
+# TUTORIAL.md "Verifying the simulator").
 
 GO ?= go
 
-.PHONY: build test vet race race-server bench ci
+# Oracle campaign knobs: master seed, seeded traces per cache
+# organisation, and maximum references per trace.
+ORACLE_SEED   ?= 1
+ORACLE_TRACES ?= 100
+ORACLE_MAXREFS ?= 1024
+
+# Per-target budget for the fuzz smoke pass.
+FUZZTIME ?= 10s
+
+.PHONY: build test vet race race-server bench oracle fuzz-smoke golden-update ci
 
 build:
 	$(GO) build ./...
@@ -26,4 +37,26 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=NONE ./...
 
-ci: vet build test race-server
+# Bounded differential campaign: seeded traces through every cache
+# organisation's fast simulator and its slow-but-obviously-correct
+# reference, plus the metamorphic property suite. Exits non-zero on the
+# first divergence, printing a minimised counterexample.
+oracle:
+	$(GO) run ./cmd/oracle -seed $(ORACLE_SEED) -n $(ORACLE_TRACES) -maxrefs $(ORACLE_MAXREFS)
+
+# Short randomized run of every fuzz target (go test allows one -fuzz
+# pattern per invocation, hence one line per target).
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzReduce -fuzztime=$(FUZZTIME) ./internal/mersenne/
+	$(GO) test -run=NONE -fuzz=FuzzAddressUnit -fuzztime=$(FUZZTIME) ./internal/mersenne/
+	$(GO) test -run=NONE -fuzz=FuzzModulusVsBigInt -fuzztime=$(FUZZTIME) ./internal/mersenne/
+	$(GO) test -run=NONE -fuzz=FuzzCacheDifferential -fuzztime=$(FUZZTIME) ./internal/cache/
+	$(GO) test -run=NONE -fuzz=FuzzSimVsReference -fuzztime=$(FUZZTIME) ./internal/cache/
+	$(GO) test -run=NONE -fuzz=FuzzBankModelVsBruteForce -fuzztime=$(FUZZTIME) ./internal/membank/
+
+# Regenerate the golden files for the report renderers and the figures
+# command after an intended output change.
+golden-update:
+	$(GO) test ./internal/report/ ./cmd/figures/ -update
+
+ci: vet build test race-server fuzz-smoke oracle

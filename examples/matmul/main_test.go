@@ -1,0 +1,85 @@
+package main
+
+// Example-based test: a small traced blocked multiply must compute the
+// same numbers as a naive untraced triple loop, and the §4 blocking
+// advice must return a conflict-free tile for the example's pathological
+// leading dimension.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"primecache"
+)
+
+func TestBlockedMatMulMatchesNaive(t *testing.T) {
+	const (
+		r, k, c = 12, 9, 7
+		ldim    = 40
+		blk     = 4
+	)
+	rng := rand.New(rand.NewSource(1))
+	a := primecache.NewMatrixLD(r, k, ldim, 0)
+	b := primecache.NewMatrixLD(k, c, ldim, 1<<16)
+	for i := range a.Data {
+		a.Data[i] = rng.Float64()*2 - 1
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.Float64()*2 - 1
+	}
+
+	out := primecache.NewMatrixLD(r, c, ldim, 1<<20)
+	vc, err := primecache.NewPrimeCache(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := primecache.BlockedMatMul(a, b, out, blk, vc.Cache()); err != nil {
+		t.Fatal(err)
+	}
+	if vc.Stats().Accesses == 0 {
+		t.Error("traced multiply recorded no cache accesses")
+	}
+
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			var want float64
+			for x := 0; x < k; x++ {
+				want += a.At(i, x) * b.At(x, j)
+			}
+			if got := out.At(i, j); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("out[%d][%d] = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestMaxConflictFreeBlockForExampleLD(t *testing.T) {
+	const ld = 300 * 8192 // the example's pathological leading dimension
+	b1, b2, err := primecache.MaxConflictFreeBlock(8191, ld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 < 1 || b2 < 1 {
+		t.Fatalf("degenerate block %dx%d", b1, b2)
+	}
+	if b1*b2 > 8191 {
+		t.Fatalf("block %dx%d = %d words exceeds the 8191-line cache", b1, b2, b1*b2)
+	}
+	// A conflict-free block must actually be conflict-free when swept:
+	// replay the sub-block pattern twice on the prime cache.
+	vc, err := primecache.NewPrimeCache(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for j := 0; j < b2; j++ {
+			if _, err := vc.LoadVector(uint64(j*ld), 1, b1, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if s := vc.Stats(); s.Conflict != 0 {
+		t.Errorf("advised block %dx%d still causes %d conflict misses", b1, b2, s.Conflict)
+	}
+}

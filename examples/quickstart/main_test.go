@@ -1,0 +1,74 @@
+package main
+
+// Example-based test: exercises exactly the public API the quickstart
+// walks through, so `go test ./...` both compiles the example and pins
+// the paper's headline behaviour it demonstrates.
+
+import (
+	"math"
+	"testing"
+
+	"primecache"
+)
+
+func TestQuickstartScenario(t *testing.T) {
+	const (
+		stride = 512
+		n      = 4096
+		passes = 4
+	)
+	prime, err := primecache.NewPrimeCache(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := primecache.NewDirectCache(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < passes; pass++ {
+		if _, err := prime.LoadVector(0, stride, n, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := direct.LoadVector(0, stride, n, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ps, ds := prime.Stats(), direct.Stats()
+	// The paper's point: the prime cache sweeps stride-512 conflict-free
+	// while the direct cache folds 4096 elements onto 16 lines.
+	if ps.Conflict != 0 {
+		t.Errorf("prime cache saw %d conflict misses on a stride-%d sweep, want 0", ps.Conflict, stride)
+	}
+	if ds.Conflict == 0 {
+		t.Error("direct cache saw no conflict misses on a power-of-two stride")
+	}
+	if ps.HitRatio() <= ds.HitRatio() {
+		t.Errorf("prime hit ratio %.4f not above direct %.4f", ps.HitRatio(), ds.HitRatio())
+	}
+	// Each element costs about one end-around addition in the Figure-1
+	// address unit.
+	if prime.AdderSteps() == 0 {
+		t.Error("prime cache reports zero adder steps; address unit unused")
+	}
+
+	// The analytic model agrees qualitatively: prime-mapped beats the
+	// no-cache machine and the direct-mapped machine at this design point.
+	m := primecache.DefaultMachine(64, 32)
+	w := primecache.DefaultWorkload(n)
+	const total = 1 << 20
+	mm := primecache.CyclesPerResultMM(m, w, total)
+	dd := primecache.CyclesPerResultCC(primecache.DirectGeometry(13), m, w, total)
+	pp := primecache.CyclesPerResultCC(primecache.PrimeGeometry(13), m, w, total)
+	for name, v := range map[string]float64{"MM": mm, "direct CC": dd, "prime CC": pp} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			t.Errorf("%s cycles/result = %v, want finite positive", name, v)
+		}
+	}
+	if pp >= mm {
+		t.Errorf("prime-mapped cycles/result %.2f not below no-cache %.2f", pp, mm)
+	}
+	if pp >= dd {
+		t.Errorf("prime-mapped cycles/result %.2f not below direct-mapped %.2f", pp, dd)
+	}
+}

@@ -1,0 +1,67 @@
+package membank_test
+
+// External test package: the oracle package imports membank, so the
+// brute-force fuzz target must live outside package membank to avoid an
+// import cycle.
+
+import (
+	"testing"
+
+	"primecache/internal/membank"
+	"primecache/internal/oracle"
+)
+
+// FuzzBankModelVsBruteForce checks the busy-till vector-load model and
+// the closed-form BanksVisited against the oracle's reservation-list
+// brute force, for both power-of-two interleaving and the §2.3
+// prime-banked organisation. Seeds mirror the package's table tests:
+// unit stride, the all-conflict bank-count stride, an odd conflict-free
+// stride, and a negative sweep.
+func FuzzBankModelVsBruteForce(f *testing.F) {
+	f.Add(uint8(3), uint8(4), uint64(0), int64(1), uint16(64))
+	f.Add(uint8(3), uint8(8), uint64(0), int64(8), uint16(32))
+	f.Add(uint8(4), uint8(6), uint64(100), int64(17), uint16(100))
+	f.Add(uint8(2), uint8(3), uint64(1000), int64(-3), uint16(50))
+	f.Fuzz(func(t *testing.T, m, tmRaw uint8, start uint64, stride int64, nRaw uint16) {
+		banks := 1 << (1 + int(m)%6) // 2..64
+		tm := 1 + int(tmRaw)%16
+		n := int(nRaw) % 512
+		start %= 1 << 40
+		if stride > 1<<20 {
+			stride = 1 << 20
+		}
+		if stride < -(1 << 20) {
+			stride = -(1 << 20)
+		}
+
+		sys, err := membank.New(banks, tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sys.VectorLoad(start, stride, n)
+		want := oracle.RefVectorLoad(banks, tm, start, stride, n)
+		if got != want {
+			t.Fatalf("pow2 banks=%d tm=%d start=%d stride=%d n=%d: fast %+v, brute force %+v",
+				banks, tm, start, stride, n, got, want)
+		}
+		if gv, wv := membank.BanksVisited(banks, stride), oracle.RefBanksVisited(banks, stride); gv != wv {
+			t.Fatalf("BanksVisited(%d, %d) = %d, brute force %d", banks, stride, gv, wv)
+		}
+
+		// Prime-banked variant: same decode law with a non-power-of-two
+		// modulus; 2^m − 1 is a convenient odd bank count.
+		pbanks := banks - 1
+		if pbanks >= 2 {
+			psys, err := membank.NewPrimeBanked(pbanks, tm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := psys.VectorLoad(start, stride, n)
+			want := oracle.RefVectorLoad(pbanks, tm, start, stride, n)
+			if got != want {
+				t.Fatalf("prime banks=%d tm=%d start=%d stride=%d n=%d: fast %+v, brute force %+v",
+					pbanks, tm, start, stride, n, got, want)
+			}
+		}
+	})
+}

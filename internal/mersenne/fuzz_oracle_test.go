@@ -1,0 +1,57 @@
+package mersenne_test
+
+// External test package: the oracle package imports mersenne, so the
+// differential fuzz target must live outside package mersenne to avoid
+// an import cycle.
+
+import (
+	"testing"
+
+	"primecache/internal/mersenne"
+	"primecache/internal/oracle"
+)
+
+// FuzzModulusVsBigInt cross-checks the entire end-around-carry residue
+// API against the math/big reference for every supported prime exponent.
+// The seed corpus mirrors the package's table tests: boundary residues
+// (0, 2^c−2, 2^c−1), the paper's 8191-line example, and dense bit
+// patterns that exercise multi-stage folds.
+func FuzzModulusVsBigInt(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(8190), uint64(8191))
+	f.Add(uint64(8191), uint64(8192))
+	f.Add(uint64(1)<<63, uint64(1)<<62)
+	f.Add(^uint64(0), ^uint64(0))
+	f.Add(uint64(0xDEADBEEFCAFEBABE), uint64(0x0123456789ABCDEF))
+	f.Fuzz(func(t *testing.T, x, y uint64) {
+		for _, c := range mersenne.PrimeExponents() {
+			m := mersenne.MustNew(c)
+			ref := oracle.MustNewRefModulus(c)
+			if got, want := m.Reduce(x), ref.Reduce(x); got != want {
+				t.Fatalf("c=%d Reduce(%#x) = %d, want %d", c, x, got, want)
+			}
+			if got, want := m.ReduceSigned(int64(x)), ref.ReduceSigned(int64(x)); got != want {
+				t.Fatalf("c=%d ReduceSigned(%d) = %d, want %d", c, int64(x), got, want)
+			}
+			if got, want := m.MulMod(x, y), ref.Mul(x, y); got != want {
+				t.Fatalf("c=%d MulMod(%#x, %#x) = %d, want %d", c, x, y, got, want)
+			}
+			if got, want := m.Congruent(x, y), ref.Congruent(x, y); got != want {
+				t.Fatalf("c=%d Congruent(%#x, %#x) = %v, want %v", c, x, y, got, want)
+			}
+			// Add/Sub accept residues only; fold the fuzz inputs in.
+			a, b := x%(m.Value()+1), y%(m.Value()+1)
+			if got, want := m.Add(a, b), ref.Add(a, b); got != want {
+				t.Fatalf("c=%d Add(%d, %d) = %d, want %d", c, a, b, got, want)
+			}
+			if got, want := m.Sub(a, b), ref.Sub(a, b); got != want {
+				t.Fatalf("c=%d Sub(%d, %d) = %d, want %d", c, a, b, got, want)
+			}
+			inv, ok := m.Inverse(a)
+			rinv, rok := ref.Inverse(a)
+			if ok != rok || (ok && inv != rinv) {
+				t.Fatalf("c=%d Inverse(%d) = (%d, %v), want (%d, %v)", c, a, inv, ok, rinv, rok)
+			}
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package oracle
+
+import (
+	"fmt"
+	"io"
+
+	"primecache/internal/cache"
+)
+
+// CampaignOptions configures a bounded differential campaign. The zero
+// value selects the defaults used by `make oracle`.
+type CampaignOptions struct {
+	// Seed is the master seed; each organisation derives its own
+	// generator from it (default 1).
+	Seed int64
+	// TracesPerKind is the number of seeded traces replayed per cache
+	// organisation (default 100).
+	TracesPerKind int
+	// MaxRefs bounds each trace's length (default 1024).
+	MaxRefs int
+}
+
+func (o CampaignOptions) withDefaults() CampaignOptions {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.TracesPerKind == 0 {
+		o.TracesPerKind = 100
+	}
+	if o.MaxRefs == 0 {
+		o.MaxRefs = 1024
+	}
+	return o
+}
+
+// KindResult is the campaign outcome for one cache organisation.
+type KindResult struct {
+	Kind string
+	// Traces and Refs count the work done before stopping.
+	Traces int
+	Refs   int
+	// Divergence is the first divergence found, nil when the kind
+	// passed.
+	Divergence *Divergence
+	// Seed reproduces the kind's whole trace sequence via NewGen.
+	Seed int64
+}
+
+// OK reports whether the kind completed without divergence.
+func (r KindResult) OK() bool { return r.Divergence == nil }
+
+// RunCampaign replays TracesPerKind seeded traces through the fast and
+// reference implementations of every cache organisation and returns one
+// result per kind, stopping a kind at its first divergence. The error
+// is non-nil only for infrastructure failures (a generated spec that
+// does not build), never for divergences.
+func RunCampaign(opt CampaignOptions) ([]KindResult, error) {
+	opt = opt.withDefaults()
+	kinds := cache.SpecKinds()
+	results := make([]KindResult, 0, len(kinds))
+	for ki, kind := range kinds {
+		seed := opt.Seed + int64(ki)*1_000_003
+		g := NewGen(seed)
+		res := KindResult{Kind: kind, Seed: seed}
+		for i := 0; i < opt.TracesPerKind; i++ {
+			spec := g.SpecOfKind(kind)
+			tr := g.Trace(opt.MaxRefs)
+			d, err := Diff(spec, tr)
+			if err != nil {
+				return results, fmt.Errorf("oracle: campaign kind %s trace %d: %w", kind, i, err)
+			}
+			res.Traces++
+			res.Refs += len(tr)
+			if d != nil {
+				res.Divergence = d
+				break
+			}
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// WriteCampaignReport renders campaign results, one line per kind plus a
+// verdict, and returns the number of divergences.
+func WriteCampaignReport(w io.Writer, results []KindResult) int {
+	bad := 0
+	for _, r := range results {
+		status := "ok"
+		if !r.OK() {
+			status = "DIVERGED"
+			bad++
+		}
+		fmt.Fprintf(w, "oracle: kind=%-12s traces=%-4d refs=%-8d seed=%-10d %s\n",
+			r.Kind, r.Traces, r.Refs, r.Seed, status)
+		if !r.OK() {
+			fmt.Fprintf(w, "%s\n", r.Divergence)
+		}
+	}
+	return bad
+}

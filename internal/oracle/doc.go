@@ -1,0 +1,36 @@
+// Package oracle is the differential-testing layer of the repository:
+// slow-but-obviously-correct reference implementations of the fast
+// simulators, executable metamorphic properties encoding the paper's
+// theorems, and a seeded trace generator plus Diff driver that replays
+// the same workload through a fast implementation and its reference and
+// reports the first divergence with a minimised counterexample.
+//
+// The package mirrors three fast subsystems:
+//
+//   - mersenne.Modulus  → RefModulus      (math/big modular arithmetic)
+//   - cache.Spec.Build  → NewRefSim       (naive map-backed simulator for
+//     all seven organisations: prime, direct, assoc, full, prime-assoc,
+//     skewed, victim)
+//   - membank.System    → RefVectorLoad   (brute-force bank reservation
+//     scan) and RefBanksVisited
+//
+// The fast implementations earn their speed with end-around-carry
+// folding, bit masks, and linked-list LRU structures; the references
+// spend it on big.Int division, per-access linear scans, and slices, so
+// a bug has to be present in two very different shapes to go unnoticed.
+//
+// Three consumers are wired on top:
+//
+//   - go test -fuzz targets in internal/mersenne, internal/cache, and
+//     internal/membank feed fuzzer-chosen inputs through both sides;
+//   - `make oracle` (cmd/oracle) runs a bounded campaign of seeded
+//     traces per cache organisation and fails on any divergence;
+//   - the property suite (Properties, CheckAll) re-checks the paper's
+//     theorems — conflict-free coprime strides, power-of-two stride
+//     degradation, translation invariance, the EAC adder ≡ mod 2^c−1 —
+//     on every run, and demonstrably fails when an off-by-one is
+//     injected into the prime mapper.
+//
+// See TUTORIAL.md §9 ("Verifying the simulator") for how to reproduce a
+// reported divergence and how to add a new property.
+package oracle

@@ -1,0 +1,203 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"primecache/internal/cache"
+	"primecache/internal/membank"
+	"primecache/internal/trace"
+)
+
+func TestRefModulusKnownValues(t *testing.T) {
+	r := MustNewRefModulus(5) // 31
+	cases := []struct{ x, want uint64 }{
+		{0, 0}, {1, 1}, {30, 30}, {31, 0}, {32, 1}, {62, 0}, {1 << 20, (1 << 20) % 31},
+	}
+	for _, c := range cases {
+		if got := r.Reduce(c.x); got != c.want {
+			t.Errorf("Reduce(%d) = %d, want %d", c.x, got, c.want)
+		}
+	}
+	if got := r.ReduceSigned(-1); got != 30 {
+		t.Errorf("ReduceSigned(-1) = %d, want 30", got)
+	}
+	if inv, ok := r.Inverse(0); ok || inv != 0 {
+		t.Errorf("Inverse(0) = (%d,%v), want (0,false)", inv, ok)
+	}
+}
+
+// TestRefSimMatchesFastAllKinds is the core tentpole check in unit-test
+// form: every organisation agrees with its reference on seeded traces.
+func TestRefSimMatchesFastAllKinds(t *testing.T) {
+	for ki, kind := range cache.SpecKinds() {
+		kind := kind
+		seed := int64(101 + ki)
+		t.Run(kind, func(t *testing.T) {
+			g := NewGen(seed)
+			for i := 0; i < 10; i++ {
+				spec := g.SpecOfKind(kind)
+				tr := g.Trace(512)
+				d, err := Diff(spec, tr)
+				if err != nil {
+					t.Fatalf("trace %d: %v", i, err)
+				}
+				if d != nil {
+					t.Fatalf("trace %d diverged:\n%s", i, d)
+				}
+			}
+		})
+	}
+}
+
+func TestCampaignSmoke(t *testing.T) {
+	results, err := RunCampaign(CampaignOptions{Seed: 7, TracesPerKind: 3, MaxRefs: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(cache.SpecKinds()) {
+		t.Fatalf("got %d kind results, want %d", len(results), len(cache.SpecKinds()))
+	}
+	var b strings.Builder
+	if bad := WriteCampaignReport(&b, results); bad != 0 {
+		t.Fatalf("%d kinds diverged:\n%s", bad, b.String())
+	}
+	for _, r := range results {
+		if r.Traces != 3 || r.Refs == 0 {
+			t.Errorf("kind %s: traces=%d refs=%d, want 3 traces and nonzero refs", r.Kind, r.Traces, r.Refs)
+		}
+	}
+}
+
+func TestPropertiesHold(t *testing.T) {
+	if err := CheckAll(Properties(), 11, 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// offByOneMapper injects the classic off-by-one into the prime mapping:
+// it reduces modulo sets−1 instead of sets (as if the EAC adder's
+// end-around wrap used 2^c − 2). It still claims Sets() sets, so every
+// index is in range and nothing crashes — only the theorems notice.
+type offByOneMapper struct{ sets int }
+
+func (m offByOneMapper) Index(lineAddr uint64) int { return int(lineAddr % uint64(m.sets-1)) }
+func (m offByOneMapper) Sets() int                 { return m.sets }
+func (m offByOneMapper) Name() string              { return "off-by-one" }
+
+// TestMutatedMapperTripsProperties demonstrates the property suite has
+// teeth: at least four of the five mapper theorems must fail on the
+// mutated mapper (base-translation invariance legitimately survives,
+// because the mutant is still a translation-covariant linear map).
+func TestMutatedMapperTripsProperties(t *testing.T) {
+	props := MapperProperties(offByOneMapper{sets: 31})
+	failed := 0
+	var names []string
+	for _, p := range props {
+		if err := CheckAll([]Property{p}, 1, 8); err != nil {
+			failed++
+			names = append(names, p.Name)
+			t.Logf("tripped (good): %s", p.Name)
+		}
+	}
+	if failed < 4 {
+		t.Fatalf("only %d/%d properties tripped on the off-by-one mapper (%v); want >= 4", failed, len(props), names)
+	}
+}
+
+// TestDiffReportsAndMinimises checks the driver itself: a deliberately
+// mismatched pair (direct 32 lines vs reference of a direct 64-line
+// spec) must diverge, and the counterexample must be minimised.
+func TestDiffReportsAndMinimises(t *testing.T) {
+	mk := func() (cache.Sim, cache.Sim, error) {
+		fast, err := cache.NewDirect(32)
+		if err != nil {
+			return nil, nil, err
+		}
+		ref, err := NewRefSim(cache.Spec{Kind: "direct", Lines: 64}.Normalize())
+		if err != nil {
+			return nil, nil, err
+		}
+		return fast, ref, nil
+	}
+	tr := trace.Concat(
+		trace.Strided(0, 1, 64, 1),
+		trace.Strided(0, 1, 64, 1),
+	)
+	d, err := DiffFactories(mk, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil {
+		t.Fatal("expected a divergence between 32- and 64-line direct caches")
+	}
+	if len(d.Trace) == 0 || len(d.Trace) > 4 {
+		t.Errorf("minimised counterexample has %d refs, want 1..4", len(d.Trace))
+	}
+	s := d.String()
+	for _, want := range []string{"divergence", "minimised counterexample"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report %q missing %q", s, want)
+		}
+	}
+}
+
+// TestDiffAgreesIdenticalPair: sanity that Diff is quiet when fast and
+// reference are literally the same organisation.
+func TestDiffAgreesIdenticalPair(t *testing.T) {
+	g := NewGen(42)
+	spec := cache.Spec{Kind: "prime", C: 5}.Normalize()
+	for i := 0; i < 5; i++ {
+		d, err := Diff(spec, g.Trace(400))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != nil {
+			t.Fatalf("unexpected divergence:\n%s", d)
+		}
+	}
+}
+
+func TestRefVectorLoadMatchesFast(t *testing.T) {
+	g := NewGen(1234)
+	rng := g.Rand()
+	for i := 0; i < 300; i++ {
+		banks := 1 << (1 + rng.Intn(6))
+		tm := 1 + rng.Intn(16)
+		sys, err := membank.New(banks, tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := uint64(rng.Intn(1 << 20))
+		stride := int64(rng.Intn(1<<12) - 1<<11)
+		n := rng.Intn(300)
+		got := sys.VectorLoad(start, stride, n)
+		want := RefVectorLoad(banks, tm, start, stride, n)
+		if got != want {
+			t.Fatalf("banks=%d tm=%d start=%d stride=%d n=%d: fast %+v, ref %+v",
+				banks, tm, start, stride, n, got, want)
+		}
+		if gv, wv := membank.BanksVisited(banks, stride), RefBanksVisited(banks, stride); gv != wv {
+			t.Fatalf("BanksVisited(%d,%d) = %d, brute force %d", banks, stride, gv, wv)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a, b := NewGen(99), NewGen(99)
+	for i := 0; i < 20; i++ {
+		sa, sb := a.Spec(), b.Spec()
+		if sa != sb {
+			t.Fatalf("iteration %d: specs diverged: %v vs %v", i, sa, sb)
+		}
+		ta, tb := a.Trace(256), b.Trace(256)
+		if len(ta) != len(tb) {
+			t.Fatalf("iteration %d: trace lengths %d vs %d", i, len(ta), len(tb))
+		}
+		for j := range ta {
+			if ta[j] != tb[j] {
+				t.Fatalf("iteration %d ref %d: %+v vs %+v", i, j, ta[j], tb[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package oracle
+
+import "primecache/internal/membank"
+
+// refBank mirrors membank's bank decode: Euclidean remainder so that
+// negative addresses (from negative strides walking below the start)
+// land in [0, banks).
+func refBank(addr int64, banks int) int {
+	b := addr % int64(banks)
+	if b < 0 {
+		b += int64(banks)
+	}
+	return int(b)
+}
+
+// RefVectorLoad is the obviously-correct mirror of
+// membank.System.VectorLoad: instead of per-bank busy-until registers it
+// keeps every bank's full reservation list and scans it, issuing each
+// element at the earliest bus slot that does not overlap an existing
+// reservation on its bank.
+func RefVectorLoad(banks, tm int, start uint64, stride int64, n int) membank.LoadResult {
+	if n <= 0 {
+		return membank.LoadResult{}
+	}
+	reservations := make([][]int64, banks)
+	last := int64(-1)
+	for i := 0; i < n; i++ {
+		addr := int64(start) + int64(i)*stride
+		bank := refBank(addr, banks)
+		// The bus delivers at most one element per cycle, so the
+		// earliest candidate issue slot is one past the previous issue.
+		t := last + 1
+		for {
+			conflict := false
+			for _, r := range reservations[bank] {
+				if t < r+int64(tm) && t >= r {
+					t = r + int64(tm)
+					conflict = true
+				}
+			}
+			if !conflict {
+				break
+			}
+		}
+		reservations[bank] = append(reservations[bank], t)
+		last = t
+	}
+	return membank.LoadResult{
+		Elements:    n,
+		FinishCycle: last + int64(tm),
+		StallCycles: last - int64(n-1),
+	}
+}
+
+// RefBanksVisited counts the distinct banks touched by an infinite
+// stride-s walk by direct enumeration over one period (banks steps
+// always suffice: bank(i·s) is periodic with period dividing banks).
+func RefBanksVisited(banks int, stride int64) int {
+	if stride == 0 {
+		return 1
+	}
+	seen := make(map[int]bool, banks)
+	for i := 0; i < banks; i++ {
+		seen[refBank(int64(i)*stride, banks)] = true
+	}
+	return len(seen)
+}

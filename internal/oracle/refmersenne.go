@@ -1,0 +1,96 @@
+package oracle
+
+import (
+	"fmt"
+	"math/big"
+
+	"primecache/internal/mersenne"
+)
+
+// RefModulus is the reference mirror of mersenne.Modulus: every
+// operation is delegated to math/big against the architectural
+// definition x mod (2^c − 1), with none of the c-bit end-around-carry
+// folding the fast path uses. It is deliberately slow.
+type RefModulus struct {
+	c uint
+	m *big.Int
+}
+
+// NewRefModulus returns the reference modulus 2^c − 1, accepting the
+// same exponent range as mersenne.New.
+func NewRefModulus(c uint) (*RefModulus, error) {
+	if _, err := mersenne.New(c); err != nil {
+		return nil, err
+	}
+	m := new(big.Int).Lsh(big.NewInt(1), c)
+	m.Sub(m, big.NewInt(1))
+	return &RefModulus{c: c, m: m}, nil
+}
+
+// MustNewRefModulus is NewRefModulus but panics on error.
+func MustNewRefModulus(c uint) *RefModulus {
+	r, err := NewRefModulus(c)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// C returns the exponent c.
+func (r *RefModulus) C() uint { return r.c }
+
+// Value returns the modulus 2^c − 1.
+func (r *RefModulus) Value() uint64 { return r.m.Uint64() }
+
+// Reduce returns x mod (2^c − 1) by big.Int division.
+func (r *RefModulus) Reduce(x uint64) uint64 {
+	v := new(big.Int).SetUint64(x)
+	return v.Mod(v, r.m).Uint64()
+}
+
+// ReduceSigned returns x mod (2^c − 1) for signed x, in [0, 2^c−2].
+// big.Int.Mod implements Euclidean division, so the result is already
+// non-negative.
+func (r *RefModulus) ReduceSigned(x int64) uint64 {
+	v := big.NewInt(x)
+	return v.Mod(v, r.m).Uint64()
+}
+
+// Add returns (a + b) mod (2^c − 1).
+func (r *RefModulus) Add(a, b uint64) uint64 {
+	v := new(big.Int).SetUint64(a)
+	v.Add(v, new(big.Int).SetUint64(b))
+	return v.Mod(v, r.m).Uint64()
+}
+
+// Sub returns (a − b) mod (2^c − 1).
+func (r *RefModulus) Sub(a, b uint64) uint64 {
+	v := new(big.Int).SetUint64(a)
+	v.Sub(v, new(big.Int).SetUint64(b))
+	return v.Mod(v, r.m).Uint64()
+}
+
+// Mul returns (a · b) mod (2^c − 1) with a full multiprecision product,
+// unlike the fast path which relies on residues fitting in 31 bits.
+func (r *RefModulus) Mul(a, b uint64) uint64 {
+	v := new(big.Int).SetUint64(a)
+	v.Mul(v, new(big.Int).SetUint64(b))
+	return v.Mod(v, r.m).Uint64()
+}
+
+// Congruent reports whether a ≡ b (mod 2^c − 1).
+func (r *RefModulus) Congruent(a, b uint64) bool { return r.Reduce(a) == r.Reduce(b) }
+
+// Inverse returns the multiplicative inverse of a modulo 2^c − 1 via
+// big.Int.ModInverse, and false when none exists.
+func (r *RefModulus) Inverse(a uint64) (uint64, bool) {
+	v := new(big.Int).SetUint64(a)
+	inv := new(big.Int).ModInverse(v, r.m)
+	if inv == nil {
+		return 0, false
+	}
+	return inv.Uint64(), true
+}
+
+// String implements fmt.Stringer.
+func (r *RefModulus) String() string { return fmt.Sprintf("ref 2^%d-1 (%s)", r.c, r.m) }

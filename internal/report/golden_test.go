@@ -1,0 +1,94 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// checkGolden compares got against testdata/<name> and rewrites the file
+// when the -update flag is set:
+//
+//	go test ./internal/report -run Golden -update
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create golden files)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: output drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s\n(rerun with -update if the change is intended)", name, got, want)
+	}
+}
+
+// goldenTable is a fixed table exercising alignment, numeric formatting,
+// and CSV/Markdown escaping edge cases.
+func goldenTable() *Table {
+	t := New("Miss ratio vs stride, C=8191", "stride", "prime", "direct", "note")
+	t.MustAddRow(1, 0.0122, 0.0122, "unit")
+	t.MustAddRow(512, 0.0122, 1.0, "pow2, \"worst\" case")
+	t.MustAddRow(8191, 1.0, 0.5, "stride = C")
+	t.MustAddRow(-3, 0.0122, 0.25, "reverse, comma: a,b")
+	return t
+}
+
+func goldenSeries() []PlotSeries {
+	return []PlotSeries{
+		{Name: "prime", X: []float64{1, 2, 4, 8, 16}, Y: []float64{1.22, 1.22, 1.22, 1.22, 1.22}},
+		{Name: "direct", X: []float64{1, 2, 4, 8, 16}, Y: []float64{1.22, 3.1, 11.8, 47.0, 100}},
+	}
+}
+
+func TestGoldenText(t *testing.T) {
+	var b bytes.Buffer
+	if err := goldenTable().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table.txt", b.Bytes())
+}
+
+func TestGoldenCSV(t *testing.T) {
+	var b bytes.Buffer
+	if err := goldenTable().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table.csv", b.Bytes())
+}
+
+func TestGoldenMarkdown(t *testing.T) {
+	var b bytes.Buffer
+	if err := goldenTable().WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table.md", b.Bytes())
+}
+
+func TestGoldenPlot(t *testing.T) {
+	var b bytes.Buffer
+	if err := Plot(&b, "miss ratio (%) vs stride", goldenSeries(), 64, 16); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "plot.txt", b.Bytes())
+}
+
+func TestGoldenSVG(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteSVG(&b, "miss ratio vs stride", "stride", "miss %", goldenSeries(), 480, 300); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "plot.svg", b.Bytes())
+}

@@ -1,0 +1,28 @@
+package trace_test
+
+// External test package: the generator lives in the oracle package,
+// which imports trace.
+
+import (
+	"testing"
+
+	"primecache/internal/oracle"
+)
+
+// TestRefCountMatchesBuild sweeps the oracle generator's pattern
+// parameter space and asserts the closed-form RefCount agrees with the
+// length of the materialised trace for every valid pattern — the
+// property the server's cost-bounding admission check depends on.
+func TestRefCountMatchesBuild(t *testing.T) {
+	g := oracle.NewGen(20260806)
+	for i := 0; i < 2000; i++ {
+		p := g.Pattern()
+		tr, err := p.Build()
+		if err != nil {
+			t.Fatalf("pattern %d (%s): generator produced invalid pattern: %v", i, p, err)
+		}
+		if got, want := p.RefCount(), len(tr); got != want {
+			t.Fatalf("pattern %d (%s): RefCount() = %d, len(Build()) = %d", i, p, got, want)
+		}
+	}
+}
