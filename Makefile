@@ -15,7 +15,7 @@ ORACLE_MAXREFS ?= 1024
 # Per-target budget for the fuzz smoke pass.
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race race-server bench oracle fuzz-smoke golden-update ci
+.PHONY: build test vet race race-server bench bench-go bench-smoke oracle fuzz-smoke golden-update ci
 
 build:
 	$(GO) build ./...
@@ -34,7 +34,22 @@ race-server:
 race:
 	$(GO) test -race ./...
 
+# Benchmark-regression harness (see internal/bench and EXPERIMENTS.md
+# "Performance tracking"): `make bench` measures the pinned scenario
+# suite and writes a BENCH_*.json report; compare against the committed
+# baseline with `go run ./cmd/primebench compare BENCH_0.json <report>`.
+# `make bench-smoke` runs every scenario once — a cheap CI check that the
+# suite itself still works.
+BENCH_OUT ?= BENCH_local.json
+
 bench:
+	$(GO) run ./cmd/primebench bench -out $(BENCH_OUT)
+
+bench-smoke:
+	$(GO) run ./cmd/primebench bench -smoke > /dev/null
+
+# The go-test microbenchmarks (single iteration, compile-and-run check).
+bench-go:
 	$(GO) test -bench=. -benchtime=1x -run=NONE ./...
 
 # Bounded differential campaign: seeded traces through every cache
@@ -59,4 +74,4 @@ fuzz-smoke:
 golden-update:
 	$(GO) test ./internal/report/ ./cmd/figures/ -update
 
-ci: vet build test race-server fuzz-smoke oracle
+ci: vet build test race-server fuzz-smoke oracle bench-smoke

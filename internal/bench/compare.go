@@ -1,0 +1,64 @@
+package bench
+
+// Delta is one scenario present in both reports.
+type Delta struct {
+	Name     string
+	Old, New Result
+	// NsPct is the ns/op change in percent: positive is slower.
+	NsPct float64
+}
+
+// Comparison is the full diff of two reports, keyed on scenario names.
+type Comparison struct {
+	// Deltas lists scenarios present in both reports, in the old
+	// report's order.
+	Deltas []Delta
+	// Missing lists scenarios the old report has and the new one lacks
+	// — a renamed or dropped scenario must update the baseline
+	// explicitly, so a comparison with missing scenarios fails.
+	Missing []string
+	// Added lists scenarios only the new report has; informational.
+	Added []string
+}
+
+// CompareReports diffs two reports.
+func CompareReports(old, new Report) Comparison {
+	var c Comparison
+	for _, o := range old.Scenarios {
+		n, ok := new.Scenario(o.Name)
+		if !ok {
+			c.Missing = append(c.Missing, o.Name)
+			continue
+		}
+		d := Delta{Name: o.Name, Old: o, New: n}
+		if o.NsPerOp > 0 {
+			d.NsPct = (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		c.Deltas = append(c.Deltas, d)
+	}
+	for _, n := range new.Scenarios {
+		if _, ok := old.Scenario(n.Name); !ok {
+			c.Added = append(c.Added, n.Name)
+		}
+	}
+	return c
+}
+
+// Regressions returns the deltas whose ns/op grew by more than tolPct
+// percent.
+func (c Comparison) Regressions(tolPct float64) []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.NsPct > tolPct {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Failed reports whether the comparison should gate a change: any
+// scenario regressed beyond tolerance, or the new report dropped a
+// scenario the baseline tracks.
+func (c Comparison) Failed(tolPct float64) bool {
+	return len(c.Regressions(tolPct)) > 0 || len(c.Missing) > 0
+}

@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+
+	"primecache/internal/cache"
+	"primecache/internal/server"
+	"primecache/internal/trace"
+)
+
+// Suite returns the pinned scenario list. Names are part of the BENCH
+// file contract: renaming one makes `primebench compare` report the old
+// name missing, which fails — update the committed baseline in the same
+// change.
+func Suite() []Scenario {
+	primeSpec := cache.Spec{Kind: "prime", C: 13}
+	scenarios := []Scenario{
+		strided64("cache/prime/strided64/per-access", specBuilder(primeSpec), false),
+	}
+	for _, org := range []struct {
+		label string
+		spec  cache.Spec
+	}{
+		{"prime", primeSpec},
+		{"direct", cache.Spec{Kind: "direct", Lines: 8192}},
+		{"assoc4", cache.Spec{Kind: "assoc", Lines: 8192, Ways: 4}},
+		{"skewed", cache.Spec{Kind: "skewed", Lines: 8192}},
+		{"victim", cache.Spec{Kind: "victim", Lines: 8192}},
+	} {
+		scenarios = append(scenarios,
+			strided64(fmt.Sprintf("cache/%s/strided64/batch", org.label), specBuilder(org.spec), true))
+	}
+	scenarios = append(scenarios,
+		strided64("cache/prefetch/strided64/batch", buildPrefetch, true),
+		replayChunked(primeSpec),
+		analyticSweep(primeSpec),
+		serviceSimulate("service/simulate/memo-hit", true),
+		serviceSimulate("service/simulate/memo-miss", false),
+	)
+	return scenarios
+}
+
+func specBuilder(spec cache.Spec) func() (cache.Sim, error) {
+	return spec.Build
+}
+
+// buildPrefetch assembles the one organisation Spec.Build cannot: a
+// stride-prefetching wrapper over a small direct-mapped cache.
+func buildPrefetch() (cache.Sim, error) {
+	base, err := cache.NewDirect(256)
+	if err != nil {
+		return nil, err
+	}
+	return cache.NewPrefetchCache(base, cache.PrefetchStride, 2)
+}
+
+// strided64 measures the paper's canonical vector access — a 64-element
+// stride-512 sweep — in steady state (the first pass runs at setup), per
+// access or through the devirtualized batch path.
+func strided64(name string, build func() (cache.Sim, error), batch bool) Scenario {
+	return Scenario{Name: name, Refs: 64, Setup: func() (func() error, func(), error) {
+		sim, err := build()
+		if err != nil {
+			return nil, nil, err
+		}
+		accs := make([]cache.Access, 64)
+		for i := range accs {
+			accs[i] = cache.Access{Addr: uint64(i) * 512 * 8, Stream: 1}
+		}
+		cache.AccessBatch(sim, accs, nil) // warm: steady-state passes only
+		if batch {
+			bs, ok := sim.(cache.BatchSim)
+			if !ok {
+				return nil, nil, fmt.Errorf("%s does not implement cache.BatchSim", name)
+			}
+			return func() error { bs.AccessBatch(accs, nil); return nil }, nil, nil
+		}
+		return func() error {
+			for _, a := range accs {
+				sim.Access(a)
+			}
+			return nil
+		}, nil, nil
+	}}
+}
+
+// replayChunked measures the streaming replay path end to end: a
+// 64Ki-reference strided pass through trace.ReplayPattern (cursor +
+// fixed-size batches), the loop the server runs for non-vector patterns.
+func replayChunked(spec cache.Spec) Scenario {
+	const n = 1 << 16
+	return Scenario{Name: "cache/prime/replay-chunked-64k", Refs: n, Setup: func() (func() error, func(), error) {
+		sim, err := spec.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		p := trace.Pattern{Name: "strided", Stride: 512, N: n, Stream: 1}
+		if _, err := trace.ReplayPattern(sim, p, 1); err != nil { // warm + validate
+			return nil, nil, err
+		}
+		return func() error {
+			_, err := trace.ReplayPattern(sim, p, 1)
+			return err
+		}, nil, nil
+	}}
+}
+
+// analyticSweep measures the closed-form strided-sweep model — the
+// O(passes) arithmetic that replaces a 32M-reference simulation for
+// qualifying jobs.
+func analyticSweep(spec cache.Spec) Scenario {
+	return Scenario{Name: "cache/prime/analytic-sweep", Setup: func() (func() error, func(), error) {
+		return func() error {
+			if _, ok := cache.StridedSweepStats(spec, 9, 512, 1<<22, 8, 1); !ok {
+				return fmt.Errorf("closed form declined the sweep")
+			}
+			return nil
+		}, nil, nil
+	}}
+}
+
+// serviceSimulate measures one /v1/simulate round trip against an
+// in-process vcached instance: memo-hit repeats one request (served from
+// the memoizer), memo-miss varies the pattern every op (every request
+// simulates 2×2048 references).
+func serviceSimulate(name string, hit bool) Scenario {
+	refs := 2 * 2048
+	if hit {
+		refs = 0 // memoized: no references are simulated
+	}
+	return Scenario{Name: name, Refs: refs, Setup: func() (func() error, func(), error) {
+		srv := server.New(server.Options{})
+		ts := httptest.NewServer(srv.Handler())
+		cleanup := func() {
+			ts.Close()
+			srv.Close()
+		}
+		client := ts.Client()
+		post := func(start uint64) error {
+			body, err := json.Marshal(server.SimulateRequest{
+				Cache:   cache.Spec{Kind: "prime", C: 7},
+				Pattern: trace.Pattern{Name: "strided", Start: start * 1024, Stride: 7, N: 2048},
+			})
+			if err != nil {
+				return err
+			}
+			resp, err := client.Post(ts.URL+"/v1/simulate", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				return err
+			}
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("simulate status %d", resp.StatusCode)
+			}
+			return nil
+		}
+		var seq uint64
+		op := func() error {
+			var v uint64
+			if !hit {
+				seq++
+				v = seq
+			}
+			return post(v)
+		}
+		return op, cleanup, nil
+	}}
+}

@@ -1,0 +1,206 @@
+package cache_test
+
+// External test package: the equivalence suite drives the batch fast
+// path with the oracle package's seeded generator, and oracle imports
+// cache.
+
+import (
+	"testing"
+
+	"primecache/internal/cache"
+	"primecache/internal/oracle"
+)
+
+// batchSeed seeds the generator for the equivalence suite; log it so a
+// failure reproduces from the test output alone.
+const batchSeed = 20260806
+
+// chunkSizes are the batch granularities the equivalence suite proves
+// indistinguishable from per-access execution: degenerate (1), odd and
+// small (7), the common chunk (64), and larger-than-most-traces (1023).
+var chunkSizes = []int{1, 7, 64, 1023}
+
+// TestAccessBatchEquivalence proves AccessBatch is observably identical
+// to the per-access path for every Spec organisation: same per-access
+// Results, byte-identical final Stats, for every chunk size.
+func TestAccessBatchEquivalence(t *testing.T) {
+	t.Logf("generator seed %d", batchSeed)
+	for _, kind := range cache.SpecKinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			g := oracle.NewGen(batchSeed)
+			for trial := 0; trial < 25; trial++ {
+				spec := g.SpecOfKind(kind)
+				tr := g.Trace(2048)
+				accs := make([]cache.Access, len(tr))
+				for i, r := range tr {
+					accs[i] = cache.Access{Addr: r.Addr, Write: r.Write, Stream: r.Stream}
+				}
+
+				ref, err := spec.Build()
+				if err != nil {
+					t.Fatalf("trial %d: build reference %q: %v", trial, spec, err)
+				}
+				want := make([]cache.Result, len(accs))
+				for i, a := range accs {
+					want[i] = ref.Access(a)
+				}
+
+				for _, chunk := range chunkSizes {
+					sim, err := spec.Build()
+					if err != nil {
+						t.Fatalf("trial %d: build %q: %v", trial, spec, err)
+					}
+					got := make([]cache.Result, len(accs))
+					for lo := 0; lo < len(accs); lo += chunk {
+						hi := lo + chunk
+						if hi > len(accs) {
+							hi = len(accs)
+						}
+						cache.AccessBatch(sim, accs[lo:hi], got[lo:hi])
+					}
+					for i := range accs {
+						if got[i] != want[i] {
+							t.Fatalf("trial %d spec %q chunk %d: access %d (addr=%#x write=%v stream=%d):\n got %+v\nwant %+v",
+								trial, spec, chunk, i, accs[i].Addr, accs[i].Write, accs[i].Stream, got[i], want[i])
+						}
+					}
+					if gs, ws := sim.Stats(), ref.Stats(); gs != ws {
+						t.Fatalf("trial %d spec %q chunk %d: stats diverge:\n got %v\nwant %v", trial, spec, chunk, gs, ws)
+					}
+					gv, gok := sim.(interface{ VictimStats() cache.VictimStats })
+					rv, rok := ref.(interface{ VictimStats() cache.VictimStats })
+					if gok && rok && gv.VictimStats() != rv.VictimStats() {
+						t.Fatalf("trial %d spec %q chunk %d: victim stats diverge: got %+v want %+v",
+							trial, spec, chunk, gv.VictimStats(), rv.VictimStats())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAccessBatchNilOut proves the stats-only mode (nil result slice)
+// accumulates the same counters as the result-collecting mode.
+func TestAccessBatchNilOut(t *testing.T) {
+	g := oracle.NewGen(batchSeed + 1)
+	for trial := 0; trial < 10; trial++ {
+		spec := g.Spec()
+		tr := g.Trace(1024)
+		accs := make([]cache.Access, len(tr))
+		for i, r := range tr {
+			accs[i] = cache.Access{Addr: r.Addr, Write: r.Write, Stream: r.Stream}
+		}
+		a, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cache.AccessBatch(a, accs, nil)
+		cache.AccessBatch(b, accs, make([]cache.Result, len(accs)))
+		if a.Stats() != b.Stats() {
+			t.Fatalf("trial %d spec %q: nil-out stats diverge:\n got %v\nwant %v", trial, spec, a.Stats(), b.Stats())
+		}
+	}
+}
+
+// TestAccessBatchPrefetch covers the PrefetchCache batch entry point,
+// which is not reachable through Spec.Build.
+func TestAccessBatchPrefetch(t *testing.T) {
+	mk := func() *cache.PrefetchCache {
+		base, err := cache.NewDirect(256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := cache.NewPrefetchCache(base, cache.PrefetchStride, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	accs := make([]cache.Access, 4096)
+	for i := range accs {
+		accs[i] = cache.Access{Addr: uint64(i) * 8 * 17, Stream: 1, Write: i%13 == 0}
+	}
+	ref := mk()
+	want := make([]cache.Result, len(accs))
+	for i, a := range accs {
+		want[i] = ref.Access(a)
+	}
+	for _, chunk := range chunkSizes {
+		p := mk()
+		got := make([]cache.Result, len(accs))
+		for lo := 0; lo < len(accs); lo += chunk {
+			hi := lo + chunk
+			if hi > len(accs) {
+				hi = len(accs)
+			}
+			cache.AccessBatch(p, accs[lo:hi], got[lo:hi])
+		}
+		for i := range accs {
+			if got[i] != want[i] {
+				t.Fatalf("chunk %d access %d: got %+v want %+v", chunk, i, got[i], want[i])
+			}
+		}
+		if p.Stats() != ref.Stats() || p.PrefetchStats() != ref.PrefetchStats() {
+			t.Fatalf("chunk %d: stats diverge: got %v/%v want %v/%v",
+				chunk, p.Stats(), p.PrefetchStats(), ref.Stats(), ref.PrefetchStats())
+		}
+	}
+}
+
+// benchStrided64 prepares a 64-element stride-512 sweep (the paper's
+// canonical vector access) against spec, pre-warmed so the steady state
+// is measured, and reports refs/sec.
+func benchStrided64(b *testing.B, spec cache.Spec, batch bool) {
+	sim, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 64
+	accs := make([]cache.Access, n)
+	for i := range accs {
+		accs[i] = cache.Access{Addr: uint64(i) * 512 * 8, Stream: 1}
+	}
+	cache.AccessBatch(sim, accs, nil) // warm: steady-state passes only
+	b.ResetTimer()
+	if batch {
+		bs, ok := sim.(cache.BatchSim)
+		if !ok {
+			b.Fatalf("%s does not implement BatchSim", spec)
+		}
+		for i := 0; i < b.N; i++ {
+			bs.AccessBatch(accs, nil)
+		}
+	} else {
+		for i := 0; i < b.N; i++ {
+			for _, a := range accs {
+				sim.Access(a)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "refs/sec")
+}
+
+// BenchmarkStrided64PrimePerAccess and ...PrimeBatch are the 2× claim:
+// the batched path on the prime-mapped organisation versus the
+// per-access Sim interface for the same 64-element strided sweep.
+func BenchmarkStrided64PrimePerAccess(b *testing.B) {
+	benchStrided64(b, cache.Spec{Kind: "prime", C: 13}, false)
+}
+
+func BenchmarkStrided64PrimeBatch(b *testing.B) {
+	benchStrided64(b, cache.Spec{Kind: "prime", C: 13}, true)
+}
+
+func BenchmarkStrided64DirectPerAccess(b *testing.B) {
+	benchStrided64(b, cache.Spec{Kind: "direct", Lines: 8192}, false)
+}
+
+func BenchmarkStrided64DirectBatch(b *testing.B) {
+	benchStrided64(b, cache.Spec{Kind: "direct", Lines: 8192}, true)
+}

@@ -63,6 +63,8 @@ type Cache struct {
 
 	stats          Stats
 	prefetchWasted uint64 // prefetched lines evicted before demand touch
+
+	scratch []int // AccessBatch set-index buffer, reused across batches
 }
 
 // New validates cfg and returns an empty cache.

@@ -99,6 +99,21 @@ func (p *PrefetchCache) PrefetchStats() PrefetchStats {
 	return s
 }
 
+// Describe returns a short human-readable description.
+func (p *PrefetchCache) Describe() string {
+	return fmt.Sprintf("%s + %s prefetch ×%d", p.c.Describe(), p.kind, p.degree)
+}
+
+// Flush invalidates the wrapped cache and clears the stride-detection
+// state and prefetch counters.
+func (p *PrefetchCache) Flush() {
+	p.c.Flush()
+	p.lastLine = make(map[int]uint64)
+	p.lastStride = make(map[int]int64)
+	p.confirmed = make(map[int]bool)
+	p.stats = PrefetchStats{}
+}
+
 // Access performs a demand access and then issues any prefetches the
 // scheme calls for. Prefetch fills do not count as demand accesses.
 func (p *PrefetchCache) Access(a Access) Result {

@@ -3,70 +3,184 @@ package cache
 // shadow is a fully-associative LRU directory of fixed capacity used to
 // split non-compulsory misses into capacity (would miss fully-associatively
 // too) and conflict (artifact of the mapping). It stores only line
-// addresses, no data, as a doubly-linked recency list over a map.
+// addresses, no data.
+//
+// The directory is touched on every access of a classifying cache, so it
+// sits on the hot path of both Access and AccessBatch. It therefore avoids
+// the runtime map and per-entry heap nodes: lines live in an open-addressed
+// linear-probe table of int32 indices into a flat node pool, and the
+// recency list is intrusive (int32 prev/next) inside the pool. One touch
+// is one hash probe plus a few int32 writes, with zero steady-state
+// allocation.
 type shadow struct {
 	capacity int
-	nodes    map[uint64]*shadowNode
-	head     *shadowNode // most recently used
-	tail     *shadowNode // least recently used
+
+	nodes []shadowNode // node pool; grows on demand up to capacity+1
+	free  int32        // most recently evicted pool slot, -1 = none
+	head  int32        // most recently used, -1 = empty
+	tail  int32        // least recently used
+	size  int          // live entries
+
+	table []int32 // slot → pool index, shadowEmpty, or shadowTombstone
+	mask  uint64  // len(table)-1; table length is a power of two
+	used  int     // table slots holding a live entry or a tombstone
 }
+
+const (
+	shadowEmpty     = -1
+	shadowTombstone = -2
+)
 
 type shadowNode struct {
 	line       uint64
-	prev, next *shadowNode
+	prev, next int32 // intrusive recency list, -1 = none
+	slot       int32 // this node's table slot, for O(1) delete
 }
 
 func newShadow(capacity int) *shadow {
-	return &shadow{capacity: capacity, nodes: make(map[uint64]*shadowNode, capacity)}
+	s := &shadow{capacity: capacity, free: -1, head: -1, tail: -1}
+	s.initTable(64)
+	return s
 }
+
+func (s *shadow) initTable(n int) {
+	s.table = make([]int32, n)
+	for i := range s.table {
+		s.table[i] = shadowEmpty
+	}
+	s.mask = uint64(n - 1)
+	s.used = 0
+}
+
+// shadowHash is Fibonacci hashing: line addresses are often arithmetic
+// progressions (strided sweeps), which the golden-ratio multiply spreads
+// across the table instead of clustering into one probe run.
+func shadowHash(line uint64) uint64 { return line * 0x9e3779b97f4a7c15 }
 
 // touch looks up line, promoting it to most-recently-used and inserting it
 // (evicting the LRU entry if full) when absent. It returns whether the line
 // was present before the call — i.e. whether a fully-associative LRU cache
 // of this capacity would have hit.
 func (s *shadow) touch(line uint64) bool {
-	if n, ok := s.nodes[line]; ok {
-		s.moveToFront(n)
-		return true
+	i := shadowHash(line) >> 32 & s.mask
+	reuse := int64(-1) // first tombstone seen, reusable if line is absent
+	for {
+		v := s.table[i]
+		if v == shadowEmpty {
+			break
+		}
+		if v == shadowTombstone {
+			if reuse < 0 {
+				reuse = int64(i)
+			}
+		} else if s.nodes[v].line == line {
+			// Splice v to the front, fused here rather than via
+			// moveToFront: v != head implies v has a predecessor, and
+			// v's own links are overwritten, not cleared — the hit path
+			// is the hottest code in a classifying simulation.
+			if s.head != v {
+				nd := &s.nodes[v]
+				prev, next := nd.prev, nd.next
+				s.nodes[prev].next = next
+				if next >= 0 {
+					s.nodes[next].prev = prev
+				} else {
+					s.tail = prev
+				}
+				nd.prev = -1
+				nd.next = s.head
+				s.nodes[s.head].prev = v
+				s.head = v
+			}
+			return true
+		}
+		i = (i + 1) & s.mask
 	}
-	n := &shadowNode{line: line}
-	s.nodes[line] = n
+
+	slot := i
+	if reuse >= 0 {
+		slot = uint64(reuse)
+	} else {
+		s.used++
+	}
+	n := s.alloc(line)
+	s.nodes[n].slot = int32(slot)
+	s.table[slot] = n
 	s.pushFront(n)
-	if len(s.nodes) > s.capacity {
-		victim := s.tail
-		s.unlink(victim)
-		delete(s.nodes, victim.line)
+	s.size++
+	if s.size > s.capacity {
+		t := s.tail
+		s.unlink(t)
+		s.table[s.nodes[t].slot] = shadowTombstone
+		s.free = t
+		s.size--
+	}
+	if s.used*4 >= len(s.table)*3 {
+		s.rehash()
 	}
 	return false
 }
 
-func (s *shadow) pushFront(n *shadowNode) {
-	n.prev = nil
-	n.next = s.head
-	if s.head != nil {
-		s.head.prev = n
+// rehash rebuilds the table — doubled while the live load exceeds ½ —
+// discarding accumulated tombstones.
+func (s *shadow) rehash() {
+	n := len(s.table)
+	for s.size*2 >= n {
+		n *= 2
+	}
+	s.initTable(n)
+	for v := s.head; v >= 0; v = s.nodes[v].next {
+		i := shadowHash(s.nodes[v].line) >> 32 & s.mask
+		for s.table[i] != shadowEmpty {
+			i = (i + 1) & s.mask
+		}
+		s.table[i] = v
+		s.nodes[v].slot = int32(i)
+		s.used++
+	}
+}
+
+// alloc returns a pool slot holding line. Evictions always accompany an
+// insertion, so at most one freed slot exists at a time.
+func (s *shadow) alloc(line uint64) int32 {
+	if n := s.free; n >= 0 {
+		s.free = -1
+		s.nodes[n] = shadowNode{line: line, prev: -1, next: -1}
+		return n
+	}
+	s.nodes = append(s.nodes, shadowNode{line: line, prev: -1, next: -1})
+	return int32(len(s.nodes) - 1)
+}
+
+func (s *shadow) pushFront(n int32) {
+	nd := &s.nodes[n]
+	nd.prev = -1
+	nd.next = s.head
+	if s.head >= 0 {
+		s.nodes[s.head].prev = n
 	}
 	s.head = n
-	if s.tail == nil {
+	if s.tail < 0 {
 		s.tail = n
 	}
 }
 
-func (s *shadow) unlink(n *shadowNode) {
-	if n.prev != nil {
-		n.prev.next = n.next
+func (s *shadow) unlink(n int32) {
+	nd := &s.nodes[n]
+	if nd.prev >= 0 {
+		s.nodes[nd.prev].next = nd.next
 	} else {
-		s.head = n.next
+		s.head = nd.next
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
+	if nd.next >= 0 {
+		s.nodes[nd.next].prev = nd.prev
 	} else {
-		s.tail = n.prev
+		s.tail = nd.prev
 	}
-	n.prev, n.next = nil, nil
+	nd.prev, nd.next = -1, -1
 }
 
-func (s *shadow) moveToFront(n *shadowNode) {
+func (s *shadow) moveToFront(n int32) {
 	if s.head == n {
 		return
 	}
@@ -74,9 +188,11 @@ func (s *shadow) moveToFront(n *shadowNode) {
 	s.pushFront(n)
 }
 
-func (s *shadow) len() int { return len(s.nodes) }
+func (s *shadow) len() int { return s.size }
 
 func (s *shadow) reset() {
-	s.nodes = make(map[uint64]*shadowNode, s.capacity)
-	s.head, s.tail = nil, nil
+	s.nodes = s.nodes[:0]
+	s.free, s.head, s.tail = -1, -1, -1
+	s.size = 0
+	s.initTable(64)
 }

@@ -15,6 +15,8 @@ type VictimCache struct {
 	clock  uint64
 	hits   uint64 // victim-buffer hits (swaps)
 	misses uint64 // true misses (both levels)
+
+	scratch []Result // AccessBatch main-array results, reused across batches
 }
 
 // NewVictim returns a direct-mapped cache of lines lines with a

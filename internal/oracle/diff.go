@@ -114,23 +114,43 @@ func DiffFactories(mk func() (cache.Sim, cache.Sim, error), tr trace.Trace) (*Di
 	return d, nil
 }
 
+// diffChunk is the batch size the fast side streams through: the
+// campaign then exercises the same devirtualized batch loops production
+// replay uses, while the reference stays per-access.
+const diffChunk = 64
+
 // diffOnce replays tr through one fresh pair and reports the first
-// divergence without minimising.
+// divergence without minimising. The fast side goes through
+// cache.AccessBatch in chunks, so batch-path bugs (not just Access-path
+// bugs) are caught by the differential campaign; on a per-access
+// divergence FastStats may therefore include up to diffChunk-1 accesses
+// past the diverging step.
 func diffOnce(mk func() (cache.Sim, cache.Sim, error), tr trace.Trace) (*Divergence, error) {
 	fast, ref, err := mk()
 	if err != nil {
 		return nil, err
 	}
-	for i, r := range tr {
-		a := cache.Access{Addr: r.Addr, Write: r.Write, Stream: r.Stream}
-		got := fast.Access(a)
-		want := ref.Access(a)
-		if !sameResult(got, want) {
-			return &Divergence{
-				Step: i, Ref: r, Fast: got, Want: want,
-				FastStats: fast.Stats(), WantStats: ref.Stats(),
-				Detail: "access", Trace: tr[:i+1],
-			}, nil
+	var accs [diffChunk]cache.Access
+	var outs [diffChunk]cache.Result
+	for lo := 0; lo < len(tr); lo += diffChunk {
+		hi := lo + diffChunk
+		if hi > len(tr) {
+			hi = len(tr)
+		}
+		n := hi - lo
+		for i, r := range tr[lo:hi] {
+			accs[i] = cache.Access{Addr: r.Addr, Write: r.Write, Stream: r.Stream}
+		}
+		cache.AccessBatch(fast, accs[:n], outs[:n])
+		for i := 0; i < n; i++ {
+			want := ref.Access(accs[i])
+			if !sameResult(outs[i], want) {
+				return &Divergence{
+					Step: lo + i, Ref: tr[lo+i], Fast: outs[i], Want: want,
+					FastStats: fast.Stats(), WantStats: ref.Stats(),
+					Detail: "access", Trace: tr[:lo+i+1],
+				}, nil
+			}
 		}
 	}
 	if gs, ws := fast.Stats(), ref.Stats(); gs != ws {

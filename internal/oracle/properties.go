@@ -369,8 +369,8 @@ func bankConflictProperty() Property {
 
 // Properties returns the full default suite: the paper's mapper theorems
 // instantiated for the production prime mapper at c=5 and c=13, the EAC
-// adder cross-check, the direct-mapped power-of-two stride law, and the
-// memory-bank analogue.
+// adder cross-check, the direct-mapped power-of-two stride law, the
+// memory-bank analogue, and the analytic strided-sweep cross-check.
 func Properties() []Property {
 	var props []Property
 	for _, c := range []uint{5, 13} {
@@ -380,6 +380,7 @@ func Properties() []Property {
 		}
 		props = append(props, ps...)
 	}
-	props = append(props, adderProperty(), directPow2Property(), bankConflictProperty())
+	props = append(props, adderProperty(), directPow2Property(), bankConflictProperty(),
+		stridedAnalyticProperty())
 	return props
 }

@@ -98,6 +98,10 @@ type SimulateResponse struct {
 	// AdderSteps counts the Mersenne address unit's c-bit end-around
 	// additions (prime mapping driven through the vector API only).
 	AdderSteps uint64 `json:"adderSteps,omitempty"`
+	// Analytic reports the stats were computed by the closed-form
+	// strided-sweep model (cross-checked against replay at admission)
+	// instead of per-reference simulation.
+	Analytic bool `json:"analytic,omitempty"`
 	// Victim reports the victim-buffer counters for kind "victim".
 	Victim *cache.VictimStats `json:"victim,omitempty"`
 }

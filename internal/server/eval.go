@@ -6,6 +6,8 @@ import (
 
 	"primecache/internal/cache"
 	"primecache/internal/core"
+	"primecache/internal/mersenne"
+	"primecache/internal/oracle"
 	"primecache/internal/trace"
 	"primecache/internal/vcm"
 )
@@ -14,19 +16,37 @@ import (
 // timed-out or cancelled job stops promptly without a per-access check.
 const evalChunk = 1 << 16
 
+// analyticMinRefs is the job size (passes × refs/pass) above which a
+// strided sweep on a closed-form-capable organisation is answered
+// analytically instead of simulated: below it, replay through the batch
+// API is already fast and keeps the admission guard's replay cost
+// proportionally trivial.
+const analyticMinRefs = 1 << 22
+
 // runSimulate executes one simulation job. Results are deterministic:
 // the same request always produces byte-identical stats (the Random
-// replacement policy is deterministically seeded).
+// replacement policy is deterministically seeded, and a request either
+// always qualifies for the analytic path or never does).
 func runSimulate(ctx context.Context, req SimulateRequest) (*SimulateResponse, error) {
 	req = req.Normalize()
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
 
+	// Huge strided sweeps over prime- or direct-mapped organisations have
+	// a closed form: answer those in O(passes) arithmetic, guarded by a
+	// replayed cross-check at admission.
+	if resp, err := trySimulateAnalytic(req); err != nil {
+		return nil, err
+	} else if resp != nil {
+		return resp, nil
+	}
+
 	// Strided and diagonal patterns on vector-capable organisations run
 	// through the vector API so the prime cache's Figure-1 address unit
-	// is exercised (mirroring cmd/vcachesim); everything else replays a
-	// prebuilt trace.
+	// is exercised (mirroring cmd/vcachesim); everything else streams the
+	// pattern through the batch API in fixed-size chunks — the trace is
+	// never materialised.
 	if req.Pattern.Name == "strided" || req.Pattern.Name == "diagonal" {
 		if vc, err := core.FromSpec(req.Cache); err == nil {
 			return runSimulateVector(ctx, req, vc)
@@ -36,28 +56,38 @@ func runSimulate(ctx context.Context, req SimulateRequest) (*SimulateResponse, e
 	if err != nil {
 		return nil, err
 	}
-	tr, err := req.Pattern.Build()
+	cur, err := trace.NewCursor(req.Pattern)
 	if err != nil {
 		return nil, err
 	}
+	refsPerPass := 0
+	buf := make([]cache.Access, 4096)
+	budget := evalChunk
 	for p := 0; p < req.Passes; p++ {
-		for lo := 0; lo < len(tr); lo += evalChunk {
-			if err := ctx.Err(); err != nil {
-				return nil, err
+		cur.Reset()
+		n := 0
+		for {
+			k := cur.Next(buf)
+			if k == 0 {
+				break
 			}
-			hi := lo + evalChunk
-			if hi > len(tr) {
-				hi = len(tr)
+			cache.AccessBatch(sim, buf[:k], nil)
+			n += k
+			if budget -= k; budget <= 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				budget = evalChunk
 			}
-			trace.Replay(sim, tr[lo:hi])
 		}
+		refsPerPass = n
 	}
 	resp := &SimulateResponse{
 		Cache:       sim.Describe(),
 		Spec:        req.Cache.String(),
 		Pattern:     req.Pattern.String(),
 		Passes:      req.Passes,
-		RefsPerPass: len(tr),
+		RefsPerPass: refsPerPass,
 		Stats:       sim.Stats(),
 	}
 	resp.HitRatio = resp.Stats.HitRatio()
@@ -67,6 +97,116 @@ func runSimulate(ctx context.Context, req SimulateRequest) (*SimulateResponse, e
 		resp.Victim = &vs
 	}
 	return resp, nil
+}
+
+// trySimulateAnalytic answers a qualifying job via the closed-form
+// strided-sweep model. It returns (nil, nil) when the job does not
+// qualify — wrong pattern or organisation, too small to bother, model
+// declined, or the admission cross-check failed (in which case the
+// caller simulates normally, which is always correct).
+func trySimulateAnalytic(req SimulateRequest) (*SimulateResponse, error) {
+	p := req.Pattern
+	var stride int64
+	switch p.Name {
+	case "strided":
+		stride = p.Stride
+	case "diagonal":
+		stride = int64(p.LD) + 1
+	default:
+		return nil, nil
+	}
+	spec := req.Cache.Normalize()
+	var sets int
+	switch spec.Kind {
+	case "prime":
+		sets = 1<<spec.C - 1
+	case "direct":
+		sets = spec.Lines
+	default:
+		return nil, nil
+	}
+	if int64(p.N)*int64(req.Passes) < analyticMinRefs {
+		return nil, nil
+	}
+	if _, ok := cache.StridedSweepStats(spec, p.Start, stride, p.N, req.Passes, p.Stream); !ok {
+		return nil, nil // model declines the full instance; skip the guard
+	}
+	// Admission guard: replay a shrunken instance of the same sweep —
+	// same start, stride and stream, n capped at 2C+1 (covering the
+	// n ≤ C and n > C regimes) and two passes — and require the closed
+	// form to match it exactly. A model bug makes the job fall back to
+	// full simulation rather than return wrong numbers.
+	nGuard, passesGuard := p.N, req.Passes
+	if lim := 2*sets + 1; nGuard > lim {
+		nGuard = lim
+	}
+	if passesGuard > 2 {
+		passesGuard = 2
+	}
+	if oracle.VerifyStridedAnalytic(spec, p.Start, stride, nGuard, passesGuard, p.Stream) != nil {
+		return nil, nil
+	}
+	return simulateAnalytic(req, spec, stride)
+}
+
+// simulateAnalytic assembles the closed-form response for a sweep the
+// caller has already qualified and guarded. It still returns (nil, nil)
+// when the model itself declines the instance.
+func simulateAnalytic(req SimulateRequest, spec cache.Spec, stride int64) (*SimulateResponse, error) {
+	p := req.Pattern
+	stats, ok := cache.StridedSweepStats(spec, p.Start, stride, p.N, req.Passes, p.Stream)
+	if !ok {
+		return nil, nil
+	}
+	sim, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	resp := &SimulateResponse{
+		Cache:       sim.Describe(),
+		Spec:        spec.String(),
+		Pattern:     p.String(),
+		Passes:      req.Passes,
+		RefsPerPass: p.N,
+		Stats:       stats,
+		AdderSteps:  analyticAdderSteps(spec, p.Start, stride, p.N, req.Passes),
+		Analytic:    true,
+	}
+	resp.HitRatio = resp.Stats.HitRatio()
+	resp.MissRatio = resp.Stats.MissRatio()
+	return resp, nil
+}
+
+// analyticAdderSteps reproduces, without running it, the address-unit
+// cost the vector path charges a prime-mapped sweep: per evalChunk-sized
+// LoadVector, one stride conversion, one start conversion, and one
+// end-around addition per remaining element (see runSimulateVector and
+// mersenne.AddressUnit). Non-prime organisations have no address unit.
+func analyticAdderSteps(spec cache.Spec, start uint64, stride int64, n, passes int) uint64 {
+	if spec.Kind != "prime" {
+		return 0
+	}
+	mod, err := mersenne.NewPrime(spec.C)
+	if err != nil {
+		return 0
+	}
+	abs := stride
+	if abs < 0 {
+		abs = -abs
+	}
+	_, strideSteps := mod.ReduceSteps(uint64(abs))
+	var perPass uint64
+	cur := start
+	for done := 0; done < n; done += evalChunk {
+		k := n - done
+		if k > evalChunk {
+			k = evalChunk
+		}
+		_, startSteps := mod.ReduceSteps(cur)
+		perPass += uint64(strideSteps) + uint64(startSteps) + uint64(k-1)
+		cur += uint64(int64(k) * stride)
+	}
+	return perPass * uint64(passes)
 }
 
 // runSimulateVector drives strided/diagonal patterns through the vector

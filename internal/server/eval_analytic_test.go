@@ -1,0 +1,171 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"primecache/internal/cache"
+	"primecache/internal/core"
+	"primecache/internal/trace"
+)
+
+// TestAnalyticMatchesVectorPath forces the same qualifying job down both
+// the closed-form path and the vector simulation path and requires
+// byte-identical responses (stats, refs, adder steps) — the analytic
+// path must be a pure optimisation, invisible except for the flag.
+func TestAnalyticMatchesVectorPath(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		req  SimulateRequest
+	}{
+		{"prime coprime stride", SimulateRequest{
+			Cache:   cache.Spec{Kind: "prime", C: 13},
+			Pattern: trace.Pattern{Name: "strided", Start: 9, Stride: 512, N: 1 << 14, Stream: 1},
+			Passes:  5,
+		}},
+		{"prime capacity regime", SimulateRequest{
+			Cache:   cache.Spec{Kind: "prime", C: 5},
+			Pattern: trace.Pattern{Name: "strided", Start: 0, Stride: 3, N: 1 << 15, Stream: 1},
+			Passes:  2,
+		}},
+		{"prime multi-chunk", SimulateRequest{
+			Cache:   cache.Spec{Kind: "prime", C: 13},
+			Pattern: trace.Pattern{Name: "strided", Start: 7, Stride: 129, N: 3*evalChunk + 11, Stream: 1},
+			Passes:  2,
+		}},
+		{"direct pow2 stride", SimulateRequest{
+			Cache:   cache.Spec{Kind: "direct", Lines: 8192},
+			Pattern: trace.Pattern{Name: "strided", Start: 0, Stride: 64, N: 1 << 14, Stream: 1},
+			Passes:  4,
+		}},
+		{"diagonal", SimulateRequest{
+			Cache:   cache.Spec{Kind: "prime", C: 13},
+			Pattern: trace.Pattern{Name: "diagonal", Start: 3, LD: 1024, N: 1 << 14, Stream: 2},
+			Passes:  4,
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			req := tc.req.Normalize()
+			stride := req.Pattern.Stride
+			if req.Pattern.Name == "diagonal" {
+				stride = int64(req.Pattern.LD) + 1
+			}
+			fast, err := simulateAnalytic(req, req.Cache, stride)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fast == nil {
+				t.Fatal("closed form declined the sweep")
+			}
+			if !fast.Analytic {
+				t.Fatal("analytic response not flagged")
+			}
+			vc, err := core.FromSpec(req.Cache)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slow, err := runSimulateVector(context.Background(), req, vc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast.Analytic = false
+			if *fast != *slow {
+				t.Errorf("analytic response diverges from vector simulation:\n analytic %+v\n vector   %+v", *fast, *slow)
+			}
+		})
+	}
+}
+
+// TestAnalyticDoesNotApply pins the fallbacks: organisations and sizes
+// the closed form must decline.
+func TestAnalyticDoesNotApply(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		req  SimulateRequest
+	}{
+		{"too small", SimulateRequest{
+			Cache:   cache.Spec{Kind: "prime", C: 13},
+			Pattern: trace.Pattern{Name: "strided", Stride: 512, N: 1 << 10, Stream: 1},
+			Passes:  2,
+		}},
+		{"assoc organisation", SimulateRequest{
+			Cache:   cache.Spec{Kind: "assoc", Lines: 8192, Ways: 4},
+			Pattern: trace.Pattern{Name: "strided", Stride: 512, N: 1 << 20, Stream: 1},
+			Passes:  8,
+		}},
+		{"victim organisation", SimulateRequest{
+			Cache:   cache.Spec{Kind: "victim", Lines: 8192},
+			Pattern: trace.Pattern{Name: "strided", Stride: 512, N: 1 << 20, Stream: 1},
+			Passes:  8,
+		}},
+		{"subblock pattern", SimulateRequest{
+			Cache:   cache.Spec{Kind: "prime", C: 13},
+			Pattern: trace.Pattern{Name: "subblock", LD: 4096, B1: 2048, B2: 2048, Stream: 1},
+			Passes:  2,
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := trySimulateAnalytic(tc.req.Normalize())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp != nil {
+				t.Errorf("job unexpectedly qualified for the analytic path: %+v", resp)
+			}
+		})
+	}
+}
+
+// TestSimulateHugeSweepIsAnalytic goes through the public runSimulate
+// entry point with a job that would issue 32M references and checks it
+// is answered analytically (and therefore instantly).
+func TestSimulateHugeSweepIsAnalytic(t *testing.T) {
+	resp, err := runSimulate(context.Background(), SimulateRequest{
+		Cache:   cache.Spec{Kind: "prime", C: 13},
+		Pattern: trace.Pattern{Name: "strided", Stride: 8191, N: 1 << 22, Stream: 1},
+		Passes:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Analytic {
+		t.Fatal("huge sweep was not answered analytically")
+	}
+	// Stride = C: every reference lands in one set. Pass 1 is all
+	// compulsory; every later pass thrashes that set with capacity
+	// misses (the sweep far exceeds the shadow directory).
+	n := uint64(1 << 22)
+	if resp.Stats.Accesses != 8*n || resp.Stats.Compulsory != n || resp.Stats.Capacity != 7*n || resp.Stats.Hits != 0 {
+		t.Errorf("unexpected stats for one-set sweep: %v", resp.Stats)
+	}
+}
+
+// TestAnalyticGateEndToEnd runs one threshold-sized job through
+// trySimulateAnalytic (gate + admission guard + closed form) and the
+// vector path, requiring identical responses.
+func TestAnalyticGateEndToEnd(t *testing.T) {
+	req := SimulateRequest{
+		Cache:   cache.Spec{Kind: "prime", C: 13},
+		Pattern: trace.Pattern{Name: "strided", Start: 5, Stride: 512, N: 1 << 19, Stream: 1},
+		Passes:  8, // N × passes == analyticMinRefs exactly
+	}.Normalize()
+	fast, err := trySimulateAnalytic(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast == nil {
+		t.Fatal("threshold-sized job did not qualify for the analytic path")
+	}
+	vc, err := core.FromSpec(req.Cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := runSimulateVector(context.Background(), req, vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast.Analytic = false
+	if *fast != *slow {
+		t.Errorf("analytic response diverges from vector simulation:\n analytic %+v\n vector   %+v", *fast, *slow)
+	}
+}

@@ -415,8 +415,10 @@ func TestSweepMemoSharing(t *testing.T) {
 // structured 504 instead of hanging.
 func TestRequestTimeout(t *testing.T) {
 	_, ts := newTestServer(t, Options{RequestTimeout: 5 * time.Millisecond})
+	// A set-associative organisation: outside the analytic fast path, so
+	// the job really simulates reference by reference.
 	req := SimulateRequest{
-		Cache:   cache.Spec{Kind: "prime", C: 17},
+		Cache:   cache.Spec{Kind: "assoc", Lines: 1 << 17, Ways: 4},
 		Pattern: trace.Pattern{Name: "strided", Stride: 3, N: 1 << 20},
 		Passes:  50,
 	}
