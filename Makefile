@@ -15,7 +15,7 @@ ORACLE_MAXREFS ?= 1024
 # Per-target budget for the fuzz smoke pass.
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race race-server bench bench-go bench-smoke oracle fuzz-smoke golden-update ci
+.PHONY: build test vet race race-server stress bench bench-go bench-smoke oracle fuzz-smoke golden-update ci
 
 build:
 	$(GO) build ./...
@@ -29,10 +29,16 @@ vet:
 # The server and its daemon are the concurrent subsystems; always race
 # them. `make race` runs the whole tree when time permits.
 race-server:
-	$(GO) test -race ./internal/server/... ./cmd/vcached/...
+	$(GO) test -race ./internal/server/... ./cmd/vcached/... ./internal/client/...
 
 race:
 	$(GO) test -race ./...
+
+# Overload stress suite under the race detector: fault-injected shedding,
+# organic 429 bursts, pressure-driven degradation, cancellation, and the
+# error-envelope contract (see internal/server/overload_test.go).
+stress:
+	$(GO) test -race -count=1 -run 'Overload|Shed|Cancel|Degrad|Envelope|Partial' ./internal/server/... ./internal/client/...
 
 # Benchmark-regression harness (see internal/bench and EXPERIMENTS.md
 # "Performance tracking"): `make bench` measures the pinned scenario
@@ -74,4 +80,4 @@ fuzz-smoke:
 golden-update:
 	$(GO) test ./internal/report/ ./cmd/figures/ -update
 
-ci: vet build test race-server fuzz-smoke oracle bench-smoke
+ci: vet build test race-server stress fuzz-smoke oracle bench-smoke

@@ -5,11 +5,20 @@ package primecache
 // -short.
 
 import (
+	"bufio"
+	"context"
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
+
+	"primecache/internal/client"
+	"primecache/internal/server"
+	"primecache/internal/trace"
 )
 
 // buildTool compiles ./cmd/<name> into dir and returns the binary path.
@@ -133,6 +142,102 @@ func TestCLIIntegration(t *testing.T) {
 		out = runTool(t, bin, "setvl 8\nloada a0, 0\nloada a1, 1\nloadv v0, (a0), a1\n", "-file", "-", "-cache", "prime")
 		if !strings.Contains(out, "cache:") {
 			t.Errorf("vasm cache stats missing:\n%s", out)
+		}
+	})
+
+	t.Run("vcached", func(t *testing.T) {
+		bin := buildTool(t, dir, "vcached")
+		// -addr :0 binds a free port; the daemon logs the actual address.
+		// A tiny -max-refs makes job_too_large reachable with a small job.
+		cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-max-refs", "100000", "-drain", "10s")
+		stderr, err := cmd.StderrPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer cmd.Process.Kill()
+
+		// Parse "vcached listening on 127.0.0.1:PORT (...)" from the log.
+		addrc := make(chan string, 1)
+		logc := make(chan string, 1)
+		go func() {
+			var buf strings.Builder
+			sc := bufio.NewScanner(stderr)
+			for sc.Scan() {
+				line := sc.Text()
+				buf.WriteString(line + "\n")
+				if i := strings.Index(line, "listening on "); i >= 0 {
+					addr := line[i+len("listening on "):]
+					if j := strings.IndexByte(addr, ' '); j >= 0 {
+						addr = addr[:j]
+					}
+					select {
+					case addrc <- addr:
+					default:
+					}
+				}
+			}
+			logc <- buf.String()
+		}()
+		var addr string
+		select {
+		case addr = <-addrc:
+		case <-time.After(10 * time.Second):
+			t.Fatal("vcached did not log its listen address")
+		}
+
+		c := client.New("http://"+addr, client.WithSeed(1))
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := c.Healthz(ctx); err != nil {
+			t.Fatalf("healthz: %v", err)
+		}
+		res, err := c.Simulate(ctx, server.SimulateRequest{
+			Pattern: trace.Pattern{Name: "strided", Stride: 512, N: 4096},
+			Passes:  2,
+		})
+		if err != nil {
+			t.Fatalf("simulate: %v", err)
+		}
+		if res.Stats.Accesses != 8192 {
+			t.Errorf("accesses = %d, want 8192", res.Stats.Accesses)
+		}
+		// Above the flag-configured -max-refs cap: typed job_too_large.
+		_, err = c.Simulate(ctx, server.SimulateRequest{
+			Pattern: trace.Pattern{Name: "strided", Stride: 512, N: 200_000},
+		})
+		var ce *client.Error
+		if !errors.As(err, &ce) || ce.Code != server.CodeJobTooLarge {
+			t.Errorf("oversized job err = %v, want job_too_large", err)
+		}
+		stats, err := c.Stats(ctx)
+		if err != nil {
+			t.Fatalf("stats: %v", err)
+		}
+		if stats.Admission.Capacity == 0 {
+			t.Error("stats missing admission capacity")
+		}
+
+		// SIGTERM: the daemon drains and exits cleanly. Wait for the
+		// stderr scanner to hit EOF (the process exiting) before calling
+		// cmd.Wait — Wait closes the pipe and would race the final log
+		// lines out from under the scanner.
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		var logs string
+		select {
+		case logs = <-logc:
+		case <-time.After(15 * time.Second):
+			t.Fatal("vcached did not exit after SIGTERM")
+		}
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("vcached exited with %v:\n%s", err, logs)
+		}
+		if !strings.Contains(logs, "drained") {
+			t.Errorf("shutdown log missing drain message:\n%s", logs)
 		}
 	})
 

@@ -1,7 +1,8 @@
 // Command vcached is the long-running simulation service: it serves
 // cache simulations and VCM analytic-model evaluations over HTTP/JSON,
 // with a worker pool bounding concurrent compute, an LRU memoizer
-// deduplicating repeated configurations, and a metrics endpoint.
+// deduplicating repeated configurations, an admission valve shedding
+// load beyond a bounded backlog, and a metrics endpoint.
 //
 //	vcached -addr :8372
 //
@@ -25,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -36,11 +38,18 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8372", "listen address")
+		addr    = flag.String("addr", ":8372", "listen address (port 0 picks a free port, logged at startup)")
 		workers = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 		memo    = flag.Int("memo", 4096, "memoization cache entries (negative disables)")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request compute timeout (0 disables)")
 		drain   = flag.Duration("drain", time.Minute, "graceful-shutdown drain limit")
+
+		maxRefs   = flag.Int("max-refs", 0, "max references one simulate job may issue (0 = default 64Mi)")
+		maxJobs   = flag.Int("max-sweep-jobs", 0, "max jobs in one sweep batch (0 = default 4096)")
+		maxBody   = flag.Int64("max-body", 0, "max request body bytes (0 = default 8MiB)")
+		queue     = flag.Int("queue", 0, "admission backlog beyond the worker count; excess requests get 429 (0 = default 256, negative = none)")
+		epLimit   = flag.Int("endpoint-limit", 0, "max concurrently admitted requests per endpoint (0 = global queue only)")
+		degradeAt = flag.Float64("degrade-threshold", 0, "admission-pressure fraction at which qualifying jobs degrade to analytic answers (0 = default 0.75, negative disables)")
 	)
 	flag.Parse()
 
@@ -52,15 +61,30 @@ func main() {
 		Workers:        *workers,
 		MemoEntries:    *memo,
 		RequestTimeout: reqTimeout,
+		Limits: server.Limits{
+			MaxRefsPerJob: *maxRefs,
+			MaxSweepJobs:  *maxJobs,
+			MaxBodyBytes:  *maxBody,
+		},
+		QueueDepth:          *queue,
+		EndpointConcurrency: *epLimit,
+		DegradeThreshold:    *degradeAt,
 	})
+
+	// Listen before forking the serve goroutine so -addr :0 logs the port
+	// actually bound — tooling (and the integration test) parses this line.
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("vcached: %v", err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe(*addr) }()
-	log.Printf("vcached listening on %s (workers=%d memo=%d timeout=%v)",
-		*addr, *workers, *memo, *timeout)
+	go func() { errc <- srv.Serve(l) }()
+	log.Printf("vcached listening on %s (workers=%d memo=%d timeout=%v queue=%d)",
+		l.Addr(), *workers, *memo, *timeout, *queue)
 
 	select {
 	case err := <-errc:

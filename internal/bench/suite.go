@@ -2,13 +2,16 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 
 	"primecache/internal/cache"
+	"primecache/internal/client"
 	"primecache/internal/server"
 	"primecache/internal/trace"
 )
@@ -41,6 +44,7 @@ func Suite() []Scenario {
 		analyticSweep(primeSpec),
 		serviceSimulate("service/simulate/memo-hit", true),
 		serviceSimulate("service/simulate/memo-miss", false),
+		serviceOverload(),
 	)
 	return scenarios
 }
@@ -170,6 +174,55 @@ func serviceSimulate(name string, hit bool) Scenario {
 				v = seq
 			}
 			return post(v)
+		}
+		return op, cleanup, nil
+	}}
+}
+
+// serviceOverload measures vcached throughput at 4× pool saturation:
+// every op fires 8 concurrent distinct simulate requests at a 2-worker,
+// zero-backlog instance through the typed client (no retries). Admitted
+// requests simulate; the rest exercise the shed fast path — both
+// outcomes count, so the number tracks how much useful work plus
+// rejection the valve sustains per second under sustained overload.
+func serviceOverload() Scenario {
+	const (
+		workers    = 2
+		concurrent = 4 * workers
+		jobRefs    = 2 * 2048
+	)
+	return Scenario{Name: "service/vcached-overload", Refs: concurrent * jobRefs, Setup: func() (func() error, func(), error) {
+		srv := server.New(server.Options{Workers: workers, QueueDepth: -1})
+		ts := httptest.NewServer(srv.Handler())
+		cleanup := func() {
+			ts.Close()
+			srv.Close()
+		}
+		c := client.New(ts.URL, client.WithRetries(0), client.WithHTTPClient(ts.Client()))
+		var seq uint64
+		op := func() error {
+			base := seq
+			seq += concurrent
+			errs := make(chan error, concurrent)
+			for i := 0; i < concurrent; i++ {
+				go func(start uint64) {
+					_, err := c.Simulate(context.Background(), server.SimulateRequest{
+						Cache:   cache.Spec{Kind: "prime", C: 7},
+						Pattern: trace.Pattern{Name: "strided", Start: start * 1024, Stride: 7, N: 2048},
+					})
+					var ce *client.Error
+					if err != nil && errors.As(err, &ce) && ce.Code == server.CodeOverloaded {
+						err = nil // shedding is the scenario, not a failure
+					}
+					errs <- err
+				}(base + uint64(i))
+			}
+			for i := 0; i < concurrent; i++ {
+				if err := <-errs; err != nil {
+					return err
+				}
+			}
+			return nil
 		}
 		return op, cleanup, nil
 	}}

@@ -1,0 +1,102 @@
+package cache_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"primecache/internal/cache"
+)
+
+// flipCtx is a Context whose Err flips to Canceled after `after` calls —
+// AccessBatchContext and ReplayPatternContext consult only Err(), never
+// Done(), so tests can pin exactly which checkpoint observes the
+// cancellation.
+type flipCtx struct {
+	context.Context
+	calls atomic.Int64
+	after int64
+}
+
+func (c *flipCtx) Err() error {
+	if c.calls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+func strided(n int) []cache.Access {
+	accs := make([]cache.Access, n)
+	for i := range accs {
+		accs[i] = cache.Access{Addr: uint64(i) * 512 * 8, Stream: 1}
+	}
+	return accs
+}
+
+// TestAccessBatchContextCompletes: an un-cancelled context runs the
+// whole slice with stats identical to the plain batch path, and reports
+// nil error even when the last chunk lands exactly on the boundary.
+func TestAccessBatchContextCompletes(t *testing.T) {
+	accs := strided(4096)
+	spec := cache.Spec{Kind: "prime", C: 7}
+	plain, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.AccessBatch(plain, accs, nil)
+
+	for _, chunk := range []int{0, 1, 100, 1024, 4096, 5000} {
+		chunked, _ := spec.Build()
+		done, err := cache.AccessBatchContext(context.Background(), chunked, accs, nil, chunk)
+		if err != nil || done != len(accs) {
+			t.Fatalf("chunk %d: done=%d err=%v, want %d,nil", chunk, done, err, len(accs))
+		}
+		if chunked.Stats() != plain.Stats() {
+			t.Errorf("chunk %d: stats diverge from unchunked batch:\n %+v\n %+v",
+				chunk, chunked.Stats(), plain.Stats())
+		}
+	}
+}
+
+// TestAccessBatchContextStopsEarly: once Err flips, at most one more
+// chunk completes, and the reported count matches the work done.
+func TestAccessBatchContextStopsEarly(t *testing.T) {
+	accs := strided(100_000)
+	spec := cache.Spec{Kind: "direct", Lines: 1024}
+	sim, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunk = 1000
+	ctx := &flipCtx{Context: context.Background(), after: 3}
+	done, err := cache.AccessBatchContext(ctx, sim, accs, nil, chunk)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Checks run before each chunk: three pass, so exactly three chunks
+	// of work completed before the fourth check observed cancellation.
+	if done != 3*chunk {
+		t.Errorf("done = %d, want %d (three chunks before the flip)", done, 3*chunk)
+	}
+	if got := sim.Stats().Accesses; got != uint64(done) {
+		t.Errorf("stats saw %d accesses, reported done = %d", got, done)
+	}
+}
+
+// TestAccessBatchContextAlreadyCancelled: a dead context does zero work.
+func TestAccessBatchContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sim, err := cache.Spec{Kind: "prime", C: 7}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := cache.AccessBatchContext(ctx, sim, strided(1000), nil, 10)
+	if done != 0 || !errors.Is(err, context.Canceled) {
+		t.Errorf("done=%d err=%v, want 0, context.Canceled", done, err)
+	}
+	if sim.Stats().Accesses != 0 {
+		t.Error("cancelled batch still touched the cache")
+	}
+}

@@ -1,0 +1,271 @@
+// Package client is the typed Go client for the vcached HTTP API. It
+// speaks the unified error envelope, propagates contexts into every
+// request, and retries transient failures (overloaded, shutting_down,
+// connection errors) with exponential backoff, full jitter, and respect
+// for the server's Retry-After hint — so callers see either a result, a
+// typed *Error, or their own context's error, never a raw wire failure
+// that a later attempt would have absorbed.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"primecache/internal/server"
+)
+
+// Client talks to one vcached instance.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int           // extra attempts after the first
+	backoff time.Duration // first retry delay, doubled per attempt
+	maxWait time.Duration // ceiling on any single delay
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithRetries sets how many times a transient failure is retried after
+// the initial attempt (default 3). 0 disables retries.
+func WithRetries(n int) Option {
+	return func(c *Client) { c.retries = n }
+}
+
+// WithBackoff sets the first retry delay and the per-delay ceiling
+// (defaults 50ms and 5s). The delay doubles each attempt, is raised to
+// the server's Retry-After hint when one is present, and is then
+// jittered to half-to-full of its value.
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Client) { c.backoff, c.maxWait = base, max }
+}
+
+// WithSeed makes the jitter deterministic, for tests.
+func WithSeed(seed int64) Option {
+	return func(c *Client) { c.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithHTTPClient substitutes the underlying HTTP client (defaults to a
+// dedicated client with a 2-minute overall timeout).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the vcached instance at baseURL
+// (e.g. "http://localhost:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      &http.Client{Timeout: 2 * time.Minute},
+		retries: 3,
+		backoff: 50 * time.Millisecond,
+		maxWait: 5 * time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return c
+}
+
+// Error is a failed API call, carrying the server's machine code and
+// Retry-After hint alongside the HTTP status.
+type Error struct {
+	// Status is the HTTP status code of the response.
+	Status int
+	// Code is the machine error code from the unified envelope.
+	Code server.ErrorCode
+	// Message is the human-readable error message.
+	Message string
+	// RetryAfter is the server's backoff hint, zero when absent.
+	RetryAfter time.Duration
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("vcached: %s (%d): %s", e.Code, e.Status, e.Message)
+}
+
+// Temporary reports whether a later identical request could succeed, the
+// retry predicate: overload and shutdown pass (another replica, or this
+// one once drained); validation and size errors never will.
+func (e *Error) Temporary() bool {
+	return e.Code == server.CodeOverloaded || e.Code == server.CodeShuttingDown
+}
+
+// SimulateResult is a simulate response plus the transport-level
+// memoization flag.
+type SimulateResult struct {
+	server.SimulateResponse
+	Memoized bool `json:"memoized"`
+}
+
+// ModelResult is a model response plus the memoization flag.
+type ModelResult struct {
+	server.ModelResponse
+	Memoized bool `json:"memoized"`
+}
+
+// Simulate runs one cache simulation.
+func (c *Client) Simulate(ctx context.Context, req server.SimulateRequest) (*SimulateResult, error) {
+	var out SimulateResult
+	if err := c.do(ctx, http.MethodPost, "/v1/simulate", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Model evaluates the analytic models at one operating point.
+func (c *Client) Model(ctx context.Context, req server.ModelRequest) (*ModelResult, error) {
+	var out ModelResult
+	if err := c.do(ctx, http.MethodPost, "/v1/model", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Sweep runs a batch of jobs, returning per-job results in input order.
+// Per-job failures arrive inside SweepResult.Error/ErrorCode, not as a
+// call-level error.
+func (c *Client) Sweep(ctx context.Context, req server.SweepRequest) ([]server.SweepResult, error) {
+	var out struct {
+		Results []server.SweepResult `json:"results"`
+	}
+	if err := c.do(ctx, http.MethodPost, "/v1/sweep", req, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// Stats fetches the server's counters.
+func (c *Client) Stats(ctx context.Context) (*server.StatsResponse, error) {
+	var out server.StatsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthz checks liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, &struct{}{})
+}
+
+// do issues one logical API call: marshal, attempt, and retry transient
+// failures until the retry budget or ctx runs out. The last error is
+// returned when the budget is exhausted.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		lastErr = c.once(ctx, method, path, body, out)
+		if lastErr == nil || ctx.Err() != nil || attempt >= c.retries {
+			return lastErr
+		}
+		var ae *Error
+		isAPI := asClientError(lastErr, &ae)
+		if isAPI && !ae.Temporary() {
+			return lastErr
+		}
+		delay := c.backoff << attempt
+		if isAPI && ae.RetryAfter > delay {
+			delay = ae.RetryAfter
+		}
+		if delay > c.maxWait {
+			delay = c.maxWait
+		}
+		// Additive jitter in [0, delay/2], so synchronized clients that
+		// were all shed by one overload spike do not retry in lockstep.
+		// The hint is a floor: the server asked for at least that long.
+		c.mu.Lock()
+		delay += time.Duration(c.rng.Int63n(int64(delay/2) + 1))
+		c.mu.Unlock()
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// asClientError unwraps err into *Error if it is one.
+func asClientError(err error, target **Error) bool {
+	e, ok := err.(*Error)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+// once performs a single HTTP round trip.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("client: reading response: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp, data)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("client: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// decodeError maps a non-2xx response to *Error, preferring the unified
+// envelope and falling back to the raw body for non-vcached middleboxes.
+func decodeError(resp *http.Response, data []byte) error {
+	e := &Error{Status: resp.StatusCode}
+	var env server.ErrorEnvelope
+	if err := json.Unmarshal(data, &env); err == nil && env.Error != nil {
+		e.Code = env.Error.Code
+		e.Message = env.Error.Message
+		e.RetryAfter = time.Duration(env.Error.RetryAfterMs) * time.Millisecond
+	} else {
+		e.Code = server.CodeInternal
+		e.Message = strings.TrimSpace(string(data))
+	}
+	if e.RetryAfter == 0 {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return e
+}

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// admission is the server's overload valve. Every compute request
+// (simulate, model, sweep) claims one slot in a bounded global queue and
+// one in its endpoint's queue before any work is scheduled; when either
+// is full the request is shed immediately with an "overloaded" envelope
+// and a Retry-After hint derived from the current queue depth, so a
+// burst of distinct jobs (the memoizer-defeating load shape) degrades
+// into fast 429s instead of an unbounded backlog of goroutines. Healthz
+// and stats bypass admission: they must answer while the server sheds.
+type admission struct {
+	slots    chan struct{}
+	endpoint map[string]chan struct{}
+
+	queued *Gauge
+	shed   *Counter
+}
+
+// newAdmission builds the valve: capacity slots globally, perEndpoint
+// slots for each named endpoint (perEndpoint >= capacity disables the
+// per-endpoint level in practice).
+func newAdmission(capacity, perEndpoint int, endpoints []string, m *Metrics) *admission {
+	a := &admission{
+		slots:    make(chan struct{}, capacity),
+		endpoint: make(map[string]chan struct{}, len(endpoints)),
+		queued:   m.Gauge("admission.queued"),
+		shed:     m.Counter("admission.shed"),
+	}
+	m.Gauge("admission.capacity").Set(int64(capacity))
+	for _, e := range endpoints {
+		a.endpoint[e] = make(chan struct{}, perEndpoint)
+	}
+	return a
+}
+
+// tryAdmit claims a global and a per-endpoint slot without blocking.
+// On success the returned release frees both (call exactly once); on
+// overload it returns false and counts the shed.
+func (a *admission) tryAdmit(endpoint string) (release func(), ok bool) {
+	select {
+	case a.slots <- struct{}{}:
+	default:
+		a.shed.Inc()
+		return nil, false
+	}
+	ep := a.endpoint[endpoint]
+	if ep != nil {
+		select {
+		case ep <- struct{}{}:
+		default:
+			<-a.slots
+			a.shed.Inc()
+			return nil, false
+		}
+	}
+	a.queued.Inc()
+	var released atomic.Bool
+	return func() {
+		if released.Swap(true) {
+			return
+		}
+		a.queued.Dec()
+		if ep != nil {
+			<-ep
+		}
+		<-a.slots
+	}, true
+}
+
+// depth returns the current global queue occupancy.
+func (a *admission) depth() int { return len(a.slots) }
+
+// capacity returns the global queue size.
+func (a *admission) capacity() int { return cap(a.slots) }
+
+// pressure returns occupancy as a fraction of capacity in [0, 1].
+func (a *admission) pressure() float64 {
+	c := cap(a.slots)
+	if c == 0 {
+		return 1
+	}
+	return float64(len(a.slots)) / float64(c)
+}
+
+// retryAfterHint estimates how long a shed client should wait before
+// retrying: the current backlog divided across the workers, priced at
+// the mean observed compute latency (a fixed default before any job has
+// completed), clamped to a sane range. The estimate is intentionally
+// rough — its job is to spread the retry storm, not to be exact.
+func retryAfterHint(depth, workers int, meanComputeUs float64) int64 {
+	const (
+		defaultJobMs = 250
+		minMs        = 100
+		maxMs        = 30_000
+	)
+	jobMs := defaultJobMs
+	if meanComputeUs > 0 {
+		jobMs = int(meanComputeUs / 1000)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ms := int64(depth+1) * int64(jobMs) / int64(workers)
+	if ms < minMs {
+		ms = minMs
+	}
+	if ms > maxMs {
+		ms = maxMs
+	}
+	return ms
+}
+
+// Fault is one injected failure, produced by a FaultFunc. The zero
+// value means "no fault". Faults are applied in field order: Latency
+// first, then QueueFull/Err.
+type Fault struct {
+	// Latency delays the stage (bounded by the request context where
+	// one is available).
+	Latency time.Duration
+	// QueueFull, at the admit stage, sheds the request as if the
+	// admission queue were full, regardless of real occupancy.
+	QueueFull bool
+	// Err aborts the stage with this error.
+	Err error
+}
+
+// FaultFunc deterministically maps (stage, sequence number) to a fault
+// to inject; stages are "admit" (before admission control runs) and
+// "compute" (on a pool worker, before the job body). Sequence numbers
+// start at 1 and are per-stage. Fault injection exists for the stress
+// suite: production servers leave Options.Faults nil.
+type FaultFunc func(stage string, seq uint64) Fault
+
+// sleepFault waits out a latency fault, giving up early if ctx ends.
+func sleepFault(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

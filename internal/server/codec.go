@@ -16,16 +16,45 @@ package server
 import (
 	"fmt"
 	"strconv"
-	"strings"
 
 	"primecache/internal/cache"
 	"primecache/internal/trace"
 )
 
-// maxRefsPerJob bounds the accesses one simulate job may issue
-// (passes × refs/pass), so a single request cannot pin a worker
-// indefinitely.
-const maxRefsPerJob = 64 << 20
+// Limits is the one set of admission bounds every request is validated
+// against. The server owns a single Limits value (configurable via
+// cmd/vcached flags) and passes it down every Validate path, so the
+// bounds logic lives here and nowhere else.
+type Limits struct {
+	// MaxRefsPerJob bounds the accesses one simulate job may issue
+	// (passes × refs/pass), so a single request cannot pin a worker
+	// indefinitely. 0 selects the default (64Mi references).
+	MaxRefsPerJob int
+	// MaxSweepJobs bounds one sweep batch; 0 selects the default (4096).
+	MaxSweepJobs int
+	// MaxBodyBytes caps request bodies; 0 selects the default (8 MiB).
+	MaxBodyBytes int64
+}
+
+// DefaultLimits returns the stock bounds.
+func DefaultLimits() Limits {
+	return Limits{MaxRefsPerJob: 64 << 20, MaxSweepJobs: 4096, MaxBodyBytes: 8 << 20}
+}
+
+// withDefaults fills zero fields from DefaultLimits.
+func (l Limits) withDefaults() Limits {
+	d := DefaultLimits()
+	if l.MaxRefsPerJob == 0 {
+		l.MaxRefsPerJob = d.MaxRefsPerJob
+	}
+	if l.MaxSweepJobs == 0 {
+		l.MaxSweepJobs = d.MaxSweepJobs
+	}
+	if l.MaxBodyBytes == 0 {
+		l.MaxBodyBytes = d.MaxBodyBytes
+	}
+	return l
+}
 
 // SimulateRequest asks for one synthetic pattern to be run through one
 // cache organisation.
@@ -48,32 +77,33 @@ func (r SimulateRequest) Normalize() SimulateRequest {
 	return r
 }
 
-// Validate checks the request, mapping bad configs to errors suitable
-// for a structured 400 response.
-func (r SimulateRequest) Validate() error {
+// Validate checks the request against the server's limits, mapping bad
+// configs to invalid_request errors and oversized jobs to job_too_large.
+func (r SimulateRequest) Validate(lim Limits) error {
+	lim = lim.withDefaults()
 	r = r.Normalize()
 	if err := r.Cache.Validate(); err != nil {
-		return err
+		return Errf(CodeInvalidRequest, "%v", err)
 	}
 	if err := r.Pattern.Validate(); err != nil {
-		return err
+		return Errf(CodeInvalidRequest, "%v", err)
 	}
 	if r.Passes < 1 {
-		return fmt.Errorf("server: passes must be ≥ 1, got %d", r.Passes)
+		return Errf(CodeInvalidRequest, "server: passes must be ≥ 1, got %d", r.Passes)
 	}
 	// Bound the job arithmetically before materialising anything: a
 	// request like strided n=2e9 must be rejected here, not after a
 	// multi-gigabyte trace allocation. The passes check divides rather
 	// than multiplies so huge values cannot overflow past the cap.
-	if r.Passes > maxRefsPerJob {
-		return fmt.Errorf("server: passes %d exceeds limit %d", r.Passes, maxRefsPerJob)
+	if r.Passes > lim.MaxRefsPerJob {
+		return Errf(CodeJobTooLarge, "server: passes %d exceeds limit %d", r.Passes, lim.MaxRefsPerJob)
 	}
 	refs := r.Pattern.RefCount()
-	if refs > maxRefsPerJob {
-		return fmt.Errorf("server: pattern yields %d references per pass, limit %d", refs, maxRefsPerJob)
+	if refs > lim.MaxRefsPerJob {
+		return Errf(CodeJobTooLarge, "server: pattern yields %d references per pass, limit %d", refs, lim.MaxRefsPerJob)
 	}
-	if refs > 0 && r.Passes > maxRefsPerJob/refs {
-		return fmt.Errorf("server: job would issue %d passes × %d references, limit %d", r.Passes, refs, maxRefsPerJob)
+	if refs > 0 && r.Passes > lim.MaxRefsPerJob/refs {
+		return Errf(CodeJobTooLarge, "server: job would issue %d passes × %d references, limit %d", r.Passes, refs, lim.MaxRefsPerJob)
 	}
 	return nil
 }
@@ -102,6 +132,10 @@ type SimulateResponse struct {
 	// strided-sweep model (cross-checked against replay at admission)
 	// instead of per-reference simulation.
 	Analytic bool `json:"analytic,omitempty"`
+	// Degraded reports the analytic answer was served below the normal
+	// size cutoff because the server was shedding load; the stats remain
+	// byte-compatible with the simulated schema (same guard applies).
+	Degraded bool `json:"degraded,omitempty"`
 	// Victim reports the victim-buffer counters for kind "victim".
 	Victim *cache.VictimStats `json:"victim,omitempty"`
 }
@@ -163,17 +197,19 @@ func (r ModelRequest) Normalize() ModelRequest {
 
 func f64(v float64) *float64 { return &v }
 
-// Validate checks the request.
-func (r ModelRequest) Validate() error {
+// Validate checks the request. Model evaluations are O(1), so no limit
+// applies, but the signature matches the one validation path every job
+// type shares.
+func (r ModelRequest) Validate(Limits) error {
 	r = r.Normalize()
 	if _, _, err := r.machineWork(); err != nil {
-		return err
+		return Errf(CodeInvalidRequest, "%v", err)
 	}
 	if r.N <= 0 {
-		return fmt.Errorf("server: n must be positive, got %d", r.N)
+		return Errf(CodeInvalidRequest, "server: n must be positive, got %d", r.N)
 	}
 	if r.C < 2 || r.C > 31 {
-		return fmt.Errorf("server: c must be in [2, 31], got %d", r.C)
+		return Errf(CodeInvalidRequest, "server: c must be in [2, 31], got %d", r.C)
 	}
 	return nil
 }
@@ -226,16 +262,16 @@ type SweepJob struct {
 }
 
 // Validate checks the job.
-func (j SweepJob) Validate() error {
+func (j SweepJob) Validate(lim Limits) error {
 	switch {
 	case j.Simulate != nil && j.Model != nil:
-		return fmt.Errorf("server: sweep job sets both simulate and model")
+		return Errf(CodeInvalidRequest, "server: sweep job sets both simulate and model")
 	case j.Simulate != nil:
-		return j.Simulate.Validate()
+		return j.Simulate.Validate(lim)
 	case j.Model != nil:
-		return j.Model.Validate()
+		return j.Model.Validate(lim)
 	default:
-		return fmt.Errorf("server: sweep job sets neither simulate nor model")
+		return Errf(CodeInvalidRequest, "server: sweep job sets neither simulate nor model")
 	}
 }
 
@@ -255,20 +291,19 @@ type SweepRequest struct {
 	Jobs []SweepJob `json:"jobs"`
 }
 
-// maxSweepJobs bounds one batch.
-const maxSweepJobs = 4096
-
 // Validate checks every job, reporting the first failure with its index.
-func (r SweepRequest) Validate() error {
+func (r SweepRequest) Validate(lim Limits) error {
+	lim = lim.withDefaults()
 	if len(r.Jobs) == 0 {
-		return fmt.Errorf("server: sweep has no jobs")
+		return Errf(CodeInvalidRequest, "server: sweep has no jobs")
 	}
-	if len(r.Jobs) > maxSweepJobs {
-		return fmt.Errorf("server: sweep has %d jobs, limit %d", len(r.Jobs), maxSweepJobs)
+	if len(r.Jobs) > lim.MaxSweepJobs {
+		return Errf(CodeJobTooLarge, "server: sweep has %d jobs, limit %d", len(r.Jobs), lim.MaxSweepJobs)
 	}
 	for i, j := range r.Jobs {
-		if err := j.Validate(); err != nil {
-			return fmt.Errorf("job %d: %v", i, err)
+		if err := j.Validate(lim); err != nil {
+			ae := asAPIError(err)
+			return Errf(ae.Code, "job %d: %s", i, ae.Message)
 		}
 	}
 	return nil
@@ -280,18 +315,9 @@ type SweepResult struct {
 	Simulate *SimulateResponse `json:"simulate,omitempty"`
 	Model    *ModelResponse    `json:"model,omitempty"`
 	Error    string            `json:"error,omitempty"`
+	// ErrorCode is the machine code classifying Error, when set.
+	ErrorCode ErrorCode `json:"errorCode,omitempty"`
 	// Memoized reports the result was served from the memo cache.
 	Memoized bool `json:"memoized"`
 }
 
-// apiError is the structured error body: {"error": {"code", "message"}}.
-type apiError struct {
-	Code    int    `json:"code"`
-	Message string `json:"message"`
-}
-
-func (e apiError) Error() string { return e.Message }
-
-func badRequest(format string, args ...any) apiError {
-	return apiError{Code: 400, Message: strings.TrimSpace(fmt.Sprintf(format, args...))}
-}

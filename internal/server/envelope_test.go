@@ -1,0 +1,203 @@
+package server_test
+
+// External-package tests: these drive the service purely over HTTP the
+// way the typed client does, so they double as a contract check of the
+// unified error envelope — every machine code the API documents must be
+// reachable and carry the documented status, shape, and headers.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"primecache/internal/server"
+)
+
+// smallJob is a valid simulate body the fault-injection cases use.
+const smallJob = `{"cache":{"kind":"prime","c":7},"pattern":{"name":"strided","stride":3,"n":4096},"passes":2}`
+
+func postRaw(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestErrorEnvelopeEveryCode reaches each machine code over HTTP and
+// checks the full contract: status derived from the code, the
+// {"error":{...}} shape, a non-empty message, and (for overload) the
+// Retry-After header mirroring retry_after_ms.
+func TestErrorEnvelopeEveryCode(t *testing.T) {
+	cases := []struct {
+		name     string
+		opts     server.Options
+		shutdown bool
+		body     string
+		want     server.ErrorCode
+		status   int
+	}{
+		{
+			name:   "invalid_request",
+			body:   `not json`,
+			want:   server.CodeInvalidRequest,
+			status: http.StatusBadRequest,
+		},
+		{
+			name:   "job_too_large",
+			body:   `{"pattern":{"name":"strided","n":2000000000}}`,
+			want:   server.CodeJobTooLarge,
+			status: http.StatusRequestEntityTooLarge,
+		},
+		{
+			name: "overloaded",
+			opts: server.Options{Faults: func(stage string, seq uint64) server.Fault {
+				if stage == "admit" {
+					return server.Fault{QueueFull: true}
+				}
+				return server.Fault{}
+			}},
+			body:   smallJob,
+			want:   server.CodeOverloaded,
+			status: http.StatusTooManyRequests,
+		},
+		{
+			name:   "timeout",
+			opts:   server.Options{RequestTimeout: 5 * time.Millisecond},
+			body:   `{"cache":{"kind":"assoc","lines":131072,"ways":4},"pattern":{"name":"strided","stride":3,"n":1048576},"passes":50}`,
+			want:   server.CodeTimeout,
+			status: http.StatusGatewayTimeout,
+		},
+		{
+			name: "cancelled",
+			opts: server.Options{Faults: func(stage string, seq uint64) server.Fault {
+				if stage == "compute" {
+					return server.Fault{Err: context.Canceled}
+				}
+				return server.Fault{}
+			}},
+			body:   smallJob,
+			want:   server.CodeCancelled,
+			status: 499,
+		},
+		{
+			name:     "shutting_down",
+			shutdown: true,
+			body:     smallJob,
+			want:     server.CodeShuttingDown,
+			status:   http.StatusServiceUnavailable,
+		},
+		{
+			name: "internal",
+			opts: server.Options{Faults: func(stage string, seq uint64) server.Fault {
+				if stage == "compute" {
+					return server.Fault{Err: errors.New("injected compute fault")}
+				}
+				return server.Fault{}
+			}},
+			body:   smallJob,
+			want:   server.CodeInternal,
+			status: http.StatusInternalServerError,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := server.New(tc.opts)
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+			if tc.shutdown {
+				if err := s.Shutdown(context.Background()); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				defer s.Shutdown(context.Background())
+			}
+
+			resp, body := postRaw(t, ts.URL+"/v1/simulate", tc.body)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d, want %d: %s", resp.StatusCode, tc.status, body)
+			}
+			var env server.ErrorEnvelope
+			if err := json.Unmarshal(body, &env); err != nil || env.Error == nil {
+				t.Fatalf("body is not the unified envelope: %s", body)
+			}
+			if env.Error.Code != tc.want {
+				t.Errorf("code = %q, want %q", env.Error.Code, tc.want)
+			}
+			if env.Error.Message == "" {
+				t.Error("envelope message is empty")
+			}
+			if tc.want == server.CodeOverloaded {
+				if env.Error.RetryAfterMs <= 0 {
+					t.Errorf("overloaded envelope retry_after_ms = %d, want > 0", env.Error.RetryAfterMs)
+				}
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("overloaded response missing Retry-After header")
+				}
+			} else if env.Error.RetryAfterMs != 0 {
+				t.Errorf("%s envelope carries retry_after_ms = %d, want omitted", tc.want, env.Error.RetryAfterMs)
+			}
+		})
+	}
+}
+
+// TestSweepPerJobErrorCodes: inside a sweep, per-job failures carry the
+// same machine codes in SweepResult.ErrorCode while the batch itself
+// still returns 200.
+func TestSweepPerJobErrorCodes(t *testing.T) {
+	s := server.New(server.Options{Workers: 2})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Per-job validation happens before fan-out, so an invalid job fails
+	// the whole batch with its code; a compute fault inside a valid batch
+	// surfaces per job. Inject an internal fault on the first compute.
+	faulty := server.New(server.Options{Workers: 2, Faults: func(stage string, seq uint64) server.Fault {
+		if stage == "compute" && seq == 1 {
+			return server.Fault{Err: errors.New("injected")}
+		}
+		return server.Fault{}
+	}})
+	defer faulty.Shutdown(context.Background())
+	fts := httptest.NewServer(faulty.Handler())
+	defer fts.Close()
+
+	resp, body := postRaw(t, fts.URL+"/v1/sweep",
+		`{"jobs":[{"model":{"banks":64}},{"model":{"banks":32}}]}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("sweep status = %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Results []server.SweepResult `json:"results"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("%v: %s", err, body)
+	}
+	var failed, succeeded int
+	for _, r := range out.Results {
+		if r.Error != "" {
+			failed++
+			if r.ErrorCode != server.CodeInternal {
+				t.Errorf("job %d errorCode = %q, want %q", r.Index, r.ErrorCode, server.CodeInternal)
+			}
+		} else {
+			succeeded++
+		}
+	}
+	if failed != 1 || succeeded != 1 {
+		t.Errorf("failed=%d succeeded=%d, want 1 and 1: %s", failed, succeeded, body)
+	}
+}

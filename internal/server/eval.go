@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"math"
 
 	"primecache/internal/cache"
@@ -20,23 +21,48 @@ const evalChunk = 1 << 16
 // strided sweep on a closed-form-capable organisation is answered
 // analytically instead of simulated: below it, replay through the batch
 // API is already fast and keeps the admission guard's replay cost
-// proportionally trivial.
+// proportionally trivial. Under shed pressure the server lowers the bar
+// (see evalOpts.degrade).
 const analyticMinRefs = 1 << 22
 
-// runSimulate executes one simulation job. Results are deterministic:
-// the same request always produces byte-identical stats (the Random
-// replacement policy is deterministically seeded, and a request either
-// always qualifies for the analytic path or never does).
-func runSimulate(ctx context.Context, req SimulateRequest) (*SimulateResponse, error) {
-	req = req.Normalize()
-	if err := req.Validate(); err != nil {
-		return nil, err
-	}
+// evalOpts carries per-execution policy into runSimulate.
+type evalOpts struct {
+	// degrade allows qualifying strided/diagonal jobs below
+	// analyticMinRefs to be answered by the closed form, flagged
+	// Degraded, when the server is shedding load.
+	degrade bool
+}
 
-	// Huge strided sweeps over prime- or direct-mapped organisations have
-	// a closed form: answer those in O(passes) arithmetic, guarded by a
-	// replayed cross-check at admission.
-	if resp, err := trySimulateAnalytic(req); err != nil {
+// PartialError reports a simulation the context stopped mid-flight: the
+// job burned Refs references and produced no result. It unwraps to the
+// context's error so envelope mapping (timeout vs cancelled) still
+// works; the server folds Refs into the /v1/stats partial-work
+// counters.
+type PartialError struct {
+	Refs uint64
+	Err  error
+}
+
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("server: job stopped after %d references: %v", e.Refs, e.Err)
+}
+
+func (e *PartialError) Unwrap() error { return e.Err }
+
+// runSimulate executes one validated simulation job. Results are
+// deterministic: the same request always produces byte-identical stats
+// (the Random replacement policy is deterministically seeded, and the
+// analytic path is guard-verified against replay, so pressure-driven
+// degradation can flip only the degraded/analytic flags, never a
+// number).
+func runSimulate(ctx context.Context, req SimulateRequest, opt evalOpts) (*SimulateResponse, error) {
+	req = req.Normalize()
+
+	// Strided sweeps over prime- or direct-mapped organisations have a
+	// closed form: answer huge ones (and, under pressure, any for which
+	// the closed form is cheaper than simulating) in O(passes)
+	// arithmetic, guarded by a replayed cross-check at admission.
+	if resp, err := trySimulateAnalytic(req, opt.degrade); err != nil {
 		return nil, err
 	} else if resp != nil {
 		return resp, nil
@@ -46,7 +72,8 @@ func runSimulate(ctx context.Context, req SimulateRequest) (*SimulateResponse, e
 	// through the vector API so the prime cache's Figure-1 address unit
 	// is exercised (mirroring cmd/vcachesim); everything else streams the
 	// pattern through the batch API in fixed-size chunks — the trace is
-	// never materialised.
+	// never materialised, and the replay checks the context every
+	// evalChunk references so a dead client stops burning CPU.
 	if req.Pattern.Name == "strided" || req.Pattern.Name == "diagonal" {
 		if vc, err := core.FromSpec(req.Cache); err == nil {
 			return runSimulateVector(ctx, req, vc)
@@ -56,39 +83,17 @@ func runSimulate(ctx context.Context, req SimulateRequest) (*SimulateResponse, e
 	if err != nil {
 		return nil, err
 	}
-	cur, err := trace.NewCursor(req.Pattern)
+	stats, refsDone, err := trace.ReplayPatternContext(ctx, sim, req.Pattern, req.Passes, evalChunk)
 	if err != nil {
-		return nil, err
-	}
-	refsPerPass := 0
-	buf := make([]cache.Access, 4096)
-	budget := evalChunk
-	for p := 0; p < req.Passes; p++ {
-		cur.Reset()
-		n := 0
-		for {
-			k := cur.Next(buf)
-			if k == 0 {
-				break
-			}
-			cache.AccessBatch(sim, buf[:k], nil)
-			n += k
-			if budget -= k; budget <= 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-				budget = evalChunk
-			}
-		}
-		refsPerPass = n
+		return nil, &PartialError{Refs: refsDone, Err: err}
 	}
 	resp := &SimulateResponse{
 		Cache:       sim.Describe(),
 		Spec:        req.Cache.String(),
 		Pattern:     req.Pattern.String(),
 		Passes:      req.Passes,
-		RefsPerPass: refsPerPass,
-		Stats:       sim.Stats(),
+		RefsPerPass: int(refsDone) / req.Passes,
+		Stats:       stats,
 	}
 	resp.HitRatio = resp.Stats.HitRatio()
 	resp.MissRatio = resp.Stats.MissRatio()
@@ -103,8 +108,11 @@ func runSimulate(ctx context.Context, req SimulateRequest) (*SimulateResponse, e
 // strided-sweep model. It returns (nil, nil) when the job does not
 // qualify — wrong pattern or organisation, too small to bother, model
 // declined, or the admission cross-check failed (in which case the
-// caller simulates normally, which is always correct).
-func trySimulateAnalytic(req SimulateRequest) (*SimulateResponse, error) {
+// caller simulates normally, which is always correct). With degrade
+// set, jobs below analyticMinRefs still qualify as long as the closed
+// form (whose cost is dominated by the guard replay) is meaningfully
+// cheaper than simulating; their responses carry Degraded.
+func trySimulateAnalytic(req SimulateRequest, degrade bool) (*SimulateResponse, error) {
 	p := req.Pattern
 	var stride int64
 	switch p.Name {
@@ -125,8 +133,20 @@ func trySimulateAnalytic(req SimulateRequest) (*SimulateResponse, error) {
 	default:
 		return nil, nil
 	}
-	if int64(p.N)*int64(req.Passes) < analyticMinRefs {
-		return nil, nil
+	refs := int64(p.N) * int64(req.Passes)
+	degraded := false
+	if refs < analyticMinRefs {
+		if !degrade {
+			return nil, nil
+		}
+		// Degraded path: only worth it when the guard replay (at most 2
+		// passes over min(n, 2·sets+1) references) costs well under the
+		// job itself; otherwise answering analytically sheds no load.
+		guardRefs := int64(2 * (2*sets + 1))
+		if refs <= 2*guardRefs {
+			return nil, nil
+		}
+		degraded = true
 	}
 	if _, ok := cache.StridedSweepStats(spec, p.Start, stride, p.N, req.Passes, p.Stream); !ok {
 		return nil, nil // model declines the full instance; skip the guard
@@ -146,7 +166,11 @@ func trySimulateAnalytic(req SimulateRequest) (*SimulateResponse, error) {
 	if oracle.VerifyStridedAnalytic(spec, p.Start, stride, nGuard, passesGuard, p.Stream) != nil {
 		return nil, nil
 	}
-	return simulateAnalytic(req, spec, stride)
+	resp, err := simulateAnalytic(req, spec, stride)
+	if resp != nil {
+		resp.Degraded = degraded
+	}
+	return resp, err
 }
 
 // simulateAnalytic assembles the closed-form response for a sweep the
@@ -210,18 +234,20 @@ func analyticAdderSteps(spec cache.Spec, start uint64, stride int64, n, passes i
 }
 
 // runSimulateVector drives strided/diagonal patterns through the vector
-// front-end in chunks, checking the context between chunks.
+// front-end in chunks, checking the context between chunks; a stopped
+// job reports its completed references via PartialError.
 func runSimulateVector(ctx context.Context, req SimulateRequest, vc *core.VectorCache) (*SimulateResponse, error) {
 	p := req.Pattern
 	stride := p.Stride
 	if p.Name == "diagonal" {
 		stride = int64(p.LD) + 1
 	}
+	var refsDone uint64
 	for pass := 0; pass < req.Passes; pass++ {
 		start := p.Start
 		for done := 0; done < p.N; done += evalChunk {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return nil, &PartialError{Refs: refsDone, Err: err}
 			}
 			n := p.N - done
 			if n > evalChunk {
@@ -230,6 +256,7 @@ func runSimulateVector(ctx context.Context, req SimulateRequest, vc *core.Vector
 			if _, err := vc.LoadVector(start, stride, n, p.Stream); err != nil {
 				return nil, err
 			}
+			refsDone += uint64(n)
 			start += uint64(int64(n) * stride)
 		}
 	}
@@ -266,7 +293,7 @@ func (r ModelRequest) machineWork() (vcm.Machine, vcm.VCM, error) {
 // of one cmd/vcmodel invocation.
 func runModel(req ModelRequest) (*ModelResponse, error) {
 	req = req.Normalize()
-	if err := req.Validate(); err != nil {
+	if err := req.Validate(Limits{}); err != nil {
 		return nil, err
 	}
 	mach, work, err := req.machineWork()

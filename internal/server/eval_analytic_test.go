@@ -105,7 +105,7 @@ func TestAnalyticDoesNotApply(t *testing.T) {
 		}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			resp, err := trySimulateAnalytic(tc.req.Normalize())
+			resp, err := trySimulateAnalytic(tc.req.Normalize(), false)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -124,7 +124,7 @@ func TestSimulateHugeSweepIsAnalytic(t *testing.T) {
 		Cache:   cache.Spec{Kind: "prime", C: 13},
 		Pattern: trace.Pattern{Name: "strided", Stride: 8191, N: 1 << 22, Stream: 1},
 		Passes:  8,
-	})
+	}, evalOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestAnalyticGateEndToEnd(t *testing.T) {
 		Pattern: trace.Pattern{Name: "strided", Start: 5, Stride: 512, N: 1 << 19, Stream: 1},
 		Passes:  8, // N × passes == analyticMinRefs exactly
 	}.Normalize()
-	fast, err := trySimulateAnalytic(req)
+	fast, err := trySimulateAnalytic(req, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,14 +12,18 @@ import (
 // decodeJSON strictly decodes the request body into dst, rejecting
 // unknown fields and trailing garbage.
 func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
-	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.Limits.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		return badRequest("decoding request: %v", err)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return Errf(CodeJobTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+		}
+		return Errf(CodeInvalidRequest, "decoding request: %v", err)
 	}
 	if dec.More() {
-		return badRequest("trailing data after JSON body")
+		return Errf(CodeInvalidRequest, "trailing data after JSON body")
 	}
 	return nil
 }
@@ -31,24 +35,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v) // the connection is the only failure mode here
-}
-
-// writeError maps an error to the structured {"error": {...}} body.
-// Validation failures become 400s; timeouts 504s; everything else 500s.
-func writeError(w http.ResponseWriter, err error) {
-	var ae apiError
-	switch {
-	case errors.As(err, &ae):
-	case errors.Is(err, context.DeadlineExceeded):
-		ae = apiError{Code: http.StatusGatewayTimeout, Message: "request timed out"}
-	case errors.Is(err, context.Canceled):
-		ae = apiError{Code: 499, Message: "request cancelled"}
-	case errors.Is(err, ErrPoolClosed):
-		ae = apiError{Code: http.StatusServiceUnavailable, Message: "server shutting down"}
-	default:
-		ae = apiError{Code: http.StatusInternalServerError, Message: err.Error()}
-	}
-	writeJSON(w, ae.Code, map[string]apiError{"error": ae})
 }
 
 // inflightCall is one in-progress computation concurrent identical jobs
@@ -64,14 +50,14 @@ type inflightCall struct {
 // Concurrent identical jobs are single-flighted: the first becomes the
 // leader and computes, the rest share its result and count as memoized —
 // so a sweep repeating one config costs one worker slot, not many.
-func (s *Server) computeJob(ctx context.Context, job SweepJob) (result any, memoized bool, err error) {
+func (s *Server) computeJob(ctx context.Context, job SweepJob, degrade bool) (result any, memoized bool, err error) {
 	key := job.Key()
 	for {
 		if v, ok := s.memo.Get(key); ok {
 			return v, true, nil
 		}
 		if !s.memo.Enabled() {
-			v, err := s.compute(ctx, job)
+			v, err := s.compute(ctx, job, degrade)
 			return v, false, err
 		}
 		s.callMu.Lock()
@@ -84,8 +70,11 @@ func (s *Server) computeJob(ctx context.Context, job SweepJob) (result any, memo
 
 		if !joined {
 			// Leader: compute, publish to the memo, then release joiners.
-			c.val, c.err = s.compute(ctx, job)
-			if c.err == nil {
+			// Degraded results stay out of the memo: their stats are
+			// guard-verified but the degraded flag describes this
+			// request's pressure, not a later request's.
+			c.val, c.err = s.compute(ctx, job, degrade)
+			if c.err == nil && !isDegraded(c.val) {
 				s.memo.Put(key, c.val)
 			}
 			s.callMu.Lock()
@@ -117,24 +106,51 @@ func (s *Server) computeJob(ctx context.Context, job SweepJob) (result any, memo
 	}
 }
 
+// isDegraded reports whether a computed value carries the degraded flag.
+func isDegraded(v any) bool {
+	sr, ok := v.(*SimulateResponse)
+	return ok && sr.Degraded
+}
+
 // compute runs one job on a pool worker. Simulation panics (a config
 // that slipped past validation) surface as errors, not a crashed worker.
-func (s *Server) compute(ctx context.Context, job SweepJob) (any, error) {
-	return s.pool.Submit(ctx, func(ctx context.Context) (out any, err error) {
+// A job stopped early by its context surfaces as a PartialError, whose
+// completed-reference count feeds the /v1/stats partial-work counters.
+func (s *Server) compute(ctx context.Context, job SweepJob, degrade bool) (any, error) {
+	v, err := s.pool.Submit(ctx, func(ctx context.Context) (out any, err error) {
 		defer func() {
 			if p := recover(); p != nil {
 				err = fmt.Errorf("server: job panicked: %v\n%s", p, debug.Stack())
 			}
 		}()
+		if s.opts.Faults != nil {
+			f := s.opts.Faults("compute", s.computeSeq.Add(1))
+			if err := sleepFault(ctx, f.Latency); err != nil {
+				return nil, err
+			}
+			if f.Err != nil {
+				return nil, f.Err
+			}
+		}
 		switch {
 		case job.Simulate != nil:
-			return runSimulate(ctx, *job.Simulate)
+			resp, err := runSimulate(ctx, *job.Simulate, evalOpts{degrade: degrade})
+			if err == nil && resp.Degraded {
+				s.metrics.Counter("admission.degraded").Inc()
+			}
+			return resp, err
 		case job.Model != nil:
 			return runModel(*job.Model)
 		default:
-			return nil, badRequest("empty job")
+			return nil, Errf(CodeInvalidRequest, "empty job")
 		}
 	})
+	var pe *PartialError
+	if errors.As(err, &pe) {
+		s.metrics.Counter("compute.cancelledJobs").Inc()
+		s.metrics.Counter("compute.partialRefs").Add(pe.Refs)
+	}
+	return v, err
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -143,13 +159,19 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if err := req.Validate(); err != nil {
-		writeError(w, badRequest("%v", err))
+	if err := req.Validate(s.opts.Limits); err != nil {
+		writeError(w, err)
 		return
 	}
+	release, err := s.admitRequest("simulate")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	v, memoized, err := s.computeJob(ctx, SweepJob{Simulate: &req})
+	v, memoized, err := s.computeJob(ctx, SweepJob{Simulate: &req}, s.degradeNow())
 	if err != nil {
 		writeError(w, err)
 		return
@@ -166,13 +188,19 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if err := req.Validate(); err != nil {
-		writeError(w, badRequest("%v", err))
+	if err := req.Validate(s.opts.Limits); err != nil {
+		writeError(w, err)
 		return
 	}
+	release, err := s.admitRequest("model")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	v, memoized, err := s.computeJob(ctx, SweepJob{Model: &req})
+	v, memoized, err := s.computeJob(ctx, SweepJob{Model: &req}, false)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -191,12 +219,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if err := req.Validate(); err != nil {
-		writeError(w, badRequest("%v", err))
+	if err := req.Validate(s.opts.Limits); err != nil {
+		writeError(w, err)
 		return
 	}
+	// One admission slot covers the whole batch: the worker pool already
+	// bounds its parallelism, so the queue tracks requests, not jobs.
+	release, err := s.admitRequest("sweep")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	degrade := s.degradeNow()
 
 	// Fan out: one goroutine per job, throughput bounded by the pool.
 	// Each job's slot is a single-element channel so the writer below
@@ -206,9 +243,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		slots[i] = make(chan SweepResult, 1)
 		go func(i int, job SweepJob) {
 			res := SweepResult{Index: i}
-			v, memoized, err := s.computeJob(ctx, job)
+			v, memoized, err := s.computeJob(ctx, job, degrade)
 			if err != nil {
-				res.Error = err.Error()
+				ae := asAPIError(err)
+				res.Error = ae.Message
+				res.ErrorCode = ae.Code
 			} else {
 				res.Memoized = memoized
 				switch t := v.(type) {
@@ -260,6 +299,23 @@ type StatsResponse struct {
 		Busy    int64 `json:"busy"`
 		Queued  int64 `json:"queued"`
 	} `json:"pool"`
+	// Admission reports the overload valve: queue occupancy, capacity,
+	// shed and degraded request counts, and the pressure fraction the
+	// degradation threshold is compared against.
+	Admission struct {
+		Capacity int     `json:"capacity"`
+		Queued   int64   `json:"queued"`
+		Shed     uint64  `json:"shed"`
+		Degraded uint64  `json:"degraded"`
+		Pressure float64 `json:"pressure"`
+	} `json:"admission"`
+	// Partial accounts work burned by jobs that were cancelled or timed
+	// out mid-simulation: how many jobs stopped early and how many
+	// references they had completed when they stopped.
+	Partial struct {
+		CancelledJobs uint64 `json:"cancelledJobs"`
+		RefsCompleted uint64 `json:"refsCompleted"`
+	} `json:"partial"`
 	Metrics MetricsSnapshot `json:"metrics"`
 }
 
@@ -270,6 +326,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	resp.Pool.Workers = s.pool.Size()
 	resp.Pool.Busy = s.metrics.Gauge("pool.busy").Value()
 	resp.Pool.Queued = s.metrics.Gauge("pool.queued").Value()
+	resp.Admission.Capacity = s.admit.capacity()
+	resp.Admission.Queued = s.metrics.Gauge("admission.queued").Value()
+	resp.Admission.Shed = s.metrics.Counter("admission.shed").Value()
+	resp.Admission.Degraded = s.metrics.Counter("admission.degraded").Value()
+	resp.Admission.Pressure = s.admit.pressure()
+	resp.Partial.CancelledJobs = s.metrics.Counter("compute.cancelledJobs").Value()
+	resp.Partial.RefsCompleted = s.metrics.Counter("compute.partialRefs").Value()
 	resp.Metrics = s.metrics.Snapshot()
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // ErrPoolClosed is returned by Submit after Close.
@@ -24,6 +25,7 @@ type Pool struct {
 	busy      *Gauge
 	queued    *Gauge
 	completed *Counter
+	latency   *Histogram
 }
 
 type poolTask struct {
@@ -56,6 +58,7 @@ func NewPool(size int, m *Metrics) *Pool {
 		busy:      m.Gauge("pool.busy"),
 		queued:    m.Gauge("pool.queued"),
 		completed: m.Counter("pool.completed"),
+		latency:   m.Histogram("latency.pool"),
 	}
 	m.Gauge("pool.workers").Set(int64(size))
 	p.wg.Add(size)
@@ -97,7 +100,9 @@ func (p *Pool) run(t *poolTask) {
 		return
 	}
 	p.busy.Inc()
+	start := time.Now()
 	v, err := t.fn(t.ctx)
+	p.latency.Observe(time.Since(start))
 	p.busy.Dec()
 	p.completed.Inc()
 	t.done <- poolResult{value: v, err: err}

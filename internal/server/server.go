@@ -5,12 +5,14 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Options configures a Server. The zero value is usable: GOMAXPROCS
 // workers, a 4096-entry memoizer, a 30-second per-request compute
-// timeout.
+// timeout, default Limits, a 256-slot admission backlog, and analytic
+// degradation at 75% admission pressure.
 type Options struct {
 	// Workers sizes the compute pool; <= 0 selects GOMAXPROCS.
 	Workers int
@@ -20,8 +22,26 @@ type Options struct {
 	// RequestTimeout bounds the compute time of one simulate/model job
 	// and of every job in a sweep; 0 selects 30s, < 0 disables.
 	RequestTimeout time.Duration
-	// MaxBodyBytes caps request bodies; 0 selects 8 MiB.
-	MaxBodyBytes int64
+	// Limits bounds what one request may ask for (references per job,
+	// sweep batch size, body bytes); zero fields select defaults.
+	Limits Limits
+	// QueueDepth is the admission backlog beyond the worker count: at
+	// most Workers+QueueDepth compute requests are in the building at
+	// once, the rest are shed with 429. 0 selects 256; < 0 selects no
+	// backlog (capacity = worker count).
+	QueueDepth int
+	// EndpointConcurrency caps concurrently admitted requests per
+	// compute endpoint (simulate, model, sweep); <= 0 means only the
+	// global queue applies.
+	EndpointConcurrency int
+	// DegradeThreshold is the admission-pressure fraction (queued /
+	// capacity) at or above which qualifying strided/diagonal jobs are
+	// answered by the closed form even below the normal size cutoff,
+	// flagged degraded. 0 selects 0.75; < 0 disables degradation.
+	DegradeThreshold float64
+	// Faults injects deterministic latency/error/queue-full faults into
+	// the admit and compute stages. Tests only; nil in production.
+	Faults FaultFunc
 }
 
 func (o Options) withDefaults() Options {
@@ -31,8 +51,15 @@ func (o Options) withDefaults() Options {
 	if o.RequestTimeout == 0 {
 		o.RequestTimeout = 30 * time.Second
 	}
-	if o.MaxBodyBytes == 0 {
-		o.MaxBodyBytes = 8 << 20
+	o.Limits = o.Limits.withDefaults()
+	switch {
+	case o.QueueDepth == 0:
+		o.QueueDepth = 256
+	case o.QueueDepth < 0:
+		o.QueueDepth = 0
+	}
+	if o.DegradeThreshold == 0 {
+		o.DegradeThreshold = 0.75
 	}
 	return o
 }
@@ -45,8 +72,14 @@ type Server struct {
 	metrics *Metrics
 	memo    *Memo
 	pool    *Pool
+	admit   *admission
 	mux     *http.ServeMux
 	httpSrv *http.Server
+
+	// Fault-injection sequence numbers, one per stage, so a FaultFunc
+	// sees a deterministic 1-based ordinal regardless of concurrency.
+	admitSeq   atomic.Uint64
+	computeSeq atomic.Uint64
 
 	// Single-flight bookkeeping: concurrent identical jobs (the common
 	// case inside one sweep) share one in-flight computation instead of
@@ -76,6 +109,12 @@ func New(opts Options) *Server {
 		mux:     http.NewServeMux(),
 		calls:   map[string]*inflightCall{},
 	}
+	capacity := s.pool.Size() + opts.QueueDepth
+	perEndpoint := opts.EndpointConcurrency
+	if perEndpoint <= 0 {
+		perEndpoint = capacity
+	}
+	s.admit = newAdmission(capacity, perEndpoint, []string{"simulate", "model", "sweep"}, m)
 	s.mux.Handle("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
 	s.mux.Handle("POST /v1/model", s.instrument("model", s.handleModel))
 	s.mux.Handle("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
@@ -138,6 +177,49 @@ func (s *Server) Close() error {
 	err := s.httpSrv.Close()
 	s.pool.Close()
 	return err
+}
+
+// admitRequest runs the fault hook and the admission valve for one
+// compute request. On success the returned release must be called once
+// the response is written; on overload it returns the 429 envelope.
+func (s *Server) admitRequest(endpoint string) (func(), error) {
+	if s.opts.Faults != nil {
+		f := s.opts.Faults("admit", s.admitSeq.Add(1))
+		if f.Latency > 0 {
+			time.Sleep(f.Latency)
+		}
+		if f.Err != nil {
+			return nil, f.Err
+		}
+		if f.QueueFull {
+			s.admit.shed.Inc()
+			return nil, s.overloadedError()
+		}
+	}
+	release, ok := s.admit.tryAdmit(endpoint)
+	if !ok {
+		return nil, s.overloadedError()
+	}
+	return release, nil
+}
+
+// overloadedError builds the shed envelope: code overloaded plus a
+// Retry-After hint priced from the queue depth and the pool's mean
+// observed compute latency.
+func (s *Server) overloadedError() *APIError {
+	depth := s.admit.depth()
+	mean := s.metrics.Histogram("latency.pool").Snapshot().MeanUs
+	ae := Errf(CodeOverloaded, "admission queue full (%d of %d slots in use)", depth, s.admit.capacity())
+	ae.RetryAfterMs = retryAfterHint(depth, s.pool.Size(), mean)
+	return ae
+}
+
+// degradeNow reports whether admission pressure has crossed the
+// degradation threshold, in which case qualifying jobs admitted now are
+// answered analytically below the normal cutoff.
+func (s *Server) degradeNow() bool {
+	t := s.opts.DegradeThreshold
+	return t > 0 && s.admit.pressure() >= t
 }
 
 // requestCtx applies the per-request compute timeout.

@@ -161,21 +161,22 @@ func TestValidationErrors(t *testing.T) {
 	cases := []struct {
 		path string
 		body string
+		code ErrorCode
 	}{
-		{"/v1/simulate", `{"cache":{"kind":"bogus"}}`},
-		{"/v1/simulate", `{"cache":{"kind":"prime","c":4}}`},
-		{"/v1/simulate", `{"pattern":{"name":"fft","n":10,"b2":3}}`},
-		{"/v1/simulate", `{"passes":-1}`},
-		{"/v1/simulate", `{"pattern":{"name":"strided","n":2000000000}}`},
-		{"/v1/simulate", `{"pattern":{"name":"subblock","b1":1000000,"b2":1000000}}`},
-		{"/v1/simulate", `{"pattern":{"name":"strided","n":4096},"passes":1152921504606846976}`},
-		{"/v1/simulate", `{"unknown":1}`},
-		{"/v1/simulate", `not json`},
-		{"/v1/model", `{"banks":63}`},
-		{"/v1/model", `{"pds":1.5}`},
-		{"/v1/sweep", `{"jobs":[]}`},
-		{"/v1/sweep", `{"jobs":[{}]}`},
-		{"/v1/sweep", `{"jobs":[{"simulate":{},"model":{}}]}`},
+		{"/v1/simulate", `{"cache":{"kind":"bogus"}}`, CodeInvalidRequest},
+		{"/v1/simulate", `{"cache":{"kind":"prime","c":4}}`, CodeInvalidRequest},
+		{"/v1/simulate", `{"pattern":{"name":"fft","n":10,"b2":3}}`, CodeInvalidRequest},
+		{"/v1/simulate", `{"passes":-1}`, CodeInvalidRequest},
+		{"/v1/simulate", `{"pattern":{"name":"strided","n":2000000000}}`, CodeJobTooLarge},
+		{"/v1/simulate", `{"pattern":{"name":"subblock","b1":1000000,"b2":1000000}}`, CodeJobTooLarge},
+		{"/v1/simulate", `{"pattern":{"name":"strided","n":4096},"passes":1152921504606846976}`, CodeJobTooLarge},
+		{"/v1/simulate", `{"unknown":1}`, CodeInvalidRequest},
+		{"/v1/simulate", `not json`, CodeInvalidRequest},
+		{"/v1/model", `{"banks":63}`, CodeInvalidRequest},
+		{"/v1/model", `{"pds":1.5}`, CodeInvalidRequest},
+		{"/v1/sweep", `{"jobs":[]}`, CodeInvalidRequest},
+		{"/v1/sweep", `{"jobs":[{}]}`, CodeInvalidRequest},
+		{"/v1/sweep", `{"jobs":[{"simulate":{},"model":{}}]}`, CodeInvalidRequest},
 	}
 	for _, tc := range cases {
 		resp, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
@@ -184,19 +185,17 @@ func TestValidationErrors(t *testing.T) {
 		}
 		body, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
-		if resp.StatusCode != 400 {
-			t.Errorf("%s %s: status %d, want 400 (%s)", tc.path, tc.body, resp.StatusCode, body)
+		if want := tc.code.HTTPStatus(); resp.StatusCode != want {
+			t.Errorf("%s %s: status %d, want %d (%s)", tc.path, tc.body, resp.StatusCode, want, body)
 			continue
 		}
-		var out struct {
-			Error apiError `json:"error"`
-		}
-		if err := json.Unmarshal(body, &out); err != nil {
+		var out ErrorEnvelope
+		if err := json.Unmarshal(body, &out); err != nil || out.Error == nil {
 			t.Errorf("%s %s: malformed error body %s", tc.path, tc.body, body)
 			continue
 		}
-		if out.Error.Code != 400 || out.Error.Message == "" {
-			t.Errorf("%s %s: error body %+v not structured", tc.path, tc.body, out.Error)
+		if out.Error.Code != tc.code || out.Error.Message == "" {
+			t.Errorf("%s %s: error body %+v, want code %q with a message", tc.path, tc.body, out.Error, tc.code)
 		}
 	}
 }
@@ -227,7 +226,7 @@ func serialSweep(t *testing.T, jobs []SweepJob) []SweepResult {
 		out[i] = SweepResult{Index: i}
 		switch {
 		case j.Simulate != nil:
-			r, err := runSimulate(context.Background(), *j.Simulate)
+			r, err := runSimulate(context.Background(), *j.Simulate, evalOpts{})
 			if err != nil {
 				t.Fatalf("serial job %d: %v", i, err)
 			}
@@ -426,10 +425,8 @@ func TestRequestTimeout(t *testing.T) {
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("status = %d, want 504: %s", resp.StatusCode, body)
 	}
-	var out struct {
-		Error apiError `json:"error"`
-	}
-	if err := json.Unmarshal(body, &out); err != nil || out.Error.Code != http.StatusGatewayTimeout {
+	var out ErrorEnvelope
+	if err := json.Unmarshal(body, &out); err != nil || out.Error == nil || out.Error.Code != CodeTimeout {
 		t.Errorf("timeout error body malformed: %s", body)
 	}
 }
@@ -566,7 +563,7 @@ func TestComputeJobSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, m, err := s.computeJob(context.Background(), job)
+			_, m, err := s.computeJob(context.Background(), job, false)
 			if err != nil {
 				t.Error(err)
 				return
@@ -607,12 +604,14 @@ func TestValidateBoundsBeforeBuild(t *testing.T) {
 			Pattern: trace.Pattern{Name: "strided", N: 1 << 20}, Passes: 1 << 10}},
 		{"huge passes with default pattern", SimulateRequest{Cache: spec, Passes: 1 << 60}},
 	} {
-		if err := tc.req.Validate(); err == nil {
+		if err := tc.req.Validate(DefaultLimits()); err == nil {
 			t.Errorf("%s: Validate accepted %+v", tc.name, tc.req)
+		} else if ae := asAPIError(err); ae.Code != CodeJobTooLarge {
+			t.Errorf("%s: Validate code = %q, want %q", tc.name, ae.Code, CodeJobTooLarge)
 		}
 	}
 	ok := SimulateRequest{Cache: spec, Pattern: trace.Pattern{Name: "strided", N: 4096}, Passes: 2}
-	if err := ok.Validate(); err != nil {
+	if err := ok.Validate(DefaultLimits()); err != nil {
 		t.Errorf("in-bounds request rejected: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 
 	"primecache/internal/cache"
@@ -128,11 +129,27 @@ const replayChunk = 256
 // stats delta, never materialising the trace: peak memory is O(1) in
 // the pattern size. It is Replay for patterns too large to Build.
 func ReplayPattern(c cache.Sim, p Pattern, passes int) (cache.Stats, error) {
+	stats, _, err := ReplayPatternContext(context.Background(), c, p, passes, 0)
+	return stats, err
+}
+
+// ReplayPatternContext is ReplayPattern with cooperative cancellation:
+// it checks ctx.Err() roughly every checkEvery references (<= 0 selects
+// one check per pass), so a replay whose requester has gone away stops
+// within one checkpoint interval instead of finishing a multi-gigaref
+// job. It returns the stats delta accumulated so far, the number of
+// references completed, and ctx's error when it stopped early. Only
+// Err() is consulted — a caller may supply any Context whose Err()
+// flips, without a Done channel ever being selected on, so checkpoints
+// stay cheap.
+func ReplayPatternContext(ctx context.Context, c cache.Sim, p Pattern, passes int, checkEvery int) (cache.Stats, uint64, error) {
 	cur, err := NewCursor(p)
 	if err != nil {
-		return cache.Stats{}, err
+		return cache.Stats{}, 0, err
 	}
 	before := c.Stats()
+	var refsDone uint64
+	budget := checkEvery
 	var buf [replayChunk]cache.Access
 	for pass := 0; pass < passes; pass++ {
 		cur.Reset()
@@ -142,7 +159,23 @@ func ReplayPattern(c cache.Sim, p Pattern, passes int) (cache.Stats, error) {
 				break
 			}
 			cache.AccessBatch(c, buf[:n], nil)
+			refsDone += uint64(n)
+			if checkEvery <= 0 {
+				continue
+			}
+			if budget -= n; budget > 0 {
+				continue
+			}
+			budget = checkEvery
+			if err := ctx.Err(); err != nil {
+				return diffStats(c.Stats(), before), refsDone, err
+			}
+		}
+		// A checkpoint between passes regardless of checkEvery, so even
+		// a tiny-pattern × many-passes job stays cancellable.
+		if err := ctx.Err(); err != nil {
+			return diffStats(c.Stats(), before), refsDone, err
 		}
 	}
-	return diffStats(c.Stats(), before), nil
+	return diffStats(c.Stats(), before), refsDone, nil
 }
