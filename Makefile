@@ -15,7 +15,7 @@ ORACLE_MAXREFS ?= 1024
 # Per-target budget for the fuzz smoke pass.
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race race-server stress bench bench-go bench-smoke oracle fuzz-smoke golden-update ci
+.PHONY: build test vet race race-server cluster-test stress bench bench-go bench-smoke oracle fuzz-smoke golden-update ci
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,12 @@ race-server:
 race:
 	$(GO) test -race ./...
 
+# The multi-node cluster suite (in-process 3-node deployments: ring
+# routing, scatter-gather sweeps, mid-sweep failover, hedging, draining)
+# always runs under the race detector — failover is all concurrency.
+cluster-test:
+	$(GO) test -race -count=1 ./internal/cluster/...
+
 # Overload stress suite under the race detector: fault-injected shedding,
 # organic 429 bursts, pressure-driven degradation, cancellation, and the
 # error-envelope contract (see internal/server/overload_test.go).
@@ -44,7 +50,8 @@ stress:
 # "Performance tracking"): `make bench` measures the pinned scenario
 # suite and writes a BENCH_*.json report; compare against the committed
 # baseline with `go run ./cmd/primebench compare BENCH_0.json <report>`.
-# `make bench-smoke` runs every scenario once — a cheap CI check that the
+# `make bench-smoke` runs every scenario once (including the
+# cluster/sweep-scatter 3-node scenario) — a cheap CI check that the
 # suite itself still works.
 BENCH_OUT ?= BENCH_local.json
 
@@ -80,4 +87,4 @@ fuzz-smoke:
 golden-update:
 	$(GO) test ./internal/report/ ./cmd/figures/ -update
 
-ci: vet build test race-server stress fuzz-smoke oracle bench-smoke
+ci: vet build test race-server cluster-test stress fuzz-smoke oracle bench-smoke

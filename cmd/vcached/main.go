@@ -13,11 +13,21 @@
 //	                    "passes":4}
 //	POST /v1/model     {"banks":64,"tm":64,"b":4096}
 //	POST /v1/sweep     {"jobs":[{"model":{...}},{"simulate":{...}}, ...]}
-//	GET  /v1/healthz
+//	GET  /v1/healthz   liveness: 200 while the process serves
+//	GET  /v1/readyz    readiness: 503 {"draining":true} once shutdown begins
 //	GET  /v1/stats
 //
-// SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests drain
-// (bounded by -drain) before the process exits.
+// SIGINT/SIGTERM trigger a graceful shutdown: readiness fails first
+// (for -drain-grace, while the listener still accepts), then in-flight
+// requests drain (bounded by -drain) before the process exits.
+//
+// With -coordinator, vcached instead fronts a set of backend instances
+// as a cluster coordinator: jobs are routed by canonical key over a
+// consistent-hash ring, sweeps scatter across healthy backends and
+// gather in input order, and a health checker plus per-job failover
+// route around dead or draining backends:
+//
+//	vcached -addr :8370 -coordinator -backends=http://h1:8372,http://h2:8372,http://h3:8372
 package main
 
 import (
@@ -30,9 +40,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"primecache/internal/cluster"
 	"primecache/internal/server"
 )
 
@@ -43,6 +55,7 @@ func main() {
 		memo    = flag.Int("memo", 4096, "memoization cache entries (negative disables)")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request compute timeout (0 disables)")
 		drain   = flag.Duration("drain", time.Minute, "graceful-shutdown drain limit")
+		grace   = flag.Duration("drain-grace", time.Second, "readiness grace: how long /v1/readyz reports draining before the listener closes (0 disables)")
 
 		maxRefs   = flag.Int("max-refs", 0, "max references one simulate job may issue (0 = default 64Mi)")
 		maxJobs   = flag.Int("max-sweep-jobs", 0, "max jobs in one sweep batch (0 = default 4096)")
@@ -50,8 +63,20 @@ func main() {
 		queue     = flag.Int("queue", 0, "admission backlog beyond the worker count; excess requests get 429 (0 = default 256, negative = none)")
 		epLimit   = flag.Int("endpoint-limit", 0, "max concurrently admitted requests per endpoint (0 = global queue only)")
 		degradeAt = flag.Float64("degrade-threshold", 0, "admission-pressure fraction at which qualifying jobs degrade to analytic answers (0 = default 0.75, negative disables)")
+
+		coordinator = flag.Bool("coordinator", false, "run as a cluster coordinator over -backends instead of computing locally")
+		backends    = flag.String("backends", "", "comma-separated backend base URLs (coordinator mode)")
+		replicas    = flag.Int("replicas", 0, "distinct backends a job may be tried on, primary + failovers (0 = default 2)")
+		probeEvery  = flag.Duration("probe-interval", 0, "backend readiness-probe period (0 = default 2s, negative disables)")
+		hedgeAfter  = flag.Duration("hedge-after", 0, "floor on the hedge delay for single jobs (0 = default 50ms, negative disables hedging)")
+		maxInflight = flag.Int("coordinator-inflight", 0, "coordinator admission capacity (0 = default 256, negative = unbounded)")
 	)
 	flag.Parse()
+
+	if *coordinator {
+		runCoordinator(*addr, *backends, *replicas, *probeEvery, *hedgeAfter, *maxInflight, *drain)
+		return
+	}
 
 	reqTimeout := *timeout
 	if reqTimeout == 0 {
@@ -94,6 +119,13 @@ func main() {
 	case <-ctx.Done():
 		stop()
 		log.Printf("vcached: signal received, draining (limit %v)", *drain)
+		if *grace > 0 {
+			// Fail readiness while the listener still accepts, so
+			// probes see the 503 {"draining":true} transition before
+			// Shutdown closes the port out from under them.
+			srv.BeginDrain()
+			time.Sleep(*grace)
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -101,5 +133,60 @@ func main() {
 			os.Exit(1)
 		}
 		log.Print("vcached: drained, bye")
+	}
+}
+
+// runCoordinator is the -coordinator mode: serve the cluster
+// coordinator over the given backends until a signal arrives.
+func runCoordinator(addr, backendList string, replicas int, probeEvery, hedgeAfter time.Duration, maxInflight int, drain time.Duration) {
+	var urls []string
+	for _, b := range strings.Split(backendList, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			urls = append(urls, b)
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatal("vcached: -coordinator requires -backends=url1,url2,...")
+	}
+	coord, err := cluster.New(cluster.Options{
+		Backends:      urls,
+		Replicas:      replicas,
+		ProbeInterval: probeEvery,
+		HedgeAfter:    hedgeAfter,
+		MaxInflight:   maxInflight,
+	})
+	if err != nil {
+		log.Fatalf("vcached: %v", err)
+	}
+	defer coord.Close()
+
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("vcached: %v", err)
+	}
+	httpSrv := &http.Server{Handler: coord.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(l) }()
+	log.Printf("vcached coordinator listening on %s (backends=%d replicas=%d)", l.Addr(), len(urls), replicas)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("vcached: %v", err)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Printf("vcached coordinator: signal received, draining (limit %v)", drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "vcached: shutdown:", err)
+			os.Exit(1)
+		}
+		log.Print("vcached coordinator: drained, bye")
 	}
 }

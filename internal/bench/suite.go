@@ -12,6 +12,7 @@ import (
 
 	"primecache/internal/cache"
 	"primecache/internal/client"
+	"primecache/internal/cluster"
 	"primecache/internal/server"
 	"primecache/internal/trace"
 )
@@ -45,6 +46,7 @@ func Suite() []Scenario {
 		serviceSimulate("service/simulate/memo-hit", true),
 		serviceSimulate("service/simulate/memo-miss", false),
 		serviceOverload(),
+		clusterSweepScatter(),
 	)
 	return scenarios
 }
@@ -176,6 +178,49 @@ func serviceSimulate(name string, hit bool) Scenario {
 			return post(v)
 		}
 		return op, cleanup, nil
+	}}
+}
+
+// clusterSweepScatter measures the coordinator's scatter-gather path:
+// one op sends a 48-job sweep through a 3-backend in-process cluster.
+// The jobs repeat across ops, so after the warm-up every backend answers
+// its shard from its memoizer — the number tracks pure cluster overhead
+// (routing, fan-out over loopback HTTP, ordered merge), the fixed cost
+// sharding adds on top of single-node serving.
+func clusterSweepScatter() Scenario {
+	const jobs = 48
+	return Scenario{Name: "cluster/sweep-scatter", Setup: func() (func() error, func(), error) {
+		lc, err := cluster.StartLocal(3, server.Options{}, cluster.Options{
+			ProbeInterval: -1,
+			HedgeAfter:    -1,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		var req server.SweepRequest
+		for i := 0; i < jobs; i++ {
+			req.Jobs = append(req.Jobs, server.SweepJob{Simulate: &server.SimulateRequest{
+				Cache:   cache.Spec{Kind: "prime", C: 7},
+				Pattern: trace.Pattern{Name: "strided", Stride: int64(3 + 2*i), N: 1024, Stream: 1},
+			}})
+		}
+		c := client.New(lc.URL(), client.WithRetries(0))
+		op := func() error {
+			results, err := c.Sweep(context.Background(), req)
+			if err != nil {
+				return err
+			}
+			if len(results) != jobs {
+				return fmt.Errorf("cluster sweep returned %d of %d results", len(results), jobs)
+			}
+			for _, r := range results {
+				if r.Error != "" {
+					return fmt.Errorf("cluster sweep job %d failed: %s", r.Index, r.Error)
+				}
+			}
+			return nil
+		}
+		return op, lc.Close, nil
 	}}
 }
 

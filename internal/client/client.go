@@ -54,7 +54,13 @@ func WithBackoff(base, max time.Duration) Option {
 
 // WithSeed makes the jitter deterministic, for tests.
 func WithSeed(seed int64) Option {
-	return func(c *Client) { c.rng = rand.New(rand.NewSource(seed)) }
+	return WithRand(rand.NewSource(seed))
+}
+
+// WithRand injects the randomness source behind the retry jitter, so
+// tests can control (or record) every delay the client picks.
+func WithRand(src rand.Source) Option {
+	return func(c *Client) { c.rng = rand.New(src) }
 }
 
 // WithHTTPClient substitutes the underlying HTTP client (defaults to a
@@ -100,10 +106,11 @@ func (e *Error) Error() string {
 }
 
 // Temporary reports whether a later identical request could succeed, the
-// retry predicate: overload and shutdown pass (another replica, or this
-// one once drained); validation and size errors never will.
+// retry predicate: overload, shutdown, and an unreachable upstream pass
+// (another replica, or this one once drained or healed); validation and
+// size errors never will.
 func (e *Error) Temporary() bool {
-	return e.Code == server.CodeOverloaded || e.Code == server.CodeShuttingDown
+	return e.Code == server.CodeOverloaded || e.Code == server.CodeShuttingDown || e.Code == server.CodeUnavailable
 }
 
 // SimulateResult is a simulate response plus the transport-level
@@ -162,6 +169,41 @@ func (c *Client) Stats(ctx context.Context) (*server.StatsResponse, error) {
 // Healthz checks liveness.
 func (c *Client) Healthz(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, &struct{}{})
+}
+
+// BaseURL returns the instance this client talks to.
+func (c *Client) BaseURL() string { return c.base }
+
+// Readyz probes readiness with a single round trip — no retries, the
+// whole point is to learn the instance's state right now. A decoded
+// body is returned whenever the server produced one, so callers can
+// distinguish "alive but draining" (resp.Draining, alongside a non-nil
+// error) from "gone" (nil response).
+func (c *Client) Readyz(ctx context.Context) (*server.ReadyzResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/readyz", nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: building request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: GET /v1/readyz: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("client: reading readyz response: %w", err)
+	}
+	var rz server.ReadyzResponse
+	if jsonErr := json.Unmarshal(data, &rz); jsonErr != nil {
+		if resp.StatusCode == http.StatusOK {
+			return nil, fmt.Errorf("client: decoding readyz response: %w", jsonErr)
+		}
+		return nil, decodeError(resp, data)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &rz, &Error{Status: resp.StatusCode, Code: server.CodeShuttingDown, Message: rz.Status}
+	}
+	return &rz, nil
 }
 
 // do issues one logical API call: marshal, attempt, and retry transient

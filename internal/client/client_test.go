@@ -3,6 +3,7 @@ package client_test
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -194,5 +195,126 @@ func TestEndToEndAgainstRealServer(t *testing.T) {
 	var ce *client.Error
 	if !errors.As(err, &ce) || ce.Code != server.CodeInvalidRequest {
 		t.Errorf("bad request err = %v, want invalid_request", err)
+	}
+}
+
+// flakySheds builds a FaultFunc that force-sheds the first n admit
+// attempts, so a real vcached instance behaves like a flaky overloaded
+// backend with fully deterministic timing.
+func flakySheds(n uint64) server.FaultFunc {
+	return func(stage string, seq uint64) server.Fault {
+		if stage == "admit" && seq <= n {
+			return server.Fault{QueueFull: true}
+		}
+		return server.Fault{}
+	}
+}
+
+// TestRetryRecoversFromFlakyBackend drives the client against a real
+// fault-injected vcached: the first two admits are force-shed with the
+// organic 429 envelope, the third succeeds. The retry loop must absorb
+// both sheds.
+func TestRetryRecoversFromFlakyBackend(t *testing.T) {
+	s := server.New(server.Options{Workers: 1, Faults: flakySheds(2)})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	c := client.New(ts.URL, client.WithRetries(3),
+		client.WithBackoff(time.Millisecond, 10*time.Millisecond),
+		client.WithRand(rand.NewSource(7)))
+	res, err := c.Simulate(context.Background(), server.SimulateRequest{
+		Pattern: trace.Pattern{Name: "strided", Stride: 3, N: 512},
+	})
+	if err != nil {
+		t.Fatalf("simulate through flaky backend: %v", err)
+	}
+	if res.Stats.Accesses == 0 {
+		t.Error("empty stats from recovered request")
+	}
+	if shed := s.Metrics().Counter("admission.shed").Value(); shed != 2 {
+		t.Errorf("backend shed %d requests, want 2", shed)
+	}
+}
+
+// TestRetryBudgetExhaustedAgainstFlakyBackend exhausts the budget
+// against a backend that sheds every admit: the caller must get the
+// typed overloaded error after exactly initial+retries attempts.
+func TestRetryBudgetExhaustedAgainstFlakyBackend(t *testing.T) {
+	s := server.New(server.Options{Workers: 1, Faults: flakySheds(1 << 30)})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	c := client.New(ts.URL, client.WithRetries(2),
+		client.WithBackoff(time.Millisecond, 2*time.Millisecond),
+		client.WithRand(rand.NewSource(7)))
+	_, err := c.Simulate(context.Background(), server.SimulateRequest{
+		Pattern: trace.Pattern{Name: "strided", Stride: 3, N: 512},
+	})
+	var ce *client.Error
+	if !errors.As(err, &ce) || ce.Code != server.CodeOverloaded {
+		t.Fatalf("err = %v, want typed overloaded error", err)
+	}
+	if shed := s.Metrics().Counter("admission.shed").Value(); shed != 3 {
+		t.Errorf("backend saw %d attempts, want 3 (initial + 2 retries)", shed)
+	}
+}
+
+// TestRetryAfterFloorsBackoff checks the hint is a floor: with a 1ms
+// backoff base but a server-priced Retry-After (≥100ms by construction,
+// see retryAfterHint), two retries must take at least 200ms — the bare
+// exponential schedule alone would finish in single-digit milliseconds.
+func TestRetryAfterFloorsBackoff(t *testing.T) {
+	s := server.New(server.Options{Workers: 1, Faults: flakySheds(1 << 30)})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	c := client.New(ts.URL, client.WithRetries(2),
+		client.WithBackoff(time.Millisecond, 5*time.Second),
+		client.WithRand(rand.NewSource(7)))
+	start := time.Now()
+	_, err := c.Simulate(context.Background(), server.SimulateRequest{
+		Pattern: trace.Pattern{Name: "strided", Stride: 3, N: 512},
+	})
+	took := time.Since(start)
+	var ce *client.Error
+	if !errors.As(err, &ce) || ce.Code != server.CodeOverloaded {
+		t.Fatalf("err = %v, want typed overloaded error", err)
+	}
+	if ce.RetryAfter < 100*time.Millisecond {
+		t.Fatalf("shed envelope RetryAfter = %v, want ≥ 100ms from the server's pricing", ce.RetryAfter)
+	}
+	if took < 200*time.Millisecond {
+		t.Errorf("two floored retries took %v, want ≥ 200ms (hint not honored as floor)", took)
+	}
+}
+
+// TestReadyzProbe checks the probe distinguishes ready, draining, and
+// gone backends.
+func TestReadyzProbe(t *testing.T) {
+	s := server.New(server.Options{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	c := client.New(ts.URL)
+	rz, err := c.Readyz(context.Background())
+	if err != nil || rz == nil || rz.Draining {
+		t.Fatalf("readyz on live server = %+v, %v; want ready", rz, err)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	rz, err = c.Readyz(context.Background())
+	if err == nil {
+		t.Fatal("readyz on draining server returned nil error")
+	}
+	if rz == nil || !rz.Draining {
+		t.Fatalf("readyz on draining server = %+v, want draining body alongside the error", rz)
+	}
+	ts.Close()
+	if _, err := c.Readyz(context.Background()); err == nil {
+		t.Fatal("readyz on dead server returned nil error")
 	}
 }

@@ -1,0 +1,476 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"primecache/internal/cache"
+	"primecache/internal/client"
+	"primecache/internal/server"
+	"primecache/internal/trace"
+)
+
+// sweep64 builds the acceptance batch: 64 distinct jobs across five
+// cache organisations, varied strides and sizes, plus a band of model
+// evaluations — every memo key unique so results carry no
+// timing-dependent memoized flags.
+func sweep64() server.SweepRequest {
+	specs := []cache.Spec{
+		{Kind: "prime", C: 13},
+		{Kind: "direct", Lines: 8192},
+		{Kind: "assoc", Lines: 8192, Ways: 4},
+		{Kind: "skewed", Lines: 8192},
+		{Kind: "victim", Lines: 8192},
+	}
+	var req server.SweepRequest
+	for i := 0; i < 56; i++ {
+		req.Jobs = append(req.Jobs, server.SweepJob{Simulate: &server.SimulateRequest{
+			Cache:   specs[i%len(specs)],
+			Pattern: trace.Pattern{Name: "strided", Stride: int64(3 + 2*i), N: 256 + 8*i, Stream: 1},
+			Passes:  1 + i%3,
+		}})
+	}
+	for i := 0; i < 8; i++ {
+		req.Jobs = append(req.Jobs, server.SweepJob{Model: &server.ModelRequest{B: 512 << uint(i%4), Tm: 16 + 8*i}})
+	}
+	return req
+}
+
+// postSweep sends the batch raw and returns the response body bytes.
+func postSweep(t *testing.T, url string, req server.SweepRequest) []byte {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/sweep: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, data)
+	}
+	return data
+}
+
+// TestClusterSweepMatchesSingleNode is the headline acceptance check: a
+// 64-job sweep through a 3-node cluster must return a byte-identical
+// response body — same job stats, same ordering, same wire format — as
+// the same sweep against one standalone vcached.
+func TestClusterSweepMatchesSingleNode(t *testing.T) {
+	single := server.New(server.Options{})
+	defer single.Close()
+	sts := httptest.NewServer(single.Handler())
+	defer sts.Close()
+
+	lc, err := StartLocal(3, server.Options{}, Options{ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	req := sweep64()
+	want := postSweep(t, sts.URL, req)
+	got := postSweep(t, lc.URL(), req)
+	if !bytes.Equal(want, got) {
+		// Pinpoint the first divergence for the failure message.
+		var w, g struct {
+			Results []server.SweepResult `json:"results"`
+		}
+		if err := json.Unmarshal(want, &w); err != nil {
+			t.Fatalf("single-node response undecodable: %v", err)
+		}
+		if err := json.Unmarshal(got, &g); err != nil {
+			t.Fatalf("cluster response undecodable: %v\n%s", err, got)
+		}
+		if len(w.Results) != len(g.Results) {
+			t.Fatalf("result counts differ: single %d, cluster %d", len(w.Results), len(g.Results))
+		}
+		for i := range w.Results {
+			wj, _ := json.Marshal(w.Results[i])
+			gj, _ := json.Marshal(g.Results[i])
+			if !bytes.Equal(wj, gj) {
+				t.Fatalf("job %d differs:\nsingle:  %s\ncluster: %s", i, wj, gj)
+			}
+		}
+		t.Fatal("bodies differ only in framing — merge did not preserve single-node byte layout")
+	}
+	// Ordering is implied by byte equality, but assert it explicitly.
+	var out struct {
+		Results []server.SweepResult `json:"results"`
+	}
+	if err := json.Unmarshal(got, &out); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range out.Results {
+		if r.Index != i {
+			t.Fatalf("result %d carries index %d; merge broke ordering", i, r.Index)
+		}
+		if r.Error != "" {
+			t.Fatalf("job %d failed: %s (%s)", i, r.Error, r.ErrorCode)
+		}
+	}
+	// The batch must actually have scattered: more than one backend saw
+	// requests.
+	busy := 0
+	for _, b := range lc.Backends {
+		if lc.Coordinator.backends[b.URL()].requests.Value() > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Errorf("sweep touched %d backends, want scatter across ≥ 2", busy)
+	}
+}
+
+// TestClusterFailoverMidSweep kills one backend while a 64-job sweep is
+// in flight: every job must still succeed, rerouted to the dead
+// backend's ring replica.
+func TestClusterFailoverMidSweep(t *testing.T) {
+	// Each compute carries a 10ms injected latency so the sweep is
+	// reliably still running when the kill lands.
+	node := server.Options{
+		Workers: 2,
+		Faults: func(stage string, _ uint64) server.Fault {
+			if stage == "compute" {
+				return server.Fault{Latency: 10 * time.Millisecond}
+			}
+			return server.Fault{}
+		},
+	}
+	lc, err := StartLocal(3, node, Options{ProbeInterval: -1, HedgeAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	req := sweep64()
+	done := make(chan []byte, 1)
+	go func() {
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(lc.URL()+"/v1/sweep", "application/json", bytes.NewReader(body))
+		if err != nil {
+			done <- nil
+			return
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		done <- data
+	}()
+
+	time.Sleep(30 * time.Millisecond)
+	lc.Kill(1)
+
+	data := <-done
+	if data == nil {
+		t.Fatal("sweep transport failed")
+	}
+	var out struct {
+		Results []server.SweepResult `json:"results"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("decoding sweep response: %v\n%s", err, data)
+	}
+	if len(out.Results) != len(req.Jobs) {
+		t.Fatalf("got %d results for %d jobs", len(out.Results), len(req.Jobs))
+	}
+	for i, r := range out.Results {
+		if r.Index != i {
+			t.Fatalf("result %d carries index %d", i, r.Index)
+		}
+		if r.Error != "" {
+			t.Fatalf("job %d failed after failover: %s (%s)", i, r.Error, r.ErrorCode)
+		}
+		if r.Simulate == nil && r.Model == nil {
+			t.Fatalf("job %d delivered empty result", i)
+		}
+	}
+	if lc.Coordinator.backends[lc.Backends[1].URL()].requests.Value() == 0 {
+		t.Log("killed backend saw no traffic before dying; kill may have landed before scatter")
+	}
+}
+
+// keyOnBackend builds a simulate request whose ring primary is the
+// given backend URL.
+func keyOnBackend(t *testing.T, r *Ring, url string) server.SimulateRequest {
+	t.Helper()
+	for n := 0; n < 10000; n++ {
+		req := server.SimulateRequest{
+			Cache:   cache.Spec{Kind: "prime", C: 13},
+			Pattern: trace.Pattern{Name: "strided", Stride: 3, N: 128 + n, Stream: 1},
+		}
+		if r.Primary(server.SweepJob{Simulate: &req}.Key()) == url {
+			return req
+		}
+	}
+	t.Fatal("no key found for backend; ring distribution broken")
+	return server.SimulateRequest{}
+}
+
+// TestClusterRoutingMemoLocality checks shard stickiness: the same job
+// key lands on the same backend, so the repeat is a memo hit, and
+// exactly one backend ever sees the key.
+func TestClusterRoutingMemoLocality(t *testing.T) {
+	lc, err := StartLocal(3, server.Options{}, Options{ProbeInterval: -1, HedgeAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	c := client.New(lc.URL(), client.WithRetries(0))
+	req := server.SimulateRequest{Pattern: trace.Pattern{Name: "strided", Stride: 7, N: 2048}}
+	first, err := c.Simulate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Memoized {
+		t.Error("first request reported memoized")
+	}
+	second, err := c.Simulate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Memoized {
+		t.Error("repeat of identical job not memoized — routing is not key-sticky")
+	}
+	touched := 0
+	for _, b := range lc.Backends {
+		if lc.Coordinator.backends[b.URL()].requests.Value() > 0 {
+			touched++
+		}
+	}
+	if touched != 1 {
+		t.Errorf("identical job touched %d backends, want 1", touched)
+	}
+}
+
+// TestClusterSingleJobFailover kills a job's primary and checks the
+// coordinator reroutes the /v1/simulate to the next ring replica.
+func TestClusterSingleJobFailover(t *testing.T) {
+	lc, err := StartLocal(3, server.Options{}, Options{ProbeInterval: -1, HedgeAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	victim := lc.Backends[0].URL()
+	req := keyOnBackend(t, lc.Coordinator.ring, victim)
+	lc.Kill(0)
+
+	c := client.New(lc.URL(), client.WithRetries(0))
+	res, err := c.Simulate(context.Background(), req)
+	if err != nil {
+		t.Fatalf("simulate with dead primary: %v", err)
+	}
+	if res.Stats.Accesses == 0 {
+		t.Error("empty stats from failover result")
+	}
+	if lc.Coordinator.reroutes.Value() == 0 {
+		t.Error("failover left the reroute counter at zero")
+	}
+	if lc.Coordinator.health.healthy(victim) {
+		t.Error("dead backend still marked healthy after passive failure")
+	}
+}
+
+// TestClusterDrainingBackendRoutedAround checks the readiness
+// integration: once a backend starts draining, one health-check round
+// marks it out and later traffic avoids it entirely.
+func TestClusterDrainingBackendRoutedAround(t *testing.T) {
+	lc, err := StartLocal(3, server.Options{}, Options{ProbeInterval: -1, HedgeAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	if err := lc.Backends[0].Server.Shutdown(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	lc.Coordinator.CheckHealth(context.Background())
+
+	hs := lc.Coordinator.health.snapshot()[lc.Backends[0].URL()]
+	if hs.Healthy || !hs.Draining {
+		t.Fatalf("draining backend state = %+v, want unhealthy+draining", hs)
+	}
+
+	got := postSweep(t, lc.URL(), sweep64())
+	var out struct {
+		Results []server.SweepResult `json:"results"`
+	}
+	if err := json.Unmarshal(got, &out); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range out.Results {
+		if r.Error != "" {
+			t.Fatalf("job %d failed against draining cluster: %s", i, r.Error)
+		}
+	}
+	if n := lc.Coordinator.backends[lc.Backends[0].URL()].requests.Value(); n != 0 {
+		t.Errorf("draining backend received %d requests, want 0", n)
+	}
+}
+
+// TestClusterHedging gives one backend a 400ms compute stall and checks
+// a request whose primary it is gets hedged to the replica well before
+// the stall resolves.
+func TestClusterHedging(t *testing.T) {
+	slow := server.New(server.Options{
+		Workers: 1,
+		Faults: func(stage string, _ uint64) server.Fault {
+			if stage == "compute" {
+				return server.Fault{Latency: 400 * time.Millisecond}
+			}
+			return server.Fault{}
+		},
+	})
+	defer slow.Close()
+	fast := server.New(server.Options{})
+	defer fast.Close()
+	slowTS := httptest.NewServer(slow.Handler())
+	defer slowTS.Close()
+	fastTS := httptest.NewServer(fast.Handler())
+	defer fastTS.Close()
+
+	coord, err := New(Options{
+		Backends:      []string{slowTS.URL, fastTS.URL},
+		ProbeInterval: -1,
+		HedgeAfter:    20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	cts := httptest.NewServer(coord.Handler())
+	defer cts.Close()
+
+	req := keyOnBackend(t, coord.ring, slowTS.URL)
+	c := client.New(cts.URL, client.WithRetries(0))
+	start := time.Now()
+	res, err := c.Simulate(context.Background(), req)
+	took := time.Since(start)
+	if err != nil {
+		t.Fatalf("hedged simulate: %v", err)
+	}
+	if res.Stats.Accesses == 0 {
+		t.Error("empty stats from hedged result")
+	}
+	if took >= 350*time.Millisecond {
+		t.Errorf("hedged request took %v, want well under the 400ms stall", took)
+	}
+	if coord.hedges.Value() == 0 {
+		t.Error("hedge counter is zero; the replica was never fired")
+	}
+}
+
+// TestCoordinatorAdmissionValve checks the coordinator's own overload
+// valve: with one slot and a slow backend, a concurrent second request
+// is shed with the overloaded envelope and the shed shows in stats.
+func TestCoordinatorAdmissionValve(t *testing.T) {
+	node := server.Options{
+		Workers: 1,
+		Faults: func(stage string, _ uint64) server.Fault {
+			if stage == "compute" {
+				return server.Fault{Latency: 300 * time.Millisecond}
+			}
+			return server.Fault{}
+		},
+	}
+	lc, err := StartLocal(2, node, Options{ProbeInterval: -1, HedgeAfter: -1, MaxInflight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	c := client.New(lc.URL(), client.WithRetries(0))
+	first := make(chan error, 1)
+	go func() {
+		_, err := c.Simulate(context.Background(), server.SimulateRequest{
+			Pattern: trace.Pattern{Name: "strided", Stride: 3, N: 512},
+		})
+		first <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the first request occupy the slot
+	_, err = c.Simulate(context.Background(), server.SimulateRequest{
+		Pattern: trace.Pattern{Name: "strided", Stride: 5, N: 512},
+	})
+	var ce *client.Error
+	if !errors.As(err, &ce) || ce.Code != server.CodeOverloaded {
+		t.Fatalf("second request err = %v, want coordinator overloaded", err)
+	}
+	if err := <-first; err != nil {
+		t.Fatalf("first request failed: %v", err)
+	}
+
+	resp, err := http.Get(lc.URL() + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Admission.Shed == 0 {
+		t.Error("stats report zero sheds")
+	}
+	if stats.Admission.Capacity != 1 {
+		t.Errorf("stats capacity = %d, want 1", stats.Admission.Capacity)
+	}
+	if stats.Cluster.Backends != 2 || stats.Cluster.RingModulus != RingModulus {
+		t.Errorf("cluster stats malformed: %+v", stats.Cluster)
+	}
+}
+
+// TestClusterReadyz checks the coordinator's own readiness: ready while
+// any backend is healthy, 503 once all are gone.
+func TestClusterReadyz(t *testing.T) {
+	lc, err := StartLocal(2, server.Options{}, Options{ProbeInterval: -1, HedgeAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	get := func() int {
+		resp, err := http.Get(lc.URL() + "/v1/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get(); code != http.StatusOK {
+		t.Fatalf("readyz with healthy backends = %d", code)
+	}
+	lc.Kill(0)
+	lc.Kill(1)
+	lc.Coordinator.CheckHealth(context.Background())
+	if code := get(); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with all backends dead = %d, want 503", code)
+	}
+	// A compute request against the dead cluster gets the typed
+	// upstream_unavailable envelope (replicas are tried as a last
+	// resort, then reported unreachable).
+	c := client.New(lc.URL(), client.WithRetries(0))
+	_, err = c.Simulate(context.Background(), server.SimulateRequest{
+		Pattern: trace.Pattern{Name: "strided", Stride: 3, N: 256},
+	})
+	var ce *client.Error
+	if !errors.As(err, &ce) || ce.Code != server.CodeUnavailable {
+		t.Fatalf("dead-cluster err = %v, want upstream_unavailable", err)
+	}
+	if !ce.Temporary() {
+		t.Error("upstream_unavailable not classified Temporary")
+	}
+}

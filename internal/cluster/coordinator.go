@@ -1,0 +1,569 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"primecache/internal/client"
+	"primecache/internal/server"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Backends are the vcached base URLs behind the coordinator.
+	Backends []string
+	// VirtualNodes is the per-backend ring point count; <= 0 selects
+	// DefaultVirtualNodes.
+	VirtualNodes int
+	// Replicas is how many distinct backends a job may be tried on
+	// (primary plus failovers); <= 0 selects 2, values beyond the
+	// backend count are clamped.
+	Replicas int
+	// ProbeInterval is the active health-check period; 0 selects 2s,
+	// < 0 disables the background loop (CheckNow still works).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one readiness probe; 0 selects 1s.
+	ProbeTimeout time.Duration
+	// HedgeAfter is the floor on the hedge delay for single-job calls:
+	// when the primary has not answered after max(HedgeAfter, its
+	// observed HedgeQuantile latency), the request is also fired at the
+	// next replica and the first success wins. 0 selects 50ms, < 0
+	// disables hedging.
+	HedgeAfter time.Duration
+	// HedgeQuantile is the per-backend latency quantile priced into the
+	// hedge delay; 0 selects 0.95.
+	HedgeQuantile float64
+	// MaxInflight caps concurrently admitted requests at the
+	// coordinator — its own admission valve, in front of the backends'.
+	// 0 selects 256; < 0 disables the valve.
+	MaxInflight int
+	// RequestTimeout bounds one proxied request end to end, including
+	// failover attempts; 0 selects 2 minutes, < 0 disables.
+	RequestTimeout time.Duration
+	// ClientOptions apply to every backend client. The coordinator owns
+	// retry policy (failover across replicas), so per-backend clients
+	// default to zero retries.
+	ClientOptions []client.Option
+}
+
+func (o Options) withDefaults() Options {
+	if o.Replicas <= 0 {
+		o.Replicas = 2
+	}
+	if o.Replicas > len(o.Backends) {
+		o.Replicas = len(o.Backends)
+	}
+	if o.ProbeInterval == 0 {
+		o.ProbeInterval = 2 * time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = time.Second
+	}
+	if o.HedgeAfter == 0 {
+		o.HedgeAfter = 50 * time.Millisecond
+	}
+	if o.HedgeQuantile <= 0 || o.HedgeQuantile >= 1 {
+		o.HedgeQuantile = 0.95
+	}
+	if o.MaxInflight == 0 {
+		o.MaxInflight = 256
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 2 * time.Minute
+	}
+	return o
+}
+
+// backendState is one backend as the coordinator sees it: its client
+// plus the gauges /v1/stats reports.
+type backendState struct {
+	url      string
+	client   *client.Client
+	requests server.Counter
+	failures server.Counter
+	inflight server.Gauge
+	latency  server.Histogram
+}
+
+// Coordinator fronts a set of vcached backends: it routes /v1/simulate
+// and /v1/model by canonical job key over a consistent-hash ring,
+// scatters /v1/sweep batches across healthy backends and gathers the
+// results back in input order, and fails jobs over to the next ring
+// replica when a backend dies, drains, or sheds.
+type Coordinator struct {
+	opts     Options
+	ring     *Ring
+	backends map[string]*backendState
+	health   *health
+	mux      *http.ServeMux
+
+	// Admission valve: nil when disabled.
+	slots chan struct{}
+	shed  server.Counter
+
+	hedges   server.Counter
+	reroutes server.Counter
+	requests server.Counter
+}
+
+// New builds a Coordinator over opts.Backends and runs one synchronous
+// round of health checks before returning, so the first request already
+// routes around a dead backend. Stop with Close.
+func New(opts Options) (*Coordinator, error) {
+	opts = opts.withDefaults()
+	ring, err := NewRing(opts.Backends, opts.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		opts:     opts,
+		ring:     ring,
+		backends: make(map[string]*backendState, len(opts.Backends)),
+		mux:      http.NewServeMux(),
+	}
+	for _, u := range opts.Backends {
+		copts := append([]client.Option{client.WithRetries(0)}, opts.ClientOptions...)
+		c.backends[u] = &backendState{url: u, client: client.New(u, copts...)}
+	}
+	if opts.MaxInflight > 0 {
+		c.slots = make(chan struct{}, opts.MaxInflight)
+	}
+	c.health = newHealth(opts.Backends, c.probeBackend, opts.ProbeInterval, opts.ProbeTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), opts.ProbeTimeout+time.Second)
+	c.health.CheckNow(ctx)
+	cancel()
+	c.health.start()
+
+	c.mux.HandleFunc("POST /v1/simulate", c.handleSimulate)
+	c.mux.HandleFunc("POST /v1/model", c.handleModel)
+	c.mux.HandleFunc("POST /v1/sweep", c.handleSweep)
+	c.mux.HandleFunc("GET /v1/healthz", c.handleHealthz)
+	c.mux.HandleFunc("GET /v1/readyz", c.handleReadyz)
+	c.mux.HandleFunc("GET /v1/stats", c.handleStats)
+	return c, nil
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Ring returns the routing ring (read-only).
+func (c *Coordinator) Ring() *Ring { return c.ring }
+
+// CheckHealth runs one synchronous round of readiness probes.
+func (c *Coordinator) CheckHealth(ctx context.Context) { c.health.CheckNow(ctx) }
+
+// Close stops the health checker.
+func (c *Coordinator) Close() { c.health.close() }
+
+// probeBackend is the active health check: one readyz round trip.
+func (c *Coordinator) probeBackend(ctx context.Context, backend string) (ready, draining bool) {
+	b := c.backends[backend]
+	rz, err := b.client.Readyz(ctx)
+	if err != nil {
+		return false, rz != nil && rz.Draining
+	}
+	return true, false
+}
+
+// admit claims a coordinator admission slot; on overload it writes the
+// 429 envelope and returns false.
+func (c *Coordinator) admit(w http.ResponseWriter) (release func(), ok bool) {
+	c.requests.Inc()
+	if c.slots == nil {
+		return func() {}, true
+	}
+	select {
+	case c.slots <- struct{}{}:
+		return func() { <-c.slots }, true
+	default:
+		c.shed.Inc()
+		ae := server.Errf(server.CodeOverloaded, "cluster: coordinator at capacity (%d in flight)", cap(c.slots))
+		ae.RetryAfterMs = 250
+		writeErr(w, ae)
+		return nil, false
+	}
+}
+
+// pressure returns coordinator admission occupancy in [0, 1].
+func (c *Coordinator) pressure() float64 {
+	if c.slots == nil {
+		return 0
+	}
+	return float64(len(c.slots)) / float64(cap(c.slots))
+}
+
+// requestCtx applies the coordinator's end-to-end timeout.
+func (c *Coordinator) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if c.opts.RequestTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), c.opts.RequestTimeout)
+}
+
+// candidates returns the backends to try for key, in order: the ring's
+// replica sequence with excluded members removed and healthy backends
+// first. Unhealthy replicas stay at the tail as a last resort — when
+// every replica looks down, trying one anyway is how the cluster
+// recovers before the next probe.
+func (c *Coordinator) candidates(key string, excluded map[string]bool) []*backendState {
+	urls := c.ring.Replicas(key, c.opts.Replicas)
+	var healthy, down []*backendState
+	for _, u := range urls {
+		if excluded[u] {
+			continue
+		}
+		if c.health.healthy(u) {
+			healthy = append(healthy, c.backends[u])
+		} else {
+			down = append(down, c.backends[u])
+		}
+	}
+	return append(healthy, down...)
+}
+
+// retryable reports whether err could succeed on another replica:
+// typed temporary API errors and transport failures can; validation
+// errors and the caller's own context ending cannot.
+func retryable(err error) bool {
+	var ce *client.Error
+	if errors.As(err, &ce) {
+		return ce.Temporary()
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true // transport-level failure
+}
+
+// noteFailure updates passive health from one failed call.
+func (c *Coordinator) noteFailure(b *backendState, err error) {
+	var ce *client.Error
+	if errors.As(err, &ce) {
+		if ce.Code == server.CodeShuttingDown {
+			c.health.reportDraining(b.url)
+		}
+		return // an API answer means the backend is alive
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return
+	}
+	c.health.reportFailure(b.url)
+}
+
+// hedgeDelay prices the hedge trigger for b: its observed HedgeQuantile
+// latency once enough samples exist, floored by HedgeAfter and capped
+// at 2s. Zero means hedging is off.
+func (c *Coordinator) hedgeDelay(b *backendState) time.Duration {
+	if c.opts.HedgeAfter < 0 {
+		return 0
+	}
+	d := c.opts.HedgeAfter
+	snap := b.latency.Snapshot()
+	if snap.Count >= 16 {
+		if q := time.Duration(snap.QuantileUs(c.opts.HedgeQuantile)) * time.Microsecond; q > d {
+			d = q
+		}
+	}
+	if max := 2 * time.Second; d > max {
+		d = max
+	}
+	return d
+}
+
+// callBackend runs one client call against b with the per-backend
+// bookkeeping every path shares.
+func (c *Coordinator) callBackend(b *backendState, fn func() error) error {
+	b.requests.Inc()
+	b.inflight.Inc()
+	start := time.Now()
+	err := fn()
+	b.latency.Observe(time.Since(start))
+	b.inflight.Dec()
+	if err != nil {
+		b.failures.Inc()
+	}
+	return err
+}
+
+// runSingle executes one simulate/model job: try the key's replicas in
+// ring order, hedging the primary after its latency quantile and
+// failing over on any retryable error. The first success wins; losers
+// are cancelled.
+func (c *Coordinator) runSingle(ctx context.Context, key string, do func(ctx context.Context, cl *client.Client) (any, error)) (any, error) {
+	cands := c.candidates(key, nil)
+	if len(cands) == 0 {
+		return nil, server.Errf(server.CodeUnavailable, "cluster: no backend available for job")
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type attempt struct {
+		v   any
+		err error
+		b   *backendState
+	}
+	results := make(chan attempt, len(cands))
+	launched := 0
+	launch := func() {
+		b := cands[launched]
+		launched++
+		go func() {
+			var v any
+			err := c.callBackend(b, func() error {
+				var err error
+				v, err = do(actx, b.client)
+				return err
+			})
+			results <- attempt{v: v, err: err, b: b}
+		}()
+	}
+	launch()
+
+	var hedgeC <-chan time.Time
+	if d := c.hedgeDelay(cands[0]); d > 0 && len(cands) > 1 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	pending := 1
+	var lastErr error
+	for {
+		select {
+		case a := <-results:
+			pending--
+			if a.err == nil {
+				return a.v, nil
+			}
+			lastErr = a.err
+			c.noteFailure(a.b, a.err)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if !retryable(a.err) {
+				return nil, a.err
+			}
+			if launched < len(cands) {
+				c.reroutes.Inc()
+				launch()
+				pending++
+			}
+			if pending == 0 {
+				return nil, unavailableErr(lastErr)
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if launched < len(cands) {
+				c.hedges.Inc()
+				launch()
+				pending++
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// unavailableErr wraps the last per-replica error once every replica
+// has failed.
+func unavailableErr(last error) *server.APIError {
+	msg := "no replica could serve the job"
+	var ce *client.Error
+	if errors.As(last, &ce) {
+		msg = fmt.Sprintf("every replica failed, last: %s: %s", ce.Code, ce.Message)
+	} else if last != nil {
+		msg = "every replica failed, last: " + last.Error()
+	}
+	return server.Errf(server.CodeUnavailable, "cluster: %s", msg)
+}
+
+// apiErrorFrom maps any proxied-call error to the envelope the
+// coordinator's own client-facing response carries.
+func apiErrorFrom(err error) *server.APIError {
+	var ae *server.APIError
+	if errors.As(err, &ae) {
+		return ae
+	}
+	var ce *client.Error
+	if errors.As(err, &ce) {
+		out := server.Errf(ce.Code, "%s", ce.Message)
+		out.RetryAfterMs = ce.RetryAfter.Milliseconds()
+		return out
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return server.Errf(server.CodeTimeout, "request timed out")
+	case errors.Is(err, context.Canceled):
+		return server.Errf(server.CodeCancelled, "request cancelled")
+	default:
+		return server.Errf(server.CodeUnavailable, "cluster: %v", err)
+	}
+}
+
+// writeJSON and writeErr mirror the server's response formatting so a
+// coordinator answers byte-compatibly with a single node.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	ae := apiErrorFrom(err)
+	if ae.RetryAfterMs > 0 {
+		secs := (ae.RetryAfterMs + 999) / 1000
+		w.Header().Set("Retry-After", fmt.Sprint(secs))
+	}
+	writeJSON(w, ae.Code.HTTPStatus(), server.ErrorEnvelope{Error: ae})
+}
+
+// decodeJSON strictly decodes a request body, like the server does.
+func decodeJSON(r *http.Request, dst any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return server.Errf(server.CodeInvalidRequest, "decoding request: %v", err)
+	}
+	if dec.More() {
+		return server.Errf(server.CodeInvalidRequest, "trailing data after JSON body")
+	}
+	return nil
+}
+
+func (c *Coordinator) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req server.SimulateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	release, ok := c.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := c.requestCtx(r)
+	defer cancel()
+	key := server.SweepJob{Simulate: &req}.Key()
+	v, err := c.runSingle(ctx, key, func(ctx context.Context, cl *client.Client) (any, error) {
+		return cl.Simulate(ctx, req)
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v.(*client.SimulateResult))
+}
+
+func (c *Coordinator) handleModel(w http.ResponseWriter, r *http.Request) {
+	var req server.ModelRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	release, ok := c.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := c.requestCtx(r)
+	defer cancel()
+	key := server.SweepJob{Model: &req}.Key()
+	v, err := c.runSingle(ctx, key, func(ctx context.Context, cl *client.Client) (any, error) {
+		return cl.Model(ctx, req)
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v.(*client.ModelResult))
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz: the coordinator is ready while at least one backend is.
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if c.health.healthyCount() == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, server.ReadyzResponse{Status: "no healthy backends"})
+		return
+	}
+	writeJSON(w, http.StatusOK, server.ReadyzResponse{Status: "ok"})
+}
+
+// BackendStats is one backend's row in the coordinator's /v1/stats.
+type BackendStats struct {
+	URL string `json:"url"`
+	BackendHealth
+	Requests uint64 `json:"requests"`
+	Failures uint64 `json:"failures"`
+	Inflight int64  `json:"inflight"`
+	// P95Us is the observed 95th-percentile latency upper bound (µs) —
+	// the quantity hedge delays are priced from.
+	P95Us   int64                    `json:"p95Us"`
+	Latency server.HistogramSnapshot `json:"latency"`
+}
+
+// StatsResponse is the coordinator's /v1/stats body.
+type StatsResponse struct {
+	Cluster struct {
+		Backends     int   `json:"backends"`
+		Healthy      int   `json:"healthy"`
+		Replicas     int   `json:"replicas"`
+		RingPoints   int   `json:"ringPoints"`
+		RingModulus  int64 `json:"ringModulus"`
+		VirtualNodes int   `json:"virtualNodes"`
+	} `json:"cluster"`
+	// Admission is the coordinator's own valve, in front of the
+	// backends' per-node admission control.
+	Admission struct {
+		Capacity int     `json:"capacity"`
+		Queued   int     `json:"queued"`
+		Shed     uint64  `json:"shed"`
+		Pressure float64 `json:"pressure"`
+	} `json:"admission"`
+	Requests uint64         `json:"requests"`
+	Hedges   uint64         `json:"hedges"`
+	Reroutes uint64         `json:"reroutes"`
+	Backends []BackendStats `json:"backends"`
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, _ *http.Request) {
+	var resp StatsResponse
+	resp.Cluster.Backends = len(c.backends)
+	resp.Cluster.Healthy = c.health.healthyCount()
+	resp.Cluster.Replicas = c.opts.Replicas
+	resp.Cluster.RingPoints = c.ring.Points()
+	resp.Cluster.RingModulus = RingModulus
+	resp.Cluster.VirtualNodes = c.ring.VirtualNodes()
+	if c.slots != nil {
+		resp.Admission.Capacity = cap(c.slots)
+		resp.Admission.Queued = len(c.slots)
+	}
+	resp.Admission.Shed = c.shed.Value()
+	resp.Admission.Pressure = c.pressure()
+	resp.Requests = c.requests.Value()
+	resp.Hedges = c.hedges.Value()
+	resp.Reroutes = c.reroutes.Value()
+	hs := c.health.snapshot()
+	for _, u := range c.ring.Backends() {
+		b := c.backends[u]
+		snap := b.latency.Snapshot()
+		resp.Backends = append(resp.Backends, BackendStats{
+			URL:           u,
+			BackendHealth: hs[u],
+			Requests:      b.requests.Value(),
+			Failures:      b.failures.Value(),
+			Inflight:      b.inflight.Value(),
+			P95Us:         snap.QuantileUs(0.95),
+			Latency:       snap,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

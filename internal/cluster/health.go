@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// probeFunc checks one backend's readiness. ready means the backend can
+// take new work; draining means it answered but reported it is shutting
+// down (alive, not ready).
+type probeFunc func(ctx context.Context, backend string) (ready, draining bool)
+
+// BackendHealth is one backend's view in the checker, as surfaced by
+// the coordinator's /v1/stats.
+type BackendHealth struct {
+	// Healthy reports the backend is taking new work.
+	Healthy bool `json:"healthy"`
+	// Draining reports the last probe found the backend alive but
+	// shutting down.
+	Draining bool `json:"draining"`
+	// ConsecutiveFailures counts probe/request failures since the last
+	// success.
+	ConsecutiveFailures int `json:"consecutiveFailures"`
+	// Probes counts completed active probes.
+	Probes uint64 `json:"probes"`
+}
+
+// health tracks backend readiness two ways: actively (a periodic readyz
+// probe per backend) and passively (the coordinator reports transport
+// failures and draining responses as it sees them, so a backend that
+// dies mid-sweep is routed around immediately instead of after the next
+// probe tick). A backend recovers only through a successful probe.
+type health struct {
+	probe    probeFunc
+	interval time.Duration
+	timeout  time.Duration
+
+	mu    sync.Mutex
+	state map[string]*BackendHealth
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// newHealth builds the checker with every backend optimistically
+// healthy; callers normally run one synchronous CheckNow before
+// trusting the state. start() launches the background loop.
+func newHealth(backends []string, probe probeFunc, interval, timeout time.Duration) *health {
+	h := &health{
+		probe:    probe,
+		interval: interval,
+		timeout:  timeout,
+		state:    make(map[string]*BackendHealth, len(backends)),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, b := range backends {
+		h.state[b] = &BackendHealth{Healthy: true}
+	}
+	return h
+}
+
+// start launches the periodic probe loop; no-op when the interval is
+// not positive (tests drive CheckNow directly).
+func (h *health) start() {
+	if h.interval <= 0 {
+		close(h.done)
+		return
+	}
+	go func() {
+		defer close(h.done)
+		t := time.NewTicker(h.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				h.CheckNow(context.Background())
+			case <-h.stop:
+				return
+			}
+		}
+	}()
+}
+
+// close stops the background loop and waits for it to exit.
+func (h *health) close() {
+	select {
+	case <-h.stop:
+	default:
+		close(h.stop)
+	}
+	<-h.done
+}
+
+// CheckNow probes every backend once, in parallel, and waits for all
+// verdicts.
+func (h *health) CheckNow(ctx context.Context) {
+	h.mu.Lock()
+	backends := make([]string, 0, len(h.state))
+	for b := range h.state {
+		backends = append(backends, b)
+	}
+	h.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, b := range backends {
+		wg.Add(1)
+		go func(b string) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, h.timeout)
+			defer cancel()
+			ready, draining := h.probe(pctx, b)
+			h.record(b, ready, draining)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// record applies one probe verdict.
+func (h *health) record(backend string, ready, draining bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.state[backend]
+	if s == nil {
+		return
+	}
+	s.Probes++
+	s.Draining = draining
+	if ready {
+		s.Healthy = true
+		s.ConsecutiveFailures = 0
+	} else {
+		s.Healthy = false
+		s.ConsecutiveFailures++
+	}
+}
+
+// healthy reports whether backend should receive new work.
+func (h *health) healthy(backend string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.state[backend]
+	return s != nil && s.Healthy
+}
+
+// reportFailure is the passive path: the coordinator saw a transport
+// failure talking to backend, so stop routing to it now. Only a
+// successful probe brings it back.
+func (h *health) reportFailure(backend string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if s := h.state[backend]; s != nil {
+		s.Healthy = false
+		s.ConsecutiveFailures++
+	}
+}
+
+// reportDraining is the passive path for a shutting_down response: the
+// backend is alive but refusing new work.
+func (h *health) reportDraining(backend string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if s := h.state[backend]; s != nil {
+		s.Healthy = false
+		s.Draining = true
+	}
+}
+
+// snapshot copies the state for /v1/stats.
+func (h *health) snapshot() map[string]BackendHealth {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]BackendHealth, len(h.state))
+	for b, s := range h.state {
+		out[b] = *s
+	}
+	return out
+}
+
+// healthyCount returns how many backends are taking work.
+func (h *health) healthyCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, s := range h.state {
+		if s.Healthy {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"net/http/httptest"
+
+	"primecache/internal/server"
+)
+
+// LocalBackend is one in-process vcached node of a LocalCluster.
+type LocalBackend struct {
+	Server *server.Server
+	HTTP   *httptest.Server
+	killed bool
+}
+
+// URL returns the backend's base URL.
+func (b *LocalBackend) URL() string { return b.HTTP.URL }
+
+// LocalCluster is an in-process multi-node deployment on loopback: n
+// real vcached servers, each behind its own httptest listener, fronted
+// by a Coordinator that is itself served over HTTP. Tests and
+// benchmarks use it to exercise the full cluster path — real sockets,
+// real scatter-gather, real failover — inside one process.
+type LocalCluster struct {
+	Backends    []*LocalBackend
+	Coordinator *Coordinator
+	HTTP        *httptest.Server
+}
+
+// StartLocal spawns n backends with the given node options plus a
+// coordinator. copts.Backends is filled in; the other coordinator
+// options apply as given.
+func StartLocal(n int, node server.Options, copts Options) (*LocalCluster, error) {
+	lc := &LocalCluster{}
+	for i := 0; i < n; i++ {
+		srv := server.New(node)
+		ts := httptest.NewServer(srv.Handler())
+		lc.Backends = append(lc.Backends, &LocalBackend{Server: srv, HTTP: ts})
+		copts.Backends = append(copts.Backends, ts.URL)
+	}
+	coord, err := New(copts)
+	if err != nil {
+		lc.Close()
+		return nil, err
+	}
+	lc.Coordinator = coord
+	lc.HTTP = httptest.NewServer(coord.Handler())
+	return lc, nil
+}
+
+// URL returns the coordinator's base URL.
+func (lc *LocalCluster) URL() string { return lc.HTTP.URL }
+
+// Kill abruptly stops backend i: in-flight connections are severed and
+// the listener closes, like a crashed process. Idempotent.
+func (lc *LocalCluster) Kill(i int) {
+	b := lc.Backends[i]
+	if b.killed {
+		return
+	}
+	b.killed = true
+	b.HTTP.CloseClientConnections()
+	b.HTTP.Close()
+	b.Server.Close()
+}
+
+// Close tears the whole cluster down.
+func (lc *LocalCluster) Close() {
+	if lc.HTTP != nil {
+		lc.HTTP.Close()
+	}
+	if lc.Coordinator != nil {
+		lc.Coordinator.Close()
+	}
+	for i := range lc.Backends {
+		lc.Kill(i)
+	}
+}

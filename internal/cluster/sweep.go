@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"primecache/internal/server"
+)
+
+// routedJob is one sweep job with its global index and routing key.
+type routedJob struct {
+	idx int
+	job server.SweepJob
+	key string
+}
+
+// handleSweep scatters the batch across the ring and gathers results
+// back in input order, streaming each result as soon as it (and every
+// earlier one) is ready — the same wire shape, ordering, and flush
+// behaviour as a single node's /v1/sweep, so a client cannot tell a
+// cluster from one big backend by looking at the bytes.
+func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req server.SweepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeErr(w, server.Errf(server.CodeInvalidRequest, "server: sweep has no jobs"))
+		return
+	}
+	release, ok := c.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := c.requestCtx(r)
+	defer cancel()
+
+	jobs := make([]routedJob, len(req.Jobs))
+	slots := make([]chan server.SweepResult, len(req.Jobs))
+	for i, j := range req.Jobs {
+		jobs[i] = routedJob{idx: i, job: j, key: j.Key()}
+		slots[i] = make(chan server.SweepResult, 1)
+	}
+	deliver := func(res server.SweepResult) { slots[res.Index] <- res }
+	go c.scatter(ctx, jobs, nil, deliver)
+
+	w.Header().Set("Content-Type", "application/json")
+	flusher, _ := w.(http.Flusher)
+	if _, err := fmt.Fprint(w, "{\"results\":[\n"); err != nil {
+		return
+	}
+	enc := json.NewEncoder(w)
+	for i := range slots {
+		if i > 0 {
+			fmt.Fprint(w, ",\n")
+		}
+		if err := enc.Encode(<-slots[i]); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	fmt.Fprint(w, "]}\n")
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// scatter partitions jobs by each key's first viable replica (excluded
+// backends removed) and runs one sub-sweep per backend concurrently.
+// Failed groups recurse with the failed backend excluded, so a job is
+// tried on every replica before its slot is filled with an error
+// envelope; each job is delivered exactly once.
+func (c *Coordinator) scatter(ctx context.Context, jobs []routedJob, excluded map[string]bool, deliver func(server.SweepResult)) {
+	groups := make(map[*backendState][]routedJob)
+	for _, j := range jobs {
+		cands := c.candidates(j.key, excluded)
+		if len(cands) == 0 {
+			deliver(errorResult(j.idx, server.Errf(server.CodeUnavailable,
+				"cluster: no backend available for job (tried %d replicas)", len(excluded))))
+			continue
+		}
+		groups[cands[0]] = append(groups[cands[0]], j)
+	}
+	var wg sync.WaitGroup
+	for b, group := range groups {
+		wg.Add(1)
+		go func(b *backendState, group []routedJob) {
+			defer wg.Done()
+			c.subSweep(ctx, b, group, excluded, deliver)
+		}(b, group)
+	}
+	wg.Wait()
+}
+
+// subSweep runs one backend's share of the batch and routes per-job and
+// call-level failures onward.
+func (c *Coordinator) subSweep(ctx context.Context, b *backendState, group []routedJob, excluded map[string]bool, deliver func(server.SweepResult)) {
+	sub := server.SweepRequest{Jobs: make([]server.SweepJob, len(group))}
+	for i, j := range group {
+		sub.Jobs[i] = j.job
+	}
+	var results []server.SweepResult
+	err := c.callBackend(b, func() error {
+		var err error
+		results, err = b.client.Sweep(ctx, sub)
+		return err
+	})
+	if err != nil {
+		// The whole sub-sweep failed: the backend died mid-stream, shed
+		// the batch, or is draining. Retry every job on its next replica
+		// unless the error is permanent (or the caller is gone).
+		c.noteFailure(b, err)
+		if ctx.Err() == nil && retryable(err) {
+			c.reroutes.Add(uint64(len(group)))
+			c.scatter(ctx, group, exclude(excluded, b.url), deliver)
+			return
+		}
+		ae := apiErrorFrom(err)
+		for _, j := range group {
+			deliver(errorResult(j.idx, ae))
+		}
+		return
+	}
+	if len(results) != len(group) {
+		ae := server.Errf(server.CodeInternal, "cluster: backend %s returned %d results for %d jobs", b.url, len(results), len(group))
+		for _, j := range group {
+			deliver(errorResult(j.idx, ae))
+		}
+		return
+	}
+	// Per-job envelopes pass through untouched except for temporary
+	// codes, which get the same failover a call-level failure would.
+	var retry []routedJob
+	for i, res := range results {
+		if isTemporaryCode(res.ErrorCode) && ctx.Err() == nil {
+			retry = append(retry, group[i])
+			continue
+		}
+		res.Index = group[i].idx
+		deliver(res)
+	}
+	if len(retry) > 0 {
+		c.reroutes.Add(uint64(len(retry)))
+		c.scatter(ctx, retry, exclude(excluded, b.url), deliver)
+	}
+}
+
+// exclude copies m with backend added; scatter recursion terminates
+// because the exclusion set grows by one live backend per level.
+func exclude(m map[string]bool, backend string) map[string]bool {
+	out := make(map[string]bool, len(m)+1)
+	for k := range m {
+		out[k] = true
+	}
+	out[backend] = true
+	return out
+}
+
+// isTemporaryCode reports whether a per-job error code is worth a try
+// on another replica.
+func isTemporaryCode(code server.ErrorCode) bool {
+	switch code {
+	case server.CodeOverloaded, server.CodeShuttingDown, server.CodeUnavailable:
+		return true
+	}
+	return false
+}
+
+// errorResult fills one job's slot with an error envelope.
+func errorResult(idx int, ae *server.APIError) server.SweepResult {
+	return server.SweepResult{Index: idx, Error: ae.Message, ErrorCode: ae.Code}
+}

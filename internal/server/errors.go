@@ -32,6 +32,10 @@ const (
 	// CodeShuttingDown: the server is draining; retry against another
 	// replica or after the restart.
 	CodeShuttingDown ErrorCode = "shutting_down"
+	// CodeUnavailable: the coordinator could not reach any backend
+	// replica for the job (all down, draining, or shedding); retry once
+	// the cluster heals.
+	CodeUnavailable ErrorCode = "upstream_unavailable"
 	// CodeInternal: an unexpected server-side failure.
 	CodeInternal ErrorCode = "internal"
 )
@@ -55,6 +59,8 @@ func (c ErrorCode) HTTPStatus() int {
 		return statusCancelled
 	case CodeShuttingDown:
 		return http.StatusServiceUnavailable
+	case CodeUnavailable:
+		return http.StatusBadGateway
 	default:
 		return http.StatusInternalServerError
 	}

@@ -288,6 +288,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// ReadyzResponse is the /v1/readyz body: readiness, as opposed to the
+// pure liveness of /v1/healthz. A draining server is alive but not
+// ready — load balancers and the cluster health checker route away from
+// it while its in-flight work finishes.
+type ReadyzResponse struct {
+	Status   string `json:"status"`
+	Draining bool   `json:"draining"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, ReadyzResponse{Status: "draining", Draining: true})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReadyzResponse{Status: "ok"})
+}
+
 // StatsResponse is the /v1/stats body.
 type StatsResponse struct {
 	Memo struct {

@@ -78,6 +78,39 @@ type HistogramBucket struct {
 	Count   uint64 `json:"count"`
 }
 
+// QuantileUs returns an upper bound (in microseconds) on the q-quantile
+// of the observed latencies: the upper edge of the first bucket whose
+// cumulative count reaches q·total. The log-spaced buckets make this a
+// within-3.16× estimate — plenty for pricing hedge delays and retry
+// hints. Observations in the overflow bucket report the top edge times
+// its spacing factor; an empty histogram reports 0.
+func (s HistogramSnapshot) QuantileUs(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	need := uint64(q * float64(s.Count))
+	if need == 0 {
+		need = 1
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= need {
+			if b.UpperUs < 0 {
+				// Overflow bucket: everything above the last finite edge.
+				return histBuckets[len(histBuckets)-1] * 316 / 100
+			}
+			return b.UpperUs
+		}
+	}
+	return histBuckets[len(histBuckets)-1]
+}
+
 // Snapshot returns a consistent-enough copy for reporting (buckets are
 // read individually; concurrent observations may straddle the read).
 func (h *Histogram) Snapshot() HistogramSnapshot {

@@ -1,0 +1,111 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"primecache/internal/server"
+)
+
+// TestReadyzDrainingSplit checks the liveness/readiness contract: before
+// shutdown both probes answer 200; once Shutdown has run, /v1/healthz
+// (liveness) still answers 200 while /v1/readyz reports draining with a
+// 503, and compute endpoints refuse with the shutting_down envelope.
+func TestReadyzDrainingSplit(t *testing.T) {
+	srv := server.New(server.Options{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var buf [1024]byte
+		n, _ := resp.Body.Read(buf[:])
+		return resp.StatusCode, buf[:n]
+	}
+
+	if code, _ := get("/v1/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz before drain = %d, want 200", code)
+	}
+	code, body := get("/v1/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("readyz before drain = %d, want 200", code)
+	}
+	var rz server.ReadyzResponse
+	if err := json.Unmarshal(body, &rz); err != nil || rz.Draining || rz.Status != "ok" {
+		t.Fatalf("readyz body = %s (err %v), want status ok, draining false", body, err)
+	}
+	if srv.Draining() {
+		t.Fatal("Draining() true before shutdown")
+	}
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	if !srv.Draining() {
+		t.Fatal("Draining() false after shutdown")
+	}
+	if code, _ := get("/v1/healthz"); code != http.StatusOK {
+		t.Errorf("healthz during drain = %d, want 200 (liveness must survive drain)", code)
+	}
+	code, body = get("/v1/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("readyz during drain = %d, want 503", code)
+	}
+	if err := json.Unmarshal(body, &rz); err != nil || !rz.Draining || rz.Status != "draining" {
+		t.Errorf("readyz body = %s (err %v), want status draining, draining true", body, err)
+	}
+	code, body = get("/v1/stats")
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("stats during drain = %d, want 503", code)
+	}
+	var env server.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error == nil || env.Error.Code != server.CodeShuttingDown {
+		t.Errorf("stats drain envelope = %s, want shutting_down", body)
+	}
+}
+
+// TestBeginDrainBeforeShutdown checks the grace window cmd/vcached uses:
+// BeginDrain flips readiness (and compute admission) without touching
+// the listener, while in-flight work keeps running, and the later
+// Shutdown still drains cleanly.
+func TestBeginDrainBeforeShutdown(t *testing.T) {
+	srv := server.New(server.Options{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	srv.BeginDrain()
+	srv.BeginDrain() // idempotent
+
+	resp, err := http.Get(ts.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rz server.ReadyzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !rz.Draining {
+		t.Fatalf("readyz after BeginDrain = %d %+v, want 503 draining", resp.StatusCode, rz)
+	}
+	if resp, err = http.Get(ts.URL + "/v1/healthz"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after BeginDrain = %d, want 200", resp.StatusCode)
+	}
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown after BeginDrain: %v", err)
+	}
+}

@@ -118,7 +118,12 @@ func New(opts Options) *Server {
 	s.mux.Handle("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
 	s.mux.Handle("POST /v1/model", s.instrument("model", s.handleModel))
 	s.mux.Handle("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
-	s.mux.Handle("GET /v1/healthz", s.instrument("healthz", s.handleHealthz))
+	// Liveness and readiness stay answerable while the server drains:
+	// external load balancers and the cluster health checker poll them to
+	// decide when to stop routing, which only works if a draining server
+	// still says so instead of refusing the probe.
+	s.mux.Handle("GET /v1/healthz", s.instrumentLive("healthz", s.handleHealthz))
+	s.mux.Handle("GET /v1/readyz", s.instrumentLive("readyz", s.handleReadyz))
 	s.mux.Handle("GET /v1/stats", s.instrument("stats", s.handleStats))
 	s.httpSrv = &http.Server{Handler: s.mux}
 	return s
@@ -145,14 +150,25 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(l)
 }
 
+// BeginDrain flips the server to draining without touching the
+// listener: /v1/readyz starts answering 503 {"draining":true}, new
+// compute requests get the shutting_down envelope, and /v1/healthz
+// keeps reporting ok. Call it a readiness-probe interval or so before
+// Shutdown so load balancers and cluster coordinators observe the
+// transition while the listener still accepts connections (Shutdown
+// closes it immediately). Idempotent; Shutdown implies it.
+func (s *Server) BeginDrain() {
+	s.drainMu.Lock()
+	s.closing = true
+	s.drainMu.Unlock()
+}
+
 // Shutdown stops listening, waits (up to ctx) for in-flight requests to
 // complete, then stops the worker pool. In-flight sweeps drain: their
 // responses are written before the listener closes and before workers
 // exit. New requests arriving during the drain get a structured 503.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.drainMu.Lock()
-	s.closing = true
-	s.drainMu.Unlock()
+	s.BeginDrain()
 
 	err := s.httpSrv.Shutdown(ctx)
 
@@ -222,6 +238,14 @@ func (s *Server) degradeNow() bool {
 	return t > 0 && s.admit.pressure() >= t
 }
 
+// Draining reports whether Shutdown has begun: the server still answers
+// probes (and drains in-flight work) but admits no new compute.
+func (s *Server) Draining() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	return s.closing
+}
+
 // requestCtx applies the per-request compute timeout.
 func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
 	if s.opts.RequestTimeout <= 0 {
@@ -231,23 +255,37 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 }
 
 // instrument wraps a handler with request/error counters, an in-flight
-// gauge, and a latency histogram, all surfaced by /v1/stats.
+// gauge, and a latency histogram, all surfaced by /v1/stats. Once
+// shutdown begins the wrapped handler refuses with a structured 503.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
+	return s.wrap(name, h, false)
+}
+
+// instrumentLive is instrument for probe endpoints: the handler keeps
+// answering during the drain (it never joins the in-flight WaitGroup, so
+// a probe arriving after Shutdown started cannot race the drain wait).
+func (s *Server) instrumentLive(name string, h http.HandlerFunc) http.Handler {
+	return s.wrap(name, h, true)
+}
+
+func (s *Server) wrap(name string, h http.HandlerFunc, live bool) http.Handler {
 	requests := s.metrics.Counter("requests." + name)
 	errors := s.metrics.Counter("errors." + name)
 	latency := s.metrics.Histogram("latency." + name)
 	inflight := s.metrics.Gauge("inflight")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.drainMu.RLock()
-		if s.closing {
+		if !live {
+			s.drainMu.RLock()
+			if s.closing {
+				s.drainMu.RUnlock()
+				errors.Inc()
+				writeError(w, ErrPoolClosed)
+				return
+			}
+			s.inflight.Add(1)
 			s.drainMu.RUnlock()
-			errors.Inc()
-			writeError(w, ErrPoolClosed)
-			return
+			defer s.inflight.Done()
 		}
-		s.inflight.Add(1)
-		s.drainMu.RUnlock()
-		defer s.inflight.Done()
 
 		requests.Inc()
 		inflight.Inc()
