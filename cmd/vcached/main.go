@@ -68,13 +68,14 @@ func main() {
 		backends    = flag.String("backends", "", "comma-separated backend base URLs (coordinator mode)")
 		replicas    = flag.Int("replicas", 0, "distinct backends a job may be tried on, primary + failovers (0 = default 2)")
 		probeEvery  = flag.Duration("probe-interval", 0, "backend readiness-probe period (0 = default 2s, negative disables)")
+		probeLimit  = flag.Duration("probe-timeout", 0, "per-probe readiness timeout (0 = default 1s)")
 		hedgeAfter  = flag.Duration("hedge-after", 0, "floor on the hedge delay for single jobs (0 = default 50ms, negative disables hedging)")
 		maxInflight = flag.Int("coordinator-inflight", 0, "coordinator admission capacity (0 = default 256, negative = unbounded)")
 	)
 	flag.Parse()
 
 	if *coordinator {
-		runCoordinator(*addr, *backends, *replicas, *probeEvery, *hedgeAfter, *maxInflight, *drain)
+		runCoordinator(*addr, *backends, *replicas, *probeEvery, *probeLimit, *hedgeAfter, *maxInflight, *drain)
 		return
 	}
 
@@ -138,7 +139,7 @@ func main() {
 
 // runCoordinator is the -coordinator mode: serve the cluster
 // coordinator over the given backends until a signal arrives.
-func runCoordinator(addr, backendList string, replicas int, probeEvery, hedgeAfter time.Duration, maxInflight int, drain time.Duration) {
+func runCoordinator(addr, backendList string, replicas int, probeEvery, probeLimit, hedgeAfter time.Duration, maxInflight int, drain time.Duration) {
 	var urls []string
 	for _, b := range strings.Split(backendList, ",") {
 		if b = strings.TrimSpace(b); b != "" {
@@ -152,6 +153,7 @@ func runCoordinator(addr, backendList string, replicas int, probeEvery, hedgeAft
 		Backends:      urls,
 		Replicas:      replicas,
 		ProbeInterval: probeEvery,
+		ProbeTimeout:  probeLimit,
 		HedgeAfter:    hedgeAfter,
 		MaxInflight:   maxInflight,
 	})

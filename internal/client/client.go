@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"primecache/internal/server"
+	"primecache/internal/sim"
 )
 
 // Client talks to one vcached instance.
@@ -30,6 +31,7 @@ type Client struct {
 	retries int           // extra attempts after the first
 	backoff time.Duration // first retry delay, doubled per attempt
 	maxWait time.Duration // ceiling on any single delay
+	clock   sim.Clock     // backoff timer source; sim.Real in production
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -69,6 +71,13 @@ func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
 
+// WithClock injects the time source behind retry backoff waits, so
+// simulation tests advance the delays explicitly instead of waiting
+// them out on the wall clock.
+func WithClock(clk sim.Clock) Option {
+	return func(c *Client) { c.clock = sim.Or(clk) }
+}
+
 // New returns a client for the vcached instance at baseURL
 // (e.g. "http://localhost:8080").
 func New(baseURL string, opts ...Option) *Client {
@@ -78,6 +87,7 @@ func New(baseURL string, opts ...Option) *Client {
 		retries: 3,
 		backoff: 50 * time.Millisecond,
 		maxWait: 5 * time.Second,
+		clock:   sim.Real,
 	}
 	for _, o := range opts {
 		o(c)
@@ -174,6 +184,12 @@ func (c *Client) Healthz(ctx context.Context) error {
 // BaseURL returns the instance this client talks to.
 func (c *Client) BaseURL() string { return c.base }
 
+// Close releases the client's idle keep-alive connections. Long-lived
+// owners (the cluster coordinator, test suites with goroutine-leak
+// checking) call it when done with the backend; the client remains
+// usable afterwards, it just has to re-dial.
+func (c *Client) Close() { c.hc.CloseIdleConnections() }
+
 // Readyz probes readiness with a single round trip — no retries, the
 // whole point is to learn the instance's state right now. A decoded
 // body is returned whenever the server produced one, so callers can
@@ -241,7 +257,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		c.mu.Lock()
 		delay += time.Duration(c.rng.Int63n(int64(delay/2) + 1))
 		c.mu.Unlock()
-		t := time.NewTimer(delay)
+		t := c.clock.NewTimer(delay)
 		select {
 		case <-ctx.Done():
 			t.Stop()

@@ -1,0 +1,11 @@
+package client_test
+
+import (
+	"testing"
+
+	"primecache/internal/sim/leak"
+)
+
+// TestMain asserts the suite quiesces: no retry-backoff timer or
+// keep-alive connection loop may survive the tests.
+func TestMain(m *testing.M) { leak.Main(m) }

@@ -8,12 +8,14 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
 	"primecache/internal/cache"
 	"primecache/internal/client"
 	"primecache/internal/server"
+	"primecache/internal/sim"
 	"primecache/internal/trace"
 )
 
@@ -139,13 +141,19 @@ func TestClusterSweepMatchesSingleNode(t *testing.T) {
 // in flight: every job must still succeed, rerouted to the dead
 // backend's ring replica.
 func TestClusterFailoverMidSweep(t *testing.T) {
-	// Each compute carries a 10ms injected latency so the sweep is
-	// reliably still running when the kill lands.
+	// The fault hook doubles as a synchronization point: every compute
+	// announces itself, then blocks until the kill has landed. Once five
+	// computes are in flight, at least three nodes are busy (two workers
+	// each), so the victim is provably mid-sub-sweep when its
+	// connections are severed — no wall-clock guessing.
+	computing := make(chan struct{}, 256)
+	release := make(chan struct{})
 	node := server.Options{
 		Workers: 2,
 		Faults: func(stage string, _ uint64) server.Fault {
 			if stage == "compute" {
-				return server.Fault{Latency: 10 * time.Millisecond}
+				computing <- struct{}{}
+				<-release
 			}
 			return server.Fault{}
 		},
@@ -155,6 +163,10 @@ func TestClusterFailoverMidSweep(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer lc.Close()
+	// On any failure path, unblock the workers before lc.Close waits for
+	// them (runs before the Close defer).
+	releaseOnce := sync.OnceFunc(func() { close(release) })
+	defer releaseOnce()
 
 	req := sweep64()
 	done := make(chan []byte, 1)
@@ -170,8 +182,21 @@ func TestClusterFailoverMidSweep(t *testing.T) {
 		done <- data
 	}()
 
-	time.Sleep(30 * time.Millisecond)
-	lc.Kill(1)
+	for i := 0; i < 5; i++ {
+		select {
+		case <-computing:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("only %d computes started; sweep never spread across the cluster", i)
+		}
+	}
+	// Sever the victim's in-flight connections first (the sub-sweep on
+	// it must fail), then finish the kill in the background: closing the
+	// listener waits out handlers that are still blocked on release.
+	lc.Backends[1].HTTP.CloseClientConnections()
+	killed := make(chan struct{})
+	go func() { defer close(killed); lc.Kill(1) }()
+	defer func() { <-killed }()
+	releaseOnce()
 
 	data := <-done
 	if data == nil {
@@ -197,8 +222,10 @@ func TestClusterFailoverMidSweep(t *testing.T) {
 			t.Fatalf("job %d delivered empty result", i)
 		}
 	}
-	if lc.Coordinator.backends[lc.Backends[1].URL()].requests.Value() == 0 {
-		t.Log("killed backend saw no traffic before dying; kill may have landed before scatter")
+	// The victim was provably serving its sub-sweep when its connections
+	// were cut, so the coordinator must have re-scattered that group.
+	if lc.Coordinator.reroutes.Value() == 0 {
+		t.Error("coordinator reports zero reroutes after a mid-sweep kill")
 	}
 }
 
@@ -322,20 +349,25 @@ func TestClusterDrainingBackendRoutedAround(t *testing.T) {
 	}
 }
 
-// TestClusterHedging gives one backend a 400ms compute stall and checks
-// a request whose primary it is gets hedged to the replica well before
-// the stall resolves.
+// TestClusterHedging stalls one backend indefinitely and checks a
+// request whose primary it is gets hedged to the replica. The
+// coordinator runs on a virtual clock: the hedge fires because the test
+// advances time past the hedge delay, not because a wall-clock stall
+// resolves — the primary never answers at all.
 func TestClusterHedging(t *testing.T) {
+	release := make(chan struct{})
+	releaseOnce := sync.OnceFunc(func() { close(release) })
 	slow := server.New(server.Options{
 		Workers: 1,
 		Faults: func(stage string, _ uint64) server.Fault {
 			if stage == "compute" {
-				return server.Fault{Latency: 400 * time.Millisecond}
+				<-release
 			}
 			return server.Fault{}
 		},
 	})
 	defer slow.Close()
+	defer releaseOnce()
 	fast := server.New(server.Options{})
 	defer fast.Close()
 	slowTS := httptest.NewServer(slow.Handler())
@@ -343,10 +375,12 @@ func TestClusterHedging(t *testing.T) {
 	fastTS := httptest.NewServer(fast.Handler())
 	defer fastTS.Close()
 
+	vclk := sim.NewVirtual()
 	coord, err := New(Options{
 		Backends:      []string{slowTS.URL, fastTS.URL},
 		ProbeInterval: -1,
 		HedgeAfter:    20 * time.Millisecond,
+		Clock:         vclk,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -357,32 +391,51 @@ func TestClusterHedging(t *testing.T) {
 
 	req := keyOnBackend(t, coord.ring, slowTS.URL)
 	c := client.New(cts.URL, client.WithRetries(0))
-	start := time.Now()
-	res, err := c.Simulate(context.Background(), req)
-	took := time.Since(start)
-	if err != nil {
-		t.Fatalf("hedged simulate: %v", err)
+	type outcome struct {
+		res *client.SimulateResult
+		err error
 	}
-	if res.Stats.Accesses == 0 {
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := c.Simulate(context.Background(), req)
+		done <- outcome{res, err}
+	}()
+
+	// The hedge timer is the only virtual waiter (the prober is off):
+	// once it is armed the primary attempt is in flight and stalled, so
+	// advancing past the delay must fire the replica.
+	vclk.BlockUntil(1)
+	vclk.Advance(20 * time.Millisecond)
+
+	out := <-done
+	if out.err != nil {
+		t.Fatalf("hedged simulate: %v", out.err)
+	}
+	if out.res.Stats.Accesses == 0 {
 		t.Error("empty stats from hedged result")
-	}
-	if took >= 350*time.Millisecond {
-		t.Errorf("hedged request took %v, want well under the 400ms stall", took)
 	}
 	if coord.hedges.Value() == 0 {
 		t.Error("hedge counter is zero; the replica was never fired")
 	}
+	releaseOnce()
 }
 
 // TestCoordinatorAdmissionValve checks the coordinator's own overload
 // valve: with one slot and a slow backend, a concurrent second request
 // is shed with the overloaded envelope and the shed shows in stats.
 func TestCoordinatorAdmissionValve(t *testing.T) {
+	// The first request's compute blocks until released, so the
+	// coordinator's single admission slot is provably occupied — the
+	// compute-start signal happens after the coordinator admitted and
+	// proxied the request.
+	computing := make(chan struct{}, 4)
+	release := make(chan struct{})
 	node := server.Options{
 		Workers: 1,
 		Faults: func(stage string, _ uint64) server.Fault {
 			if stage == "compute" {
-				return server.Fault{Latency: 300 * time.Millisecond}
+				computing <- struct{}{}
+				<-release
 			}
 			return server.Fault{}
 		},
@@ -392,6 +445,8 @@ func TestCoordinatorAdmissionValve(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer lc.Close()
+	releaseOnce := sync.OnceFunc(func() { close(release) })
+	defer releaseOnce()
 
 	c := client.New(lc.URL(), client.WithRetries(0))
 	first := make(chan error, 1)
@@ -401,7 +456,11 @@ func TestCoordinatorAdmissionValve(t *testing.T) {
 		})
 		first <- err
 	}()
-	time.Sleep(50 * time.Millisecond) // let the first request occupy the slot
+	select {
+	case <-computing:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first request never reached a backend worker")
+	}
 	_, err = c.Simulate(context.Background(), server.SimulateRequest{
 		Pattern: trace.Pattern{Name: "strided", Stride: 5, N: 512},
 	})
@@ -409,6 +468,7 @@ func TestCoordinatorAdmissionValve(t *testing.T) {
 	if !errors.As(err, &ce) || ce.Code != server.CodeOverloaded {
 		t.Fatalf("second request err = %v, want coordinator overloaded", err)
 	}
+	releaseOnce()
 	if err := <-first; err != nil {
 		t.Fatalf("first request failed: %v", err)
 	}

@@ -10,6 +10,7 @@ import (
 
 	"primecache/internal/client"
 	"primecache/internal/server"
+	"primecache/internal/sim"
 )
 
 // Options configures a Coordinator.
@@ -48,6 +49,16 @@ type Options struct {
 	// retry policy (failover across replicas), so per-backend clients
 	// default to zero retries.
 	ClientOptions []client.Option
+	// Clock is the time source behind the readiness-probe ticker, hedge
+	// timers, and per-backend latency histograms; nil selects the real
+	// clock. Simulation tests inject a sim.Virtual clock.
+	Clock sim.Clock
+	// DropRescatter is a test-only fault: instead of re-scattering a
+	// failed sub-sweep to the next replica, the coordinator silently
+	// drops the group. It exists so the chaos harness can prove its
+	// no-lost-jobs invariant actually trips on a failover bug; nothing
+	// outside a test may set it.
+	DropRescatter bool
 }
 
 func (o Options) withDefaults() Options {
@@ -96,6 +107,7 @@ type backendState struct {
 // replica when a backend dies, drains, or sheds.
 type Coordinator struct {
 	opts     Options
+	clock    sim.Clock
 	ring     *Ring
 	backends map[string]*backendState
 	health   *health
@@ -121,6 +133,7 @@ func New(opts Options) (*Coordinator, error) {
 	}
 	c := &Coordinator{
 		opts:     opts,
+		clock:    sim.Or(opts.Clock),
 		ring:     ring,
 		backends: make(map[string]*backendState, len(opts.Backends)),
 		mux:      http.NewServeMux(),
@@ -132,7 +145,7 @@ func New(opts Options) (*Coordinator, error) {
 	if opts.MaxInflight > 0 {
 		c.slots = make(chan struct{}, opts.MaxInflight)
 	}
-	c.health = newHealth(opts.Backends, c.probeBackend, opts.ProbeInterval, opts.ProbeTimeout)
+	c.health = newHealth(opts.Backends, c.probeBackend, opts.ProbeInterval, opts.ProbeTimeout, c.clock)
 	ctx, cancel := context.WithTimeout(context.Background(), opts.ProbeTimeout+time.Second)
 	c.health.CheckNow(ctx)
 	cancel()
@@ -156,8 +169,14 @@ func (c *Coordinator) Ring() *Ring { return c.ring }
 // CheckHealth runs one synchronous round of readiness probes.
 func (c *Coordinator) CheckHealth(ctx context.Context) { c.health.CheckNow(ctx) }
 
-// Close stops the health checker.
-func (c *Coordinator) Close() { c.health.close() }
+// Close stops the health checker and releases the backend clients'
+// idle connections.
+func (c *Coordinator) Close() {
+	c.health.close()
+	for _, b := range c.backends {
+		b.client.Close()
+	}
+}
 
 // probeBackend is the active health check: one readyz round trip.
 func (c *Coordinator) probeBackend(ctx context.Context, backend string) (ready, draining bool) {
@@ -279,9 +298,9 @@ func (c *Coordinator) hedgeDelay(b *backendState) time.Duration {
 func (c *Coordinator) callBackend(b *backendState, fn func() error) error {
 	b.requests.Inc()
 	b.inflight.Inc()
-	start := time.Now()
+	start := c.clock.Now()
 	err := fn()
-	b.latency.Observe(time.Since(start))
+	b.latency.Observe(c.clock.Since(start))
 	b.inflight.Dec()
 	if err != nil {
 		b.failures.Inc()
@@ -325,7 +344,7 @@ func (c *Coordinator) runSingle(ctx context.Context, key string, do func(ctx con
 
 	var hedgeC <-chan time.Time
 	if d := c.hedgeDelay(cands[0]); d > 0 && len(cands) > 1 {
-		t := time.NewTimer(d)
+		t := c.clock.NewTimer(d)
 		defer t.Stop()
 		hedgeC = t.C
 	}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"primecache/internal/sim"
 )
 
 // probeFunc checks one backend's readiness. ready means the backend can
@@ -35,6 +37,7 @@ type health struct {
 	probe    probeFunc
 	interval time.Duration
 	timeout  time.Duration
+	clock    sim.Clock
 
 	mu    sync.Mutex
 	state map[string]*BackendHealth
@@ -46,11 +49,12 @@ type health struct {
 // newHealth builds the checker with every backend optimistically
 // healthy; callers normally run one synchronous CheckNow before
 // trusting the state. start() launches the background loop.
-func newHealth(backends []string, probe probeFunc, interval, timeout time.Duration) *health {
+func newHealth(backends []string, probe probeFunc, interval, timeout time.Duration, clk sim.Clock) *health {
 	h := &health{
 		probe:    probe,
 		interval: interval,
 		timeout:  timeout,
+		clock:    sim.Or(clk),
 		state:    make(map[string]*BackendHealth, len(backends)),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
@@ -70,7 +74,7 @@ func (h *health) start() {
 	}
 	go func() {
 		defer close(h.done)
-		t := time.NewTicker(h.interval)
+		t := h.clock.NewTicker(h.interval)
 		defer t.Stop()
 		for {
 			select {

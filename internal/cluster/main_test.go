@@ -1,0 +1,12 @@
+package cluster
+
+import (
+	"testing"
+
+	"primecache/internal/sim/leak"
+)
+
+// TestMain asserts the whole suite quiesces: prober tickers, hedge
+// timers, scatter goroutines, and backend keep-alive loops must all be
+// gone once the last test's cluster is closed.
+func TestMain(m *testing.M) { leak.Main(m) }

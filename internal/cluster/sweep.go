@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"primecache/internal/server"
 )
@@ -59,7 +60,7 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if i > 0 {
 			fmt.Fprint(w, ",\n")
 		}
-		if err := enc.Encode(<-slots[i]); err != nil {
+		if err := enc.Encode(c.gatherSlot(ctx, slots[i], i)); err != nil {
 			return
 		}
 		if flusher != nil {
@@ -69,6 +70,35 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, "]}\n")
 	if flusher != nil {
 		flusher.Flush()
+	}
+}
+
+// lostJobGrace is how long the gather loop waits past the request
+// context's end for a straggler delivery before declaring the slot
+// lost. Scatter normally delivers every slot exactly once (cancelled
+// jobs arrive as timeout/cancelled envelopes), so this only fires on a
+// failover bug — it turns a would-be hung response into a typed
+// invariant violation the chaos harness can detect.
+const lostJobGrace = 500 * time.Millisecond
+
+// gatherSlot waits for job i's result. After the request context ends
+// it allows a short grace for the error envelope already in flight,
+// then gives up with an internal "result lost" envelope rather than
+// blocking the whole response forever.
+func (c *Coordinator) gatherSlot(ctx context.Context, slot <-chan server.SweepResult, i int) server.SweepResult {
+	select {
+	case res := <-slot:
+		return res
+	case <-ctx.Done():
+	}
+	t := c.clock.NewTimer(lostJobGrace)
+	defer t.Stop()
+	select {
+	case res := <-slot:
+		return res
+	case <-t.C:
+		return errorResult(i, server.Errf(server.CodeInternal,
+			"cluster: job %d result lost (scatter never delivered it)", i))
 	}
 }
 
@@ -117,6 +147,9 @@ func (c *Coordinator) subSweep(ctx context.Context, b *backendState, group []rou
 		// the batch, or is draining. Retry every job on its next replica
 		// unless the error is permanent (or the caller is gone).
 		c.noteFailure(b, err)
+		if c.opts.DropRescatter {
+			return // test-only mutation: lose the group instead of failing over
+		}
 		if ctx.Err() == nil && retryable(err) {
 			c.reroutes.Add(uint64(len(group)))
 			c.scatter(ctx, group, exclude(excluded, b.url), deliver)

@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync/atomic"
 	"time"
+
+	"primecache/internal/sim"
 )
 
 // admission is the server's overload valve. Every compute request
@@ -137,12 +139,13 @@ type Fault struct {
 // suite: production servers leave Options.Faults nil.
 type FaultFunc func(stage string, seq uint64) Fault
 
-// sleepFault waits out a latency fault, giving up early if ctx ends.
-func sleepFault(ctx context.Context, d time.Duration) error {
+// sleepFault waits out a latency fault on clk, giving up early if ctx
+// ends.
+func sleepFault(ctx context.Context, clk sim.Clock, d time.Duration) error {
 	if d <= 0 {
 		return nil
 	}
-	t := time.NewTimer(d)
+	t := sim.Or(clk).NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-t.C:

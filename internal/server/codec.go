@@ -320,4 +320,3 @@ type SweepResult struct {
 	// Memoized reports the result was served from the memo cache.
 	Memoized bool `json:"memoized"`
 }
-

@@ -125,7 +125,7 @@ func (s *Server) compute(ctx context.Context, job SweepJob, degrade bool) (any, 
 		}()
 		if s.opts.Faults != nil {
 			f := s.opts.Faults("compute", s.computeSeq.Add(1))
-			if err := sleepFault(ctx, f.Latency); err != nil {
+			if err := sleepFault(ctx, s.clock, f.Latency); err != nil {
 				return nil, err
 			}
 			if f.Err != nil {

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"primecache/internal/sim"
 )
 
 // Counter is a monotonically increasing metric.
@@ -141,16 +143,23 @@ type Metrics struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	clock      sim.Clock
 	start      time.Time
 }
 
-// NewMetrics returns an empty registry.
-func NewMetrics() *Metrics {
+// NewMetrics returns an empty registry on the real clock.
+func NewMetrics() *Metrics { return NewMetricsOn(sim.Real) }
+
+// NewMetricsOn returns an empty registry whose uptime is measured on
+// clk (virtual in simulation tests).
+func NewMetricsOn(clk sim.Clock) *Metrics {
+	clk = sim.Or(clk)
 	return &Metrics{
 		counters:   map[string]*Counter{},
 		gauges:     map[string]*Gauge{},
 		histograms: map[string]*Histogram{},
-		start:      time.Now(),
+		clock:      clk,
+		start:      clk.Now(),
 	}
 }
 
@@ -203,7 +212,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := MetricsSnapshot{
-		UptimeSeconds: time.Since(m.start).Seconds(),
+		UptimeSeconds: m.clock.Since(m.start).Seconds(),
 		Counters:      make(map[string]uint64, len(m.counters)),
 		Gauges:        make(map[string]int64, len(m.gauges)),
 		Latencies:     make(map[string]HistogramSnapshot, len(m.histograms)),

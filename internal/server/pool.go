@@ -5,7 +5,8 @@ import (
 	"errors"
 	"runtime"
 	"sync"
-	"time"
+
+	"primecache/internal/sim"
 )
 
 // ErrPoolClosed is returned by Submit after Close.
@@ -22,6 +23,7 @@ type Pool struct {
 	wg         sync.WaitGroup
 
 	size      int
+	clock     sim.Clock
 	busy      *Gauge
 	queued    *Gauge
 	completed *Counter
@@ -40,8 +42,14 @@ type poolResult struct {
 }
 
 // NewPool starts size workers (size <= 0 selects GOMAXPROCS) and
-// registers occupancy metrics on m (which may be nil).
-func NewPool(size int, m *Metrics) *Pool {
+// registers occupancy metrics on m (which may be nil). Latencies are
+// measured on the real clock; NewPoolOn injects a different one.
+func NewPool(size int, m *Metrics) *Pool { return NewPoolOn(size, m, sim.Real) }
+
+// NewPoolOn is NewPool with the latency clock injected, so simulation
+// tests control what the pool histogram (and everything priced from it,
+// like Retry-After hints) observes.
+func NewPoolOn(size int, m *Metrics, clk sim.Clock) *Pool {
 	if size <= 0 {
 		size = runtime.GOMAXPROCS(0)
 	}
@@ -55,10 +63,11 @@ func NewPool(size int, m *Metrics) *Pool {
 		closed:     make(chan struct{}),
 		terminated: make(chan struct{}),
 		size:       size,
-		busy:      m.Gauge("pool.busy"),
-		queued:    m.Gauge("pool.queued"),
-		completed: m.Counter("pool.completed"),
-		latency:   m.Histogram("latency.pool"),
+		clock:      sim.Or(clk),
+		busy:       m.Gauge("pool.busy"),
+		queued:     m.Gauge("pool.queued"),
+		completed:  m.Counter("pool.completed"),
+		latency:    m.Histogram("latency.pool"),
 	}
 	m.Gauge("pool.workers").Set(int64(size))
 	p.wg.Add(size)
@@ -100,9 +109,9 @@ func (p *Pool) run(t *poolTask) {
 		return
 	}
 	p.busy.Inc()
-	start := time.Now()
+	start := p.clock.Now()
 	v, err := t.fn(t.ctx)
-	p.latency.Observe(time.Since(start))
+	p.latency.Observe(p.clock.Since(start))
 	p.busy.Dec()
 	p.completed.Inc()
 	t.done <- poolResult{value: v, err: err}

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"primecache/internal/sim"
 )
 
 // Options configures a Server. The zero value is usable: GOMAXPROCS
@@ -42,6 +44,10 @@ type Options struct {
 	// Faults injects deterministic latency/error/queue-full faults into
 	// the admit and compute stages. Tests only; nil in production.
 	Faults FaultFunc
+	// Clock is the time source behind latency histograms, uptime, and
+	// fault sleeps; nil selects the real clock. Simulation tests inject
+	// a sim.Virtual clock and advance it explicitly.
+	Clock sim.Clock
 }
 
 func (o Options) withDefaults() Options {
@@ -69,6 +75,7 @@ func (o Options) withDefaults() Options {
 // and stop with Shutdown (drains in-flight requests) or Close.
 type Server struct {
 	opts    Options
+	clock   sim.Clock
 	metrics *Metrics
 	memo    *Memo
 	pool    *Pool
@@ -100,12 +107,14 @@ type Server struct {
 // New builds a Server and starts its worker pool.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
-	m := NewMetrics()
+	clk := sim.Or(opts.Clock)
+	m := NewMetricsOn(clk)
 	s := &Server{
 		opts:    opts,
+		clock:   clk,
 		metrics: m,
 		memo:    NewMemo(opts.MemoEntries),
-		pool:    NewPool(opts.Workers, m),
+		pool:    NewPoolOn(opts.Workers, m, clk),
 		mux:     http.NewServeMux(),
 		calls:   map[string]*inflightCall{},
 	}
@@ -202,7 +211,7 @@ func (s *Server) admitRequest(endpoint string) (func(), error) {
 	if s.opts.Faults != nil {
 		f := s.opts.Faults("admit", s.admitSeq.Add(1))
 		if f.Latency > 0 {
-			time.Sleep(f.Latency)
+			s.clock.Sleep(f.Latency)
 		}
 		if f.Err != nil {
 			return nil, f.Err
@@ -289,10 +298,10 @@ func (s *Server) wrap(name string, h http.HandlerFunc, live bool) http.Handler {
 
 		requests.Inc()
 		inflight.Inc()
-		start := time.Now()
+		start := s.clock.Now()
 		sw := &statusWriter{ResponseWriter: w}
 		h(sw, r)
-		latency.Observe(time.Since(start))
+		latency.Observe(s.clock.Since(start))
 		inflight.Dec()
 		if sw.status >= 400 {
 			errors.Inc()

@@ -435,7 +435,19 @@ func TestRequestTimeout(t *testing.T) {
 // lets the completed response reach the client before the listener
 // closes.
 func TestGracefulShutdown(t *testing.T) {
-	s := New(Options{Workers: 2})
+	// The compute-stage fault hook signals when the sweep's first job is
+	// on a worker, so Shutdown provably lands mid-sweep.
+	started := make(chan struct{})
+	var once sync.Once
+	s := New(Options{
+		Workers: 2,
+		Faults: func(stage string, _ uint64) Fault {
+			if stage == "compute" {
+				once.Do(func() { close(started) })
+			}
+			return Fault{}
+		},
+	})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -479,12 +491,10 @@ func TestGracefulShutdown(t *testing.T) {
 	}()
 
 	// Wait until the sweep is actually in flight, then shut down.
-	deadline := time.Now().Add(5 * time.Second)
-	for s.metrics.Gauge("inflight").Value() == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("sweep never went in flight")
-		}
-		time.Sleep(time.Millisecond)
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("sweep never went in flight")
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -521,6 +531,7 @@ func TestPoolBounds(t *testing.T) {
 	var wg sync.WaitGroup
 	var maxBusy int64
 	var mu sync.Mutex
+	running := make(chan struct{}, 10)
 	block := make(chan struct{})
 	for i := 0; i < 10; i++ {
 		wg.Add(1)
@@ -532,12 +543,21 @@ func TestPoolBounds(t *testing.T) {
 					maxBusy = b
 				}
 				mu.Unlock()
+				running <- struct{}{}
 				<-block
 				return nil, nil
 			})
 		}()
 	}
-	time.Sleep(50 * time.Millisecond)
+	// Three jobs announcing themselves means all three workers hold a
+	// blocked job; a fourth cannot start until one finishes.
+	for i := 0; i < 3; i++ {
+		select {
+		case <-running:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("only %d of 3 workers picked up jobs", i)
+		}
+	}
 	if b := m.Gauge("pool.busy").Value(); b != 3 {
 		t.Errorf("busy = %d with 10 blocked jobs on 3 workers", b)
 	}

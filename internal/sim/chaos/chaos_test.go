@@ -1,0 +1,134 @@
+package chaos
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"primecache/internal/sim"
+	"primecache/internal/sim/leak"
+)
+
+// TestMain asserts the whole chaos suite quiesces: every simulated
+// cluster the runs boot must be fully gone at exit.
+func TestMain(m *testing.M) { leak.Main(m) }
+
+// schedules returns how many seeded schedules TestChaosSchedules runs:
+// CHAOS_SCHEDULES when set (the Makefile's chaos target passes 50),
+// otherwise a smoke-sized default.
+func schedules(t *testing.T) int {
+	if s := os.Getenv("CHAOS_SCHEDULES"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("CHAOS_SCHEDULES=%q is not a positive integer", s)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 2
+	}
+	return 8
+}
+
+// TestChaosSchedules is the headline check: N seeded fault schedules,
+// each replayed against a fresh 3-node cluster, and every invariant
+// must hold at every step. On a violation the seed is printed — rerun
+// with that seed (or the logged schedule) to reproduce the failure.
+func TestChaosSchedules(t *testing.T) {
+	n := schedules(t)
+	for i := 0; i < n; i++ {
+		seed := int64(1 + i)
+		rep, err := Run(Options{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: harness error: %v", seed, err)
+		}
+		if rep.Failed() {
+			t.Errorf("seed %d: %d invariant violation(s); reproduce with Run(Options{Seed: %d})", seed, len(rep.Violations), seed)
+			for _, v := range rep.Violations {
+				t.Errorf("seed %d: %s", seed, v)
+			}
+			t.Logf("seed %d schedule:\n%s", seed, rep.Schedule.Log())
+			t.Logf("seed %d event log:\n%s", seed, strings.Join(rep.Log, "\n"))
+		}
+	}
+}
+
+// TestChaosSeedReplay pins determinism: the same seed must produce a
+// byte-identical schedule and event log across two full runs.
+func TestChaosSeedReplay(t *testing.T) {
+	const seed = 7
+	first, err := Run(Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := first.Schedule.Log(), second.Schedule.Log(); a != b {
+		t.Errorf("schedule not reproducible from seed %d:\n--- first\n%s\n--- second\n%s", seed, a, b)
+	}
+	a, b := strings.Join(first.Log, "\n"), strings.Join(second.Log, "\n")
+	if a != b {
+		t.Errorf("event log not reproducible from seed %d:\n--- first\n%s\n--- second\n%s", seed, a, b)
+	}
+	if first.Failed() || second.Failed() {
+		t.Errorf("replay runs violated invariants: %v / %v", first.Violations, second.Violations)
+	}
+}
+
+// brokenFailoverSchedule crashes two of three nodes in step 0 with no
+// probe rounds: the sweep's sub-batches for the dead primaries fail in
+// flight and must be re-scattered to the survivor.
+func brokenFailoverSchedule() *sim.Schedule {
+	return &sim.Schedule{
+		Seed:  -1,
+		Nodes: 3,
+		Steps: 1,
+		Events: []sim.Event{
+			{Step: 0, Kind: sim.EventCrash, Node: 0},
+			{Step: 0, Kind: sim.EventCrash, Node: 2},
+		},
+	}
+}
+
+// TestChaosBrokenFailoverTripsInvariant proves the invariants have
+// teeth: with the coordinator's re-scatter deliberately broken
+// (DropRescatter), jobs routed to the crashed nodes are lost and the
+// no-lost-jobs invariant must fire. The identical schedule with
+// failover intact must pass clean — so the violation is the bug, not
+// the schedule.
+func TestChaosBrokenFailoverTripsInvariant(t *testing.T) {
+	control, err := Run(Options{
+		Seed:           -1,
+		Schedule:       brokenFailoverSchedule(),
+		RequestTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if control.Failed() {
+		t.Fatalf("control run (working failover) violated invariants: %v", control.Violations)
+	}
+
+	broken, err := Run(Options{
+		Seed:           -1,
+		Schedule:       brokenFailoverSchedule(),
+		RequestTimeout: 2 * time.Second,
+		DropRescatter:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tripped := false
+	for _, v := range broken.Violations {
+		if v.Invariant == InvJobs {
+			tripped = true
+		}
+	}
+	if !tripped {
+		t.Errorf("broken failover not caught: want a %s violation, got %v", InvJobs, broken.Violations)
+	}
+}

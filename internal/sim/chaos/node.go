@@ -1,0 +1,150 @@
+// Package chaos is the deterministic cluster-simulation harness: it
+// deploys an in-process vcached cluster behind fault gates, applies a
+// seeded sim.Schedule of crashes, restarts, partitions, latency spikes,
+// and clock skew, runs a sweep after every step, and checks the
+// distributed-systems invariants the cluster must keep — no lost or
+// duplicated jobs, byte-identical results against a single-node oracle,
+// memoizer locality across failover, admission-gauge conservation at
+// quiesce, and no goroutine leaks at teardown. Every run's event log is
+// a pure function of its seed, so any violation is replayable from the
+// seed alone.
+package chaos
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"primecache/internal/server"
+	"primecache/internal/sim"
+)
+
+// gate sits between a node's listener and its handler, modelling the
+// network path the coordinator sees: severed while the node is crashed
+// or partitioned, slowed during a latency spike, transparent otherwise.
+type gate struct {
+	mu      sync.Mutex
+	down    bool
+	latency time.Duration
+	inner   http.Handler
+}
+
+func (g *gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mu.Lock()
+	down, lat, inner := g.down, g.latency, g.inner
+	g.mu.Unlock()
+	if down || inner == nil {
+		// Sever the connection without an HTTP response, like a dead
+		// host: the client sees a transport failure, not an envelope.
+		panic(http.ErrAbortHandler)
+	}
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	inner.ServeHTTP(w, r)
+}
+
+func (g *gate) set(fn func(*gate)) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	fn(g)
+}
+
+// node is one simulated vcached backend: a real server.Server behind a
+// gate, on a skewable clock, restartable in place (the listener — and
+// therefore the URL the ring hashes — survives a crash; the server
+// state does not).
+type node struct {
+	idx     int
+	opts    server.Options
+	gate    *gate
+	ts      *httptest.Server
+	setSkew func(time.Duration)
+
+	mu  sync.Mutex
+	srv *server.Server
+	up  bool
+}
+
+// newNode boots one backend. nopts is copied; its Clock is replaced by
+// the node's own skewable clock.
+func newNode(idx int, nopts server.Options) *node {
+	n := &node{idx: idx, opts: nopts, gate: &gate{}}
+	n.opts.Clock, n.setSkew = sim.NewOffset(sim.Real)
+	n.ts = httptest.NewServer(n.gate)
+	n.start()
+	return n
+}
+
+// start boots a fresh server behind the gate (initial boot and every
+// restart): empty memoizer, zeroed metrics — crash-restart loses state.
+func (n *node) start() {
+	srv := server.New(n.opts)
+	n.mu.Lock()
+	n.srv = srv
+	n.up = true
+	n.mu.Unlock()
+	n.gate.set(func(g *gate) { g.down = false; g.inner = srv.Handler() })
+}
+
+// crash kills the process: the gate severs new requests, in-flight
+// connections are cut, and the server (memo, pool, metrics) is gone.
+func (n *node) crash() {
+	n.gate.set(func(g *gate) { g.down = true; g.inner = nil })
+	n.mu.Lock()
+	srv := n.srv
+	n.srv = nil
+	n.up = false
+	n.mu.Unlock()
+	n.ts.CloseClientConnections()
+	if srv != nil {
+		srv.Close()
+	}
+}
+
+// partition cuts the coordinator↔node link but leaves the process —
+// and its memoizer — running.
+func (n *node) partition() {
+	n.gate.set(func(g *gate) { g.down = true })
+	n.ts.CloseClientConnections()
+}
+
+// heal reconnects a partitioned node.
+func (n *node) heal() {
+	n.gate.set(func(g *gate) { g.down = false })
+}
+
+// spike sets the added per-request service latency.
+func (n *node) spike(d time.Duration) {
+	n.gate.set(func(g *gate) { g.latency = d })
+}
+
+// server returns the live server, or nil while crashed.
+func (n *node) server() *server.Server {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.srv
+}
+
+// live reports whether the process is running (a partitioned node is
+// live; a crashed one is not).
+func (n *node) live() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.up
+}
+
+// close tears the node down for good.
+func (n *node) close() {
+	n.ts.CloseClientConnections()
+	n.ts.Close()
+	n.mu.Lock()
+	srv := n.srv
+	n.srv = nil
+	n.up = false
+	n.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+}

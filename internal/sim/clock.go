@@ -1,0 +1,107 @@
+// Package sim is the deterministic-simulation toolkit behind the chaos
+// harness: an injectable clock (real in production, virtual in tests),
+// and seeded fault schedules whose event logs are replayable from their
+// seed. The server, cluster, and client packages take a sim.Clock so
+// their timers — pool latency measurement, admission Retry-After
+// pricing, readiness-probe ticks, hedge delays, retry backoff — can be
+// driven explicitly by tests instead of by wall-clock sleeps.
+package sim
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock is the time source threaded through the service layers. The
+// production implementation is Real; tests substitute a *Virtual clock
+// and advance it explicitly.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Since returns the elapsed time on this clock since t.
+	Since(t time.Time) time.Duration
+	// Sleep blocks until the clock has advanced by d.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the clock's time once it
+	// has advanced by d.
+	After(d time.Duration) <-chan time.Time
+	// NewTimer returns a timer that fires once the clock has advanced
+	// by d.
+	NewTimer(d time.Duration) *Timer
+	// NewTicker returns a ticker that fires every d of clock time.
+	NewTicker(d time.Duration) *Ticker
+}
+
+// Timer is a one-shot timer on a Clock. C delivers at most one value.
+type Timer struct {
+	C    <-chan time.Time
+	stop func() bool
+}
+
+// Stop cancels the timer; it reports whether the stop prevented the
+// timer from firing.
+func (t *Timer) Stop() bool { return t.stop() }
+
+// Ticker delivers clock ticks on C until stopped.
+type Ticker struct {
+	C    <-chan time.Time
+	stop func()
+}
+
+// Stop shuts the ticker down. It does not close C.
+func (t *Ticker) Stop() { t.stop() }
+
+// Real is the production clock: a thin veneer over package time.
+var Real Clock = realClock{}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) Since(t time.Time) time.Duration        { return time.Since(t) }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+func (realClock) NewTimer(d time.Duration) *Timer {
+	t := time.NewTimer(d)
+	return &Timer{C: t.C, stop: t.Stop}
+}
+
+func (realClock) NewTicker(d time.Duration) *Ticker {
+	t := time.NewTicker(d)
+	return &Ticker{C: t.C, stop: t.Stop}
+}
+
+// Or returns c, or Real when c is nil — the idiom option structs use to
+// default their Clock field.
+func Or(c Clock) Clock {
+	if c == nil {
+		return Real
+	}
+	return c
+}
+
+// offsetClock shifts Now/Since by a mutable offset while delegating
+// timers to the base clock. The chaos harness uses it to model clock
+// skew on one node without touching the others.
+type offsetClock struct {
+	base   Clock
+	offset atomic.Int64 // nanoseconds of skew
+}
+
+// NewOffset wraps base with a skewable view of time. The returned
+// setter adjusts the skew atomically; timers and sleeps are unaffected
+// (skew shifts what a node *reports*, not how fast it runs).
+func NewOffset(base Clock) (Clock, func(time.Duration)) {
+	oc := &offsetClock{base: base}
+	return oc, func(d time.Duration) { oc.offset.Store(int64(d)) }
+}
+
+func (c *offsetClock) Now() time.Time {
+	return c.base.Now().Add(time.Duration(c.offset.Load()))
+}
+
+func (c *offsetClock) Since(t time.Time) time.Duration        { return c.Now().Sub(t) }
+func (c *offsetClock) Sleep(d time.Duration)                  { c.base.Sleep(d) }
+func (c *offsetClock) After(d time.Duration) <-chan time.Time { return c.base.After(d) }
+func (c *offsetClock) NewTimer(d time.Duration) *Timer        { return c.base.NewTimer(d) }
+func (c *offsetClock) NewTicker(d time.Duration) *Ticker      { return c.base.NewTicker(d) }

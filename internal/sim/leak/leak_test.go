@@ -1,0 +1,52 @@
+package leak
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSnapshotSeesPlantedGoroutine(t *testing.T) {
+	block := make(chan struct{})
+	done := make(chan struct{})
+	go func() { // deliberately leaked until the test releases it
+		defer close(done)
+		plantedLeakMarker(block)
+	}()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if found := findMarker(Snapshot()); found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Snapshot never saw the planted goroutine")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(block)
+	<-done
+	if left := Wait(2 * time.Second); findMarker(left) {
+		t.Fatalf("planted goroutine still reported after release:\n%s", strings.Join(left, "\n\n"))
+	}
+}
+
+//go:noinline
+func plantedLeakMarker(block chan struct{}) { <-block }
+
+func findMarker(stacks []string) bool {
+	for _, g := range stacks {
+		if strings.Contains(g, "plantedLeakMarker") {
+			return true
+		}
+	}
+	return false
+}
+
+func TestWaitReturnsEmptyOnQuietSuite(t *testing.T) {
+	if left := Wait(2 * time.Second); len(left) > 0 {
+		t.Errorf("quiet test reported %d leaked goroutine(s):\n%s", len(left), strings.Join(left, "\n\n"))
+	}
+}
+
+func TestMain(m *testing.M) { Main(m) }

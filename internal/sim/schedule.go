@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// EventKind classifies one injected fault in a Schedule.
+type EventKind string
+
+const (
+	// EventCrash kills a node: in-flight connections sever, its memo
+	// state is lost, and it refuses connections until EventRestart.
+	EventCrash EventKind = "crash"
+	// EventRestart brings a crashed node back with fresh (empty) state.
+	EventRestart EventKind = "restart"
+	// EventPartition cuts the coordinator↔node link: the process keeps
+	// running (memo intact) but the coordinator cannot reach it.
+	EventPartition EventKind = "partition"
+	// EventHeal reconnects a partitioned node.
+	EventHeal EventKind = "heal"
+	// EventLatency gives every request to the node an added service
+	// delay of Dur until the next latency/heal event.
+	EventLatency EventKind = "latency"
+	// EventSkew offsets the node's reported clock by Dur.
+	EventSkew EventKind = "skew"
+	// EventProbe runs one synchronous coordinator health-check round.
+	// Between probes, failures are discovered passively — which is what
+	// exercises mid-sweep failover.
+	EventProbe EventKind = "probe"
+)
+
+// Event is one scheduled fault. Node is ignored for EventProbe.
+type Event struct {
+	Step int
+	Kind EventKind
+	Node int
+	// Dur parameterizes latency spikes and clock skew.
+	Dur time.Duration
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case EventProbe:
+		return fmt.Sprintf("step %02d: probe", e.Step)
+	case EventLatency, EventSkew:
+		return fmt.Sprintf("step %02d: %s node%d %v", e.Step, e.Kind, e.Node, e.Dur)
+	default:
+		return fmt.Sprintf("step %02d: %s node%d", e.Step, e.Kind, e.Node)
+	}
+}
+
+// Schedule is a seeded fault plan over a fixed-size cluster: at each
+// step zero or more events apply, then one sweep runs and the
+// invariants are checked. The generator is a pure function of
+// (seed, nodes, steps), so a schedule — and therefore the whole event
+// log of a run — is replayable from its seed.
+type Schedule struct {
+	Seed   int64
+	Nodes  int
+	Steps  int
+	Events []Event
+}
+
+// At returns the events scheduled for one step, in generation order.
+func (s Schedule) At(step int) []Event {
+	var out []Event
+	for _, e := range s.Events {
+		if e.Step == step {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Log renders the canonical event log: one line per event. Two runs of
+// the same seed must produce byte-identical logs.
+func (s Schedule) Log() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule seed=%d nodes=%d steps=%d\n", s.Seed, s.Nodes, s.Steps)
+	for _, e := range s.Events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// nodeState tracks the generator's view of one node so it only emits
+// sensible transitions (no restarting a live node, no double crash).
+type nodeState int
+
+const (
+	nodeUp nodeState = iota
+	nodeCrashed
+	nodePartitioned
+)
+
+// Generate builds the seeded fault plan. Invariant: at least one node
+// is reachable (up and unpartitioned) after every step, so a run with
+// working failover must deliver every job — which is exactly what makes
+// the no-lost-jobs invariant sharp. Panics if nodes < 2 or steps < 1.
+func Generate(seed int64, nodes, steps int) Schedule {
+	if nodes < 2 || steps < 1 {
+		panic("sim: Generate needs nodes >= 2 and steps >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := Schedule{Seed: seed, Nodes: nodes, Steps: steps}
+	state := make([]nodeState, nodes)
+
+	reachable := func() int {
+		n := 0
+		for _, st := range state {
+			if st == nodeUp {
+				n++
+			}
+		}
+		return n
+	}
+
+	for step := 0; step < steps; step++ {
+		// 0–2 fault events per step, then maybe a probe round.
+		for i, n := 0, rng.Intn(3); i < n; i++ {
+			node := rng.Intn(nodes)
+			switch state[node] {
+			case nodeCrashed:
+				state[node] = nodeUp
+				s.Events = append(s.Events, Event{Step: step, Kind: EventRestart, Node: node})
+			case nodePartitioned:
+				state[node] = nodeUp
+				s.Events = append(s.Events, Event{Step: step, Kind: EventHeal, Node: node})
+			case nodeUp:
+				switch k := rng.Intn(4); k {
+				case 0: // crash, only if another node stays reachable
+					if reachable() > 1 {
+						state[node] = nodeCrashed
+						s.Events = append(s.Events, Event{Step: step, Kind: EventCrash, Node: node})
+					}
+				case 1: // partition, same constraint
+					if reachable() > 1 {
+						state[node] = nodePartitioned
+						s.Events = append(s.Events, Event{Step: step, Kind: EventPartition, Node: node})
+					}
+				case 2:
+					d := time.Duration(1+rng.Intn(5)) * time.Millisecond
+					s.Events = append(s.Events, Event{Step: step, Kind: EventLatency, Node: node, Dur: d})
+				case 3:
+					d := time.Duration(rng.Intn(21)-10) * time.Second
+					s.Events = append(s.Events, Event{Step: step, Kind: EventSkew, Node: node, Dur: d})
+				}
+			}
+		}
+		// Probe rounds are themselves scheduled: roughly every other
+		// step the coordinator learns the truth; in between, crashed
+		// nodes are found the hard way (passively, mid-sweep).
+		if rng.Intn(2) == 0 {
+			s.Events = append(s.Events, Event{Step: step, Kind: EventProbe})
+		}
+	}
+	return s
+}

@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualAdvanceFiresInDeadlineOrder(t *testing.T) {
+	v := NewVirtual()
+	a := v.After(30 * time.Millisecond)
+	b := v.After(10 * time.Millisecond)
+	c := v.After(20 * time.Millisecond)
+
+	v.Advance(time.Hour)
+	order := make([]time.Time, 3)
+	order[0], order[1], order[2] = <-b, <-c, <-a
+	for i := 1; i < len(order); i++ {
+		if !order[i-1].Before(order[i]) {
+			t.Fatalf("fire times out of order: %v", order)
+		}
+	}
+	if got := order[0]; !got.Equal(VirtualEpoch.Add(10 * time.Millisecond)) {
+		t.Errorf("first fire delivered %v, want epoch+10ms", got)
+	}
+	if now := v.Now(); !now.Equal(VirtualEpoch.Add(time.Hour)) {
+		t.Errorf("Now = %v after Advance(1h)", now)
+	}
+}
+
+func TestVirtualTimerStop(t *testing.T) {
+	v := NewVirtual()
+	tm := v.NewTimer(10 * time.Millisecond)
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	v.Advance(time.Second)
+	select {
+	case <-tm.C:
+		t.Fatal("stopped timer fired")
+	default:
+	}
+	if n := v.Waiters(); n != 0 {
+		t.Fatalf("%d waiters registered after stop", n)
+	}
+}
+
+func TestVirtualTickerRearmsAndDropsBackloggedTicks(t *testing.T) {
+	v := NewVirtual()
+	tk := v.NewTicker(10 * time.Millisecond)
+	defer tk.Stop()
+
+	// Advancing 35ms with nobody draining: one tick is buffered, the
+	// backlog is dropped (time.Ticker semantics).
+	v.Advance(35 * time.Millisecond)
+	first := <-tk.C
+	if !first.Equal(VirtualEpoch.Add(10 * time.Millisecond)) {
+		t.Errorf("first tick at %v, want epoch+10ms", first)
+	}
+	select {
+	case extra := <-tk.C:
+		t.Fatalf("backlogged tick delivered: %v", extra)
+	default:
+	}
+	// The next window fires the re-armed tick.
+	v.Advance(10 * time.Millisecond)
+	if tick := <-tk.C; tick.Before(first) {
+		t.Errorf("re-armed tick %v before first %v", tick, first)
+	}
+}
+
+func TestVirtualSleepBlocksUntilAdvance(t *testing.T) {
+	v := NewVirtual()
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(50 * time.Millisecond)
+		close(done)
+	}()
+	v.BlockUntil(1)
+	select {
+	case <-done:
+		t.Fatal("Sleep returned before Advance")
+	default:
+	}
+	v.Advance(50 * time.Millisecond)
+	<-done
+}
+
+func TestVirtualConcurrentWaiters(t *testing.T) {
+	v := NewVirtual()
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v.Sleep(time.Duration(i+1) * time.Millisecond)
+		}(i)
+	}
+	v.BlockUntil(n)
+	v.Advance(n * time.Millisecond)
+	wg.Wait()
+}
+
+func TestOffsetClockSkews(t *testing.T) {
+	v := NewVirtual()
+	oc, setSkew := NewOffset(v)
+	if !oc.Now().Equal(v.Now()) {
+		t.Fatal("zero-offset clock disagrees with base")
+	}
+	setSkew(-3 * time.Second)
+	if got, want := oc.Now(), v.Now().Add(-3*time.Second); !got.Equal(want) {
+		t.Fatalf("skewed Now = %v, want %v", got, want)
+	}
+	// Timers ride the base clock, unaffected by skew.
+	ch := oc.After(10 * time.Millisecond)
+	v.Advance(10 * time.Millisecond)
+	<-ch
+}
+
+func TestRealClockBasics(t *testing.T) {
+	start := Real.Now()
+	Real.Sleep(time.Millisecond)
+	if Real.Since(start) <= 0 {
+		t.Error("Real.Since not monotonic across Sleep")
+	}
+	tm := Real.NewTimer(time.Hour)
+	if !tm.Stop() {
+		t.Error("Stop on pending real timer returned false")
+	}
+	tk := Real.NewTicker(time.Millisecond)
+	<-tk.C
+	tk.Stop()
+	if Or(nil) != Real {
+		t.Error("Or(nil) != Real")
+	}
+	v := NewVirtual()
+	if Or(v) != Clock(v) {
+		t.Error("Or(v) did not pass v through")
+	}
+}
+
+func TestGenerateDeterministicLog(t *testing.T) {
+	a := Generate(42, 3, 12)
+	b := Generate(42, 3, 12)
+	if a.Log() != b.Log() {
+		t.Fatalf("same seed produced different logs:\n%s\nvs\n%s", a.Log(), b.Log())
+	}
+	if c := Generate(43, 3, 12); c.Log() == a.Log() {
+		t.Error("different seeds produced identical logs")
+	}
+}
+
+func TestGenerateKeepsOneNodeReachable(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		s := Generate(seed, 3, 20)
+		state := make([]nodeState, s.Nodes)
+		for step := 0; step < s.Steps; step++ {
+			for _, e := range s.At(step) {
+				switch e.Kind {
+				case EventCrash:
+					state[e.Node] = nodeCrashed
+				case EventPartition:
+					state[e.Node] = nodePartitioned
+				case EventRestart, EventHeal:
+					state[e.Node] = nodeUp
+				}
+			}
+			up := 0
+			for _, st := range state {
+				if st == nodeUp {
+					up++
+				}
+			}
+			if up == 0 {
+				t.Fatalf("seed %d step %d: no reachable node\n%s", seed, step, s.Log())
+			}
+		}
+	}
+}
+
+func TestGenerateEventStateMachine(t *testing.T) {
+	// Transitions must be legal: restart only after crash, heal only
+	// after partition, crash/partition only from up.
+	for seed := int64(0); seed < 100; seed++ {
+		s := Generate(seed, 4, 16)
+		state := make([]nodeState, s.Nodes)
+		for _, e := range s.Events {
+			switch e.Kind {
+			case EventCrash, EventPartition, EventLatency, EventSkew:
+				if state[e.Node] != nodeUp {
+					t.Fatalf("seed %d: %s on non-up node\n%s", seed, e, s.Log())
+				}
+				if e.Kind == EventCrash {
+					state[e.Node] = nodeCrashed
+				} else if e.Kind == EventPartition {
+					state[e.Node] = nodePartitioned
+				}
+			case EventRestart:
+				if state[e.Node] != nodeCrashed {
+					t.Fatalf("seed %d: restart of non-crashed node\n%s", seed, e)
+				}
+				state[e.Node] = nodeUp
+			case EventHeal:
+				if state[e.Node] != nodePartitioned {
+					t.Fatalf("seed %d: heal of non-partitioned node\n%s", seed, e)
+				}
+				state[e.Node] = nodeUp
+			}
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Virtual is a deterministic Clock driven entirely by Advance: Now
+// stands still until a test moves it, and every Sleep/After/Timer/
+// Ticker waiter fires exactly when the advancing test walks past its
+// deadline. Waiters with earlier deadlines always fire first, and each
+// fire observes the clock set to its own deadline, so a timer cascade
+// unfolds in the same order on every run.
+//
+// Advance only releases waiters that are already registered. A test
+// that races Advance against the goroutine that is about to call After
+// should first call BlockUntil(n) to wait for the registration.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*vwaiter
+	changed *sync.Cond // signaled whenever the waiter set changes
+}
+
+type vwaiter struct {
+	at     time.Time
+	ch     chan time.Time
+	period time.Duration // > 0: ticker, re-arms after each fire
+	dead   bool
+}
+
+// VirtualEpoch is the instant a fresh Virtual clock reads. Its exact
+// value is arbitrary; what matters is that every run starts from the
+// same one.
+var VirtualEpoch = time.Date(2000, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// NewVirtual returns a Virtual clock set to VirtualEpoch.
+func NewVirtual() *Virtual {
+	v := &Virtual{now: VirtualEpoch}
+	v.changed = sync.NewCond(&v.mu)
+	return v
+}
+
+// Now returns the current virtual time.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Since returns the virtual time elapsed since t.
+func (v *Virtual) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
+
+// Sleep blocks until the clock has been advanced by d. Sleep(0) and
+// negative durations return immediately.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-v.After(d)
+}
+
+// After returns a channel delivering the virtual time once the clock
+// has advanced by d. Non-positive d fires at the next Advance (like a
+// zero timer, it still waits for the driver to move time).
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	return v.addWaiter(d, 0).ch
+}
+
+// NewTimer returns a one-shot timer firing after d of virtual time.
+func (v *Virtual) NewTimer(d time.Duration) *Timer {
+	w := v.addWaiter(d, 0)
+	return &Timer{C: w.ch, stop: func() bool { return v.removeWaiter(w) }}
+}
+
+// NewTicker returns a ticker firing every d of virtual time. d must be
+// positive, matching time.NewTicker.
+func (v *Virtual) NewTicker(d time.Duration) *Ticker {
+	if d <= 0 {
+		panic("sim: non-positive Virtual ticker period")
+	}
+	w := v.addWaiter(d, d)
+	return &Ticker{C: w.ch, stop: func() { v.removeWaiter(w) }}
+}
+
+func (v *Virtual) addWaiter(d, period time.Duration) *vwaiter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	w := &vwaiter{at: v.now.Add(d), ch: make(chan time.Time, 1), period: period}
+	v.waiters = append(v.waiters, w)
+	v.changed.Broadcast()
+	return w
+}
+
+func (v *Virtual) removeWaiter(w *vwaiter) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if w.dead {
+		return false
+	}
+	w.dead = true
+	for i, o := range v.waiters {
+		if o == w {
+			v.waiters = append(v.waiters[:i], v.waiters[i+1:]...)
+			break
+		}
+	}
+	v.changed.Broadcast()
+	return true
+}
+
+// Advance moves the clock forward by d, firing every waiter whose
+// deadline falls within the window in deadline order. Each fire sets
+// the clock to that waiter's deadline first, so a handler reading Now
+// inside the window sees its own trigger time.
+func (v *Virtual) Advance(d time.Duration) {
+	if d < 0 {
+		panic("sim: negative Advance")
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	target := v.now.Add(d)
+	for {
+		w := v.nextDueLocked(target)
+		if w == nil {
+			break
+		}
+		v.now = w.at
+		w.ch <- v.now // buffered(1); one-shots fire once, tickers may drop
+		if w.period > 0 {
+			w.at = w.at.Add(w.period)
+		} else {
+			w.dead = true
+			v.dropDeadLocked()
+		}
+		v.changed.Broadcast()
+	}
+	v.now = target
+}
+
+// nextDueLocked returns the earliest live waiter due at or before
+// target whose channel can accept a fire, or nil. A ticker whose
+// buffered tick was never drained is skipped past target (dropped
+// ticks, like time.Ticker).
+func (v *Virtual) nextDueLocked(target time.Time) *vwaiter {
+	sort.SliceStable(v.waiters, func(i, j int) bool { return v.waiters[i].at.Before(v.waiters[j].at) })
+	for _, w := range v.waiters {
+		if w.at.After(target) {
+			break
+		}
+		if len(w.ch) == cap(w.ch) {
+			// Undrained ticker: skip the backlogged ticks.
+			if w.period > 0 {
+				for !w.at.After(target) {
+					w.at = w.at.Add(w.period)
+				}
+			}
+			continue
+		}
+		return w
+	}
+	return nil
+}
+
+func (v *Virtual) dropDeadLocked() {
+	live := v.waiters[:0]
+	for _, w := range v.waiters {
+		if !w.dead {
+			live = append(live, w)
+		}
+	}
+	v.waiters = live
+}
+
+// Waiters returns how many timers, tickers, and sleeps are currently
+// registered.
+func (v *Virtual) Waiters() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.waiters)
+}
+
+// BlockUntil blocks until at least n waiters are registered on the
+// clock — the synchronization point between a test and the goroutine
+// whose timer it is about to Advance past.
+func (v *Virtual) BlockUntil(n int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for len(v.waiters) < n {
+		v.changed.Wait()
+	}
+}
