@@ -18,7 +18,7 @@ FUZZTIME ?= 10s
 # Seeded fault schedules per `make chaos` run (see internal/sim/chaos).
 CHAOS_SCHEDULES ?= 50
 
-.PHONY: build test vet race race-server cluster-test stress chaos bench bench-go bench-smoke oracle fuzz-smoke golden-update ci
+.PHONY: build test vet race race-server cluster-test stress chaos bench bench-go bench-smoke oracle fuzz-smoke obs-test obscheck golden-update ci
 
 build:
 	$(GO) build ./...
@@ -98,9 +98,22 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzSimVsReference -fuzztime=$(FUZZTIME) ./internal/cache/
 	$(GO) test -run=NONE -fuzz=FuzzBankModelVsBruteForce -fuzztime=$(FUZZTIME) ./internal/membank/
 
-# Regenerate the golden files for the report renderers and the figures
-# command after an intended output change.
+# Observability suite: the tracing/exposition unit layer, the /metrics
+# golden + quantile-vs-ladder property tests, and the end-to-end
+# stitched-span-tree determinism checks — all under the race detector.
+# obscheck is the span-policy lint: every route registration in the
+# HTTP layers must go through a span-recording wrapper.
+obs-test: obscheck
+	$(GO) test -race -count=1 ./internal/obs/ ./cmd/obscheck/
+	$(GO) test -race -count=1 -run 'Metrics|Traces|Trace|Quantile|Exposition' ./internal/server/ ./internal/cluster/
+
+obscheck:
+	$(GO) run ./cmd/obscheck
+
+# Regenerate the golden files for the report renderers, the figures
+# command, and the /metrics exposition after an intended output change.
 golden-update:
 	$(GO) test ./internal/report/ ./cmd/figures/ -update
+	$(GO) test ./internal/server/ -run Golden -update
 
-ci: vet build test race-server cluster-test stress chaos fuzz-smoke oracle bench-smoke
+ci: vet build test race-server cluster-test stress chaos obs-test fuzz-smoke oracle bench-smoke

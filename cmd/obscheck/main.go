@@ -1,0 +1,130 @@
+// Command obscheck is the span-policy lint for the HTTP layers: every
+// route registered on a ServeMux in internal/server and
+// internal/cluster must pass its handler through one of the
+// span-recording wrappers — instrument / traced (edge span per
+// request) or instrumentLive / tracedLive (explicitly marked untraced:
+// probes and scrapes). A bare registration compiles fine but silently
+// drops that endpoint out of every trace, which is exactly the kind of
+// drift a human review misses; this check fails `make ci` instead.
+//
+//	go run ./cmd/obscheck            # checks the default directories
+//	go run ./cmd/obscheck ./internal/server
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// wrappers are the approved span-policy wrappers. A mux registration
+// whose handler argument is not a direct call to one of these fails.
+var wrappers = map[string]bool{
+	"instrument":     true, // server: edge span + metrics + drain guard
+	"instrumentLive": true, // server: metrics only, deliberately untraced
+	"traced":         true, // coordinator: edge span
+	"tracedLive":     true, // coordinator: deliberately untraced
+}
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"internal/server", "internal/cluster"}
+	}
+	bad := 0
+	for _, dir := range dirs {
+		n, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: %v\n", err)
+			os.Exit(2)
+		}
+		bad += n
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "obscheck: %d unwrapped route registration(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkDir lints every non-test Go file in dir (no recursion: the HTTP
+// layers are flat packages) and returns the violation count.
+func checkDir(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	fset := token.NewFileSet()
+	bad := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return 0, err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Handle" && sel.Sel.Name != "HandleFunc") {
+				return true
+			}
+			if !isMux(sel.X) || len(call.Args) != 2 {
+				return true
+			}
+			if !isWrapped(call.Args[1]) {
+				pos := fset.Position(call.Pos())
+				fmt.Fprintf(os.Stderr, "%s: route %s registered without a span-policy wrapper (use instrument/instrumentLive or traced/tracedLive)\n",
+					pos, routeName(call.Args[0]))
+				bad++
+			}
+			return true
+		})
+	}
+	return bad, nil
+}
+
+// isMux reports whether e denotes the package's request mux: a field
+// or variable named "mux" (s.mux, c.mux, or a local mux).
+func isMux(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		return x.Sel.Name == "mux"
+	case *ast.Ident:
+		return x.Name == "mux"
+	}
+	return false
+}
+
+// isWrapped reports whether the handler argument is a direct call to an
+// approved wrapper (method or function form).
+func isWrapped(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return wrappers[fn.Sel.Name]
+	case *ast.Ident:
+		return wrappers[fn.Name]
+	}
+	return false
+}
+
+// routeName renders the pattern argument for the diagnostic.
+func routeName(e ast.Expr) string {
+	if lit, ok := e.(*ast.BasicLit); ok {
+		return lit.Value
+	}
+	return "<dynamic>"
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckDirFlagsBareRegistration(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "routes.go", `package p
+
+func register(s *Server) {
+	s.mux.Handle("GET /v1/x", s.instrument("x", s.handleX))
+	s.mux.HandleFunc("GET /v1/y", s.tracedLive("y", s.handleY))
+	s.mux.HandleFunc("GET /v1/z", s.handleZ) // the drift obscheck exists for
+}
+`)
+	bad, err := checkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 1 {
+		t.Fatalf("checkDir found %d violations, want exactly the bare /v1/z registration", bad)
+	}
+}
+
+func TestCheckDirIgnoresTestsAndOtherMuxes(t *testing.T) {
+	dir := t.TempDir()
+	// _test.go files and non-mux Handle calls (e.g. a debug mux built in
+	// main) are out of scope.
+	writeFile(t, dir, "routes_test.go", `package p
+
+func setup(s *Server) { s.mux.HandleFunc("GET /t", s.handleT) }
+`)
+	writeFile(t, dir, "other.go", `package p
+
+func debug(m *http.ServeMux) { m.HandleFunc("/debug/pprof/", pprofIndex) }
+`)
+	bad, err := checkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 0 {
+		t.Fatalf("checkDir found %d violations in out-of-scope files, want 0", bad)
+	}
+}
+
+// TestRepoIsClean runs the real check against the repo's own HTTP
+// layers, from the module root.
+func TestRepoIsClean(t *testing.T) {
+	for _, dir := range []string{"../../internal/server", "../../internal/cluster"} {
+		bad, err := checkDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad != 0 {
+			t.Fatalf("%s: %d unwrapped route registrations", dir, bad)
+		}
+	}
+}

@@ -16,6 +16,12 @@
 //	GET  /v1/healthz   liveness: 200 while the process serves
 //	GET  /v1/readyz    readiness: 503 {"draining":true} once shutdown begins
 //	GET  /v1/stats
+//	GET  /metrics          Prometheus text exposition
+//	GET  /v1/debug/traces  finished request traces (ring buffer; 404 with -trace-ring=0)
+//
+// -debug-addr starts a second listener serving net/http/pprof under
+// /debug/pprof/, kept off the service port so profiling endpoints are
+// never reachable from the service's own network exposure.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: readiness fails first
 // (for -drain-grace, while the listener still accepts), then in-flight
@@ -36,8 +42,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -45,6 +53,7 @@ import (
 	"time"
 
 	"primecache/internal/cluster"
+	"primecache/internal/obs"
 	"primecache/internal/server"
 )
 
@@ -64,6 +73,10 @@ func main() {
 		epLimit   = flag.Int("endpoint-limit", 0, "max concurrently admitted requests per endpoint (0 = global queue only)")
 		degradeAt = flag.Float64("degrade-threshold", 0, "admission-pressure fraction at which qualifying jobs degrade to analytic answers (0 = default 0.75, negative disables)")
 
+		debugAddr  = flag.String("debug-addr", "", "listen address for the pprof debug server (empty disables)")
+		traceRing  = flag.Int("trace-ring", 256, "finished-trace ring capacity served at /v1/debug/traces (0 disables tracing)")
+		traceEvery = flag.Int("trace-log-every", 0, "log every Nth finished trace as a structured line (0 disables trace logging)")
+
 		coordinator = flag.Bool("coordinator", false, "run as a cluster coordinator over -backends instead of computing locally")
 		backends    = flag.String("backends", "", "comma-separated backend base URLs (coordinator mode)")
 		replicas    = flag.Int("replicas", 0, "distinct backends a job may be tried on, primary + failovers (0 = default 2)")
@@ -74,8 +87,11 @@ func main() {
 	)
 	flag.Parse()
 
+	startDebugServer(*debugAddr)
+
 	if *coordinator {
-		runCoordinator(*addr, *backends, *replicas, *probeEvery, *probeLimit, *hedgeAfter, *maxInflight, *drain)
+		runCoordinator(*addr, *backends, *replicas, *probeEvery, *probeLimit, *hedgeAfter, *maxInflight, *drain,
+			newTracer("coordinator", *traceRing, *traceEvery))
 		return
 	}
 
@@ -95,6 +111,7 @@ func main() {
 		QueueDepth:          *queue,
 		EndpointConcurrency: *epLimit,
 		DegradeThreshold:    *degradeAt,
+		Tracer:              newTracer("vcached", *traceRing, *traceEvery),
 	})
 
 	// Listen before forking the serve goroutine so -addr :0 logs the port
@@ -137,9 +154,58 @@ func main() {
 	}
 }
 
+// newTracer builds the process tracer from the -trace-* flags, nil
+// when tracing is disabled. The origin names this process in stitched
+// multi-process traces; hostname is appended when available so two
+// cluster members stay distinguishable.
+func newTracer(role string, ring, logEvery int) *obs.Tracer {
+	if ring <= 0 {
+		return nil
+	}
+	origin := role
+	if host, err := os.Hostname(); err == nil && host != "" {
+		origin = role + "@" + host
+	}
+	var logger *slog.Logger
+	if logEvery > 0 {
+		logger = slog.Default()
+	}
+	return obs.NewTracer(obs.TracerOptions{
+		Origin:      origin,
+		Capacity:    ring,
+		Logger:      logger,
+		SampleEvery: logEvery,
+	})
+}
+
+// startDebugServer serves net/http/pprof on its own listener and mux —
+// never the service mux, so profiling is only reachable on the
+// (typically loopback-bound) debug address. No-op when addr is empty.
+func startDebugServer(addr string) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("vcached: debug listener: %v", err)
+	}
+	log.Printf("vcached debug server (pprof) listening on %s", l.Addr())
+	go func() {
+		if err := http.Serve(l, mux); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("vcached: debug server: %v", err)
+		}
+	}()
+}
+
 // runCoordinator is the -coordinator mode: serve the cluster
 // coordinator over the given backends until a signal arrives.
-func runCoordinator(addr, backendList string, replicas int, probeEvery, probeLimit, hedgeAfter time.Duration, maxInflight int, drain time.Duration) {
+func runCoordinator(addr, backendList string, replicas int, probeEvery, probeLimit, hedgeAfter time.Duration, maxInflight int, drain time.Duration, tracer *obs.Tracer) {
 	var urls []string
 	for _, b := range strings.Split(backendList, ",") {
 		if b = strings.TrimSpace(b); b != "" {
@@ -156,6 +222,7 @@ func runCoordinator(addr, backendList string, replicas int, probeEvery, probeLim
 		ProbeTimeout:  probeLimit,
 		HedgeAfter:    hedgeAfter,
 		MaxInflight:   maxInflight,
+		Tracer:        tracer,
 	})
 	if err != nil {
 		log.Fatalf("vcached: %v", err)

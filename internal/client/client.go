@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"primecache/internal/obs"
 	"primecache/internal/server"
 	"primecache/internal/sim"
 )
@@ -289,6 +290,9 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Propagate the caller's trace, if any, so the backend's spans
+	// stitch under it.
+	obs.Inject(ctx, req.Header)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: %s %s: %w", method, path, err)

@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"primecache/internal/client"
+	"primecache/internal/obs"
 	"primecache/internal/server"
 	"primecache/internal/sim"
 )
@@ -53,6 +55,11 @@ type Options struct {
 	// timers, and per-backend latency histograms; nil selects the real
 	// clock. Simulation tests inject a sim.Virtual clock.
 	Clock sim.Clock
+	// Tracer, when non-nil, roots a trace per proxied request and spans
+	// every backend call and scatter-gather leg; the trace ID rides the
+	// X-Vcache-Trace header so backend spans stitch under the
+	// coordinator's. Finished traces are served at /v1/debug/traces.
+	Tracer *obs.Tracer
 	// DropRescatter is a test-only fault: instead of re-scattering a
 	// failed sub-sweep to the next replica, the coordinator silently
 	// drops the group. It exists so the chaos harness can prove its
@@ -108,6 +115,7 @@ type backendState struct {
 type Coordinator struct {
 	opts     Options
 	clock    sim.Clock
+	tracer   *obs.Tracer
 	ring     *Ring
 	backends map[string]*backendState
 	health   *health
@@ -134,6 +142,7 @@ func New(opts Options) (*Coordinator, error) {
 	c := &Coordinator{
 		opts:     opts,
 		clock:    sim.Or(opts.Clock),
+		tracer:   opts.Tracer,
 		ring:     ring,
 		backends: make(map[string]*backendState, len(opts.Backends)),
 		mux:      http.NewServeMux(),
@@ -151,13 +160,46 @@ func New(opts Options) (*Coordinator, error) {
 	cancel()
 	c.health.start()
 
-	c.mux.HandleFunc("POST /v1/simulate", c.handleSimulate)
-	c.mux.HandleFunc("POST /v1/model", c.handleModel)
-	c.mux.HandleFunc("POST /v1/sweep", c.handleSweep)
-	c.mux.HandleFunc("GET /v1/healthz", c.handleHealthz)
-	c.mux.HandleFunc("GET /v1/readyz", c.handleReadyz)
-	c.mux.HandleFunc("GET /v1/stats", c.handleStats)
+	c.mux.HandleFunc("POST /v1/simulate", c.traced("coord.simulate", c.handleSimulate))
+	c.mux.HandleFunc("POST /v1/model", c.traced("coord.model", c.handleModel))
+	c.mux.HandleFunc("POST /v1/sweep", c.traced("coord.sweep", c.handleSweep))
+	c.mux.HandleFunc("GET /v1/healthz", c.tracedLive("healthz", c.handleHealthz))
+	c.mux.HandleFunc("GET /v1/readyz", c.tracedLive("readyz", c.handleReadyz))
+	c.mux.HandleFunc("GET /v1/stats", c.tracedLive("stats", c.handleStats))
+	c.mux.HandleFunc("GET /metrics", c.tracedLive("metrics", c.handleMetrics))
+	c.mux.HandleFunc("GET /v1/debug/traces", c.tracedLive("traces", c.handleTraces))
 	return c, nil
+}
+
+// traced wraps a proxied-compute handler with the edge span of its
+// trace: the local root when the request arrives bare, a remote child
+// when it carries the propagation header. The span's context rides the
+// request so every backend call beneath stitches under it.
+func (c *Coordinator) traced(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if c.tracer == nil {
+			h(w, r)
+			return
+		}
+		ctx := r.Context()
+		var span *obs.Span
+		if tid, sid, ok := obs.ParseHeader(r.Header.Get(obs.Header)); ok {
+			ctx, span = c.tracer.StartRemoteSpan(ctx, name, tid, sid)
+		} else {
+			ctx, span = c.tracer.StartSpan(ctx, name)
+		}
+		h(w, r.WithContext(ctx))
+		span.End()
+	}
+}
+
+// tracedLive marks a probe/observability handler as deliberately
+// untraced: scrapes and health probes arrive every few seconds and
+// would churn the ring with single-span traces. The wrapper exists so
+// every route registration goes through a span-policy wrapper, which
+// the obscheck lint enforces.
+func (c *Coordinator) tracedLive(_ string, h http.HandlerFunc) http.HandlerFunc {
+	return h
 }
 
 // Handler returns the coordinator's HTTP handler.
@@ -329,14 +371,22 @@ func (c *Coordinator) runSingle(ctx context.Context, key string, do func(ctx con
 	launched := 0
 	launch := func() {
 		b := cands[launched]
+		idx := launched
 		launched++
 		go func() {
+			// One span per backend attempt; attempt > 0 means a hedge
+			// or a failover, and the shared trace ID is what lets the
+			// chaos harness prove failover hops stay in one trace.
+			cctx, span := obs.Start(actx, "call",
+				obs.String("backend", b.url), obs.Int("attempt", idx))
 			var v any
 			err := c.callBackend(b, func() error {
 				var err error
-				v, err = do(actx, b.client)
+				v, err = do(cctx, b.client)
 				return err
 			})
+			span.SetAttr("ok", strconv.FormatBool(err == nil))
+			span.End()
 			results <- attempt{v: v, err: err, b: b}
 		}()
 	}

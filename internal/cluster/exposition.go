@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"bytes"
+	"net/http"
+
+	"primecache/internal/obs"
+	"primecache/internal/server"
+)
+
+// promContentType mirrors the server's exposition version so a scraper
+// cannot tell a coordinator from a single node by the handshake.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromFamilies renders the coordinator's own counters plus one sample
+// per backend (labeled backend=<url>) for the routing-layer families.
+// The coordinator has no Metrics registry — its counters are raw fields
+// — so the families are assembled by hand here.
+func (c *Coordinator) PromFamilies() []obs.Family {
+	counter := func(name, help string, v uint64) obs.Family {
+		return obs.Family{Name: name, Help: help, Kind: obs.KindCounter,
+			Samples: []obs.Sample{{Value: float64(v)}}}
+	}
+	fams := []obs.Family{
+		counter("vcached_coordinator_requests_total", "Requests accepted by the coordinator.", c.requests.Value()),
+		counter("vcached_coordinator_shed_total", "Requests shed by the coordinator's admission valve.", c.shed.Value()),
+		counter("vcached_coordinator_hedges_total", "Hedged backend calls launched.", c.hedges.Value()),
+		counter("vcached_coordinator_reroutes_total", "Jobs rerouted to another replica after a failure.", c.reroutes.Value()),
+		{
+			Name: "vcached_coordinator_healthy_backends", Help: "Backends currently passing readiness probes.",
+			Kind:    obs.KindGauge,
+			Samples: []obs.Sample{{Value: float64(c.health.healthyCount())}},
+		},
+	}
+
+	// Per-backend families: one sample per backend, distinguished by the
+	// backend label. Base URLs contain '://', so these exercise the label
+	// escaping path on every scrape.
+	reqs := obs.Family{Name: "vcached_backend_requests_total",
+		Help: "Calls issued to the backend.", Kind: obs.KindCounter}
+	fails := obs.Family{Name: "vcached_backend_failures_total",
+		Help: "Failed calls to the backend.", Kind: obs.KindCounter}
+	inflight := obs.Family{Name: "vcached_backend_inflight",
+		Help: "Calls in flight to the backend.", Kind: obs.KindGauge}
+	latency := obs.Family{Name: "vcached_backend_latency_seconds",
+		Help: "Observed call latency per backend in seconds.", Kind: obs.KindHistogram}
+	for _, u := range c.ring.Backends() {
+		b := c.backends[u]
+		label := []obs.Label{{Name: "backend", Value: u}}
+		reqs.Samples = append(reqs.Samples, obs.Sample{Labels: label, Value: float64(b.requests.Value())})
+		fails.Samples = append(fails.Samples, obs.Sample{Labels: label, Value: float64(b.failures.Value())})
+		inflight.Samples = append(inflight.Samples, obs.Sample{Labels: label, Value: float64(b.inflight.Value())})
+		latency.Samples = append(latency.Samples, obs.Sample{Labels: label, Hist: promHist(b.latency.Snapshot())})
+	}
+	return append(fams, reqs, fails, inflight, latency)
+}
+
+// promHist re-derives the full cumulative ladder from a sparse latency
+// snapshot, bounds scaled from microseconds to seconds (the server
+// keeps an identical converter for its registry histograms).
+func promHist(s server.HistogramSnapshot) *obs.HistValue {
+	uppersUs, cum := s.Cumulative()
+	edges := make([]float64, len(uppersUs))
+	for i, us := range uppersUs {
+		edges[i] = float64(us) / 1e6
+	}
+	return &obs.HistValue{Edges: edges, CumCounts: cum, Sum: float64(s.SumUs) / 1e6}
+}
+
+// handleMetrics serves the coordinator's families in the Prometheus
+// text exposition format.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var buf bytes.Buffer
+	if err := obs.WriteProm(&buf, c.PromFamilies()); err != nil {
+		writeErr(w, server.Errf(server.CodeInternal, "rendering metrics: %v", err))
+		return
+	}
+	w.Header().Set("Content-Type", promContentType)
+	w.Write(buf.Bytes())
+}
+
+// handleTraces serves the finished-trace ring; 404 when the
+// coordinator was built without a tracer.
+func (c *Coordinator) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if c.tracer == nil {
+		http.Error(w, "tracing is not enabled on this coordinator", http.StatusNotFound)
+		return
+	}
+	c.tracer.TracesHandler().ServeHTTP(w, r)
+}

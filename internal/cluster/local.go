@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"fmt"
 	"net/http/httptest"
 
+	"primecache/internal/obs"
 	"primecache/internal/server"
 )
 
@@ -29,11 +31,21 @@ type LocalCluster struct {
 
 // StartLocal spawns n backends with the given node options plus a
 // coordinator. copts.Backends is filled in; the other coordinator
-// options apply as given.
+// options apply as given. When the coordinator is traced
+// (copts.Tracer != nil) and the node options are not, each backend
+// gets its own tracer (origin "backend-<i>", on the node clock) so
+// cluster tests can stitch the full cross-process span forest.
 func StartLocal(n int, node server.Options, copts Options) (*LocalCluster, error) {
 	lc := &LocalCluster{}
 	for i := 0; i < n; i++ {
-		srv := server.New(node)
+		nopts := node
+		if copts.Tracer != nil && nopts.Tracer == nil {
+			nopts.Tracer = obs.NewTracer(obs.TracerOptions{
+				Origin: fmt.Sprintf("backend-%d", i),
+				Clock:  nopts.Clock,
+			})
+		}
+		srv := server.New(nopts)
 		ts := httptest.NewServer(srv.Handler())
 		lc.Backends = append(lc.Backends, &LocalBackend{Server: srv, HTTP: ts})
 		copts.Backends = append(copts.Backends, ts.URL)

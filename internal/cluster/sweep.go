@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
+	"primecache/internal/obs"
 	"primecache/internal/server"
 )
 
@@ -136,12 +138,22 @@ func (c *Coordinator) subSweep(ctx context.Context, b *backendState, group []rou
 	for i, j := range group {
 		sub.Jobs[i] = j.job
 	}
+	// One span per scatter leg. attempt counts the exclusion depth, so a
+	// rescattered group shows up as a deeper leg with the same trace ID —
+	// the failover hop stays inside one trace. The leg's context carries
+	// the span into client.Sweep, whose header stitches the backend's
+	// whole server-side tree underneath it.
+	lctx, span := obs.Start(ctx, "sweep.leg",
+		obs.String("backend", b.url), obs.Int("jobs", len(group)), obs.Int("attempt", len(excluded)))
+	ctx = lctx
 	var results []server.SweepResult
 	err := c.callBackend(b, func() error {
 		var err error
 		results, err = b.client.Sweep(ctx, sub)
 		return err
 	})
+	span.SetAttr("ok", strconv.FormatBool(err == nil))
+	span.End()
 	if err != nil {
 		// The whole sub-sweep failed: the backend died mid-stream, shed
 		// the batch, or is draining. Retry every job on its next replica

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// tracesResponse is the /v1/debug/traces envelope.
+type tracesResponse struct {
+	Origin string      `json:"origin"`
+	Traces []TraceData `json:"traces"`
+}
+
+// TracesHandler serves the finished-trace ring as JSON. Without a
+// query it returns every retained trace, oldest first; ?id=<hex trace
+// id> returns just that trace (404 when it has been evicted), and
+// ?last=N returns the N most recent.
+func (t *Tracer) TracesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		resp := tracesResponse{Origin: t.origin}
+		if idStr := r.URL.Query().Get("id"); idStr != "" {
+			id, err := strconv.ParseUint(idStr, 16, 64)
+			if err != nil {
+				http.Error(w, "bad trace id: want 16 hex digits", http.StatusBadRequest)
+				return
+			}
+			td, ok := t.TraceByID(TraceID(id))
+			if !ok {
+				http.Error(w, "trace not found (evicted or never finished)", http.StatusNotFound)
+				return
+			}
+			resp.Traces = []TraceData{td}
+		} else {
+			resp.Traces = t.Traces()
+			if lastStr := r.URL.Query().Get("last"); lastStr != "" {
+				n, err := strconv.Atoi(lastStr)
+				if err != nil || n < 0 {
+					http.Error(w, "bad last: want a non-negative integer", http.StatusBadRequest)
+					return
+				}
+				if n < len(resp.Traces) {
+					resp.Traces = resp.Traces[len(resp.Traces)-n:]
+				}
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp)
+	})
+}

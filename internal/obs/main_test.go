@@ -1,0 +1,12 @@
+package obs
+
+import (
+	"testing"
+
+	"primecache/internal/sim/leak"
+)
+
+// The tracer owns no goroutines by construction; leak.Main pins that —
+// a refactor that adds a background flusher or sampler goroutine to the
+// ring fails the suite.
+func TestMain(m *testing.M) { leak.Main(m) }

@@ -1,0 +1,438 @@
+// Package obs is the zero-dependency observability layer threaded
+// through the vcached service stack: request tracing (trace/span IDs
+// minted at the edge, propagated across processes via the
+// X-Vcache-Trace header, recorded into a bounded ring buffer and
+// served at /v1/debug/traces), Prometheus text exposition for the
+// hand-rolled metric registry, and deterministic span-tree rendering
+// for tests. Spans take their timestamps from an injectable sim.Clock,
+// so a cluster driven by a sim.Virtual clock produces byte-identical
+// span trees on every run — per-path latency attribution that works
+// under deterministic simulation, not just on the wall clock.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"primecache/internal/sim"
+)
+
+// TraceID identifies one request end to end, across every process it
+// touches. Zero is "no trace".
+type TraceID uint64
+
+// SpanID identifies one span within a trace. The high 32 bits encode
+// the minting tracer's origin, so IDs from different processes never
+// collide when a test stitches their rings together.
+type SpanID uint64
+
+func (t TraceID) String() string { return fmt.Sprintf("%016x", uint64(t)) }
+func (s SpanID) String() string  { return fmt.Sprintf("%016x", uint64(s)) }
+
+// Header is the trace-propagation header: "<traceID>-<parentSpanID>",
+// both zero-padded hex. A server receiving it records its edge span as
+// a remote child of the sender's span instead of minting a new trace.
+const Header = "X-Vcache-Trace"
+
+// FormatHeader renders the header value for an outgoing request.
+func FormatHeader(t TraceID, s SpanID) string { return t.String() + "-" + s.String() }
+
+// ParseHeader decodes a header value; ok is false for anything
+// malformed (including an absent/empty value), in which case the
+// receiver starts a fresh trace.
+func ParseHeader(v string) (TraceID, SpanID, bool) {
+	t, rest, found := strings.Cut(v, "-")
+	if !found || len(t) != 16 || len(rest) != 16 {
+		return 0, 0, false
+	}
+	tid, err := strconv.ParseUint(t, 16, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	sid, err := strconv.ParseUint(rest, 16, 64)
+	if err != nil || tid == 0 {
+		return 0, 0, false
+	}
+	return TraceID(tid), SpanID(sid), true
+}
+
+// Attr is one span attribute. Attributes are an ordered list, not a
+// map, so rendering is deterministic.
+type Attr struct {
+	K string `json:"k"`
+	V string `json:"v"`
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{K: k, V: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{K: k, V: strconv.Itoa(v)} }
+
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{K: k, V: strconv.FormatBool(v)} }
+
+// SpanData is one finished span, as stored in the ring and served by
+// /v1/debug/traces.
+type SpanData struct {
+	Trace  TraceID `json:"trace"`
+	Span   SpanID  `json:"span"`
+	Parent SpanID  `json:"parent,omitempty"`
+	// Remote marks a span whose parent lives in another process (the
+	// parent ID arrived via the propagation header).
+	Remote     bool      `json:"remote,omitempty"`
+	Origin     string    `json:"origin"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationUs int64     `json:"durationUs"`
+	Attrs      []Attr    `json:"attrs,omitempty"`
+}
+
+// Span is one in-progress timed operation. A nil *Span is a valid
+// no-op receiver for SetAttr and End, so instrumented code paths never
+// have to check whether tracing is wired up.
+type Span struct {
+	tracer *Tracer
+	acc    *traceAcc
+
+	trace  TraceID
+	id     SpanID
+	parent SpanID
+	remote bool
+	root   bool // this span created acc; its End publishes the trace
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	ended bool
+}
+
+// TraceID returns the span's trace, 0 on a nil span.
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return 0
+	}
+	return s.trace
+}
+
+// ID returns the span's ID, 0 on a nil span.
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SetAttr appends one attribute. No-op on a nil or ended span.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.attrs = append(s.attrs, Attr{K: k, V: v})
+	}
+	s.mu.Unlock()
+}
+
+// End finishes the span: its duration is measured on the tracer's
+// clock and the span is appended to its trace. Ending the span that
+// started the trace publishes the whole trace to the ring buffer (late
+// stragglers still append afterwards — the ring holds live
+// accumulators, and snapshots copy under the trace lock). End is
+// idempotent; a nil span ignores it.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+
+	data := SpanData{
+		Trace:      s.trace,
+		Span:       s.id,
+		Parent:     s.parent,
+		Remote:     s.remote,
+		Origin:     s.tracer.origin,
+		Name:       s.name,
+		Start:      s.start,
+		DurationUs: s.tracer.clock.Since(s.start).Microseconds(),
+		Attrs:      attrs,
+	}
+	s.acc.add(data)
+	if s.root {
+		s.tracer.publish(s.acc, data)
+	}
+}
+
+// traceAcc accumulates one trace's finished spans.
+type traceAcc struct {
+	mu      sync.Mutex
+	trace   TraceID
+	spans   []SpanData
+	dropped int
+	max     int
+}
+
+func (a *traceAcc) add(d SpanData) {
+	a.mu.Lock()
+	if len(a.spans) >= a.max {
+		a.dropped++
+	} else {
+		a.spans = append(a.spans, d)
+	}
+	a.mu.Unlock()
+}
+
+func (a *traceAcc) snapshot() ([]SpanData, int) {
+	a.mu.Lock()
+	out := make([]SpanData, len(a.spans))
+	copy(out, a.spans)
+	dropped := a.dropped
+	a.mu.Unlock()
+	return out, dropped
+}
+
+// TracerOptions configures a Tracer. The zero value works: origin
+// "proc", real clock, 256-trace ring, 2048 spans per trace, no log
+// sampling.
+type TracerOptions struct {
+	// Origin names this process in stitched multi-process traces and
+	// namespaces its span IDs. Defaults to "proc".
+	Origin string
+	// Clock is the span time source; nil selects sim.Real. Inject a
+	// sim.Virtual clock for deterministic traces.
+	Clock sim.Clock
+	// Capacity bounds the finished-trace ring buffer (default 256).
+	Capacity int
+	// MaxSpans bounds spans retained per trace; excess spans are
+	// counted, not stored (default 2048).
+	MaxSpans int
+	// Logger, when non-nil, receives one structured line per sampled
+	// finished trace (trace ID, root span, duration, span count).
+	Logger *slog.Logger
+	// SampleEvery logs every Nth finished trace; <= 0 with a Logger
+	// set logs every trace.
+	SampleEvery int
+}
+
+// Tracer mints spans and retains finished traces in a bounded ring.
+// It owns no goroutines: publishing is a slice append under a mutex,
+// so a Tracer can never leak.
+type Tracer struct {
+	origin     string
+	originHash uint64
+	clock      sim.Clock
+	logger     *slog.Logger
+	sample     int
+
+	spanCtr  atomic.Uint64
+	traceCtr atomic.Uint64
+	finished atomic.Uint64
+
+	mu   sync.Mutex
+	ring []*traceAcc // oldest first
+	cap  int
+	max  int
+}
+
+// NewTracer builds a Tracer.
+func NewTracer(o TracerOptions) *Tracer {
+	if o.Origin == "" {
+		o.Origin = "proc"
+	}
+	if o.Capacity <= 0 {
+		o.Capacity = 256
+	}
+	if o.MaxSpans <= 0 {
+		o.MaxSpans = 2048
+	}
+	h := fnv.New32a()
+	h.Write([]byte(o.Origin))
+	return &Tracer{
+		origin:     o.Origin,
+		originHash: uint64(h.Sum32()) << 32,
+		clock:      sim.Or(o.Clock),
+		logger:     o.Logger,
+		sample:     o.SampleEvery,
+		cap:        o.Capacity,
+		max:        o.MaxSpans,
+	}
+}
+
+// Origin returns the tracer's process name.
+func (t *Tracer) Origin() string { return t.origin }
+
+func (t *Tracer) nextSpanID() SpanID {
+	return SpanID(t.originHash | (t.spanCtr.Add(1) & 0xffffffff))
+}
+
+func (t *Tracer) nextTraceID() TraceID {
+	return TraceID(t.originHash | (t.traceCtr.Add(1) & 0xffffffff))
+}
+
+type ctxKey struct{}
+
+// SpanFrom returns the span carried by ctx, nil when there is none.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// ContextWithSpan returns ctx carrying s.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// StartSpan begins a span under the span already in ctx, or — when ctx
+// carries none — roots a fresh trace. The returned context carries the
+// new span for its children.
+func (t *Tracer) StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	if parent := SpanFrom(ctx); parent != nil {
+		return startChild(ctx, parent, name, attrs)
+	}
+	return t.startRoot(ctx, name, t.nextTraceID(), 0, false, attrs)
+}
+
+// StartRemoteSpan begins the local root of a propagated trace: the
+// parent span lives in the process that sent the header.
+func (t *Tracer) StartRemoteSpan(ctx context.Context, name string, trace TraceID, parent SpanID, attrs ...Attr) (context.Context, *Span) {
+	return t.startRoot(ctx, name, trace, parent, true, attrs)
+}
+
+func (t *Tracer) startRoot(ctx context.Context, name string, trace TraceID, parent SpanID, remote bool, attrs []Attr) (context.Context, *Span) {
+	s := &Span{
+		tracer: t,
+		acc:    &traceAcc{trace: trace, max: t.max},
+		trace:  trace,
+		id:     t.nextSpanID(),
+		parent: parent,
+		remote: remote,
+		root:   true,
+		name:   name,
+		start:  t.clock.Now(),
+		attrs:  attrs,
+	}
+	return ContextWithSpan(ctx, s), s
+}
+
+// Start begins a child span of whatever span ctx carries, through that
+// span's own tracer. When ctx has no span it returns (ctx, nil) — and
+// the nil span's methods are no-ops — so deep layers (the worker pool,
+// the evaluators) can instrument unconditionally.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	parent := SpanFrom(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	return startChild(ctx, parent, name, attrs)
+}
+
+func startChild(ctx context.Context, parent *Span, name string, attrs []Attr) (context.Context, *Span) {
+	t := parent.tracer
+	s := &Span{
+		tracer: t,
+		acc:    parent.acc,
+		trace:  parent.trace,
+		id:     t.nextSpanID(),
+		parent: parent.id,
+		name:   name,
+		start:  t.clock.Now(),
+		attrs:  attrs,
+	}
+	return ContextWithSpan(ctx, s), s
+}
+
+// Inject writes the propagation header for the span in ctx; no-op when
+// ctx carries none.
+func Inject(ctx context.Context, h http.Header) {
+	if s := SpanFrom(ctx); s != nil {
+		h.Set(Header, FormatHeader(s.trace, s.id))
+	}
+}
+
+// publish appends a finished trace to the ring and emits the sampled
+// log line.
+func (t *Tracer) publish(acc *traceAcc, root SpanData) {
+	t.mu.Lock()
+	t.ring = append(t.ring, acc)
+	if len(t.ring) > t.cap {
+		t.ring = t.ring[len(t.ring)-t.cap:]
+	}
+	t.mu.Unlock()
+
+	n := t.finished.Add(1)
+	if t.logger == nil {
+		return
+	}
+	if t.sample > 1 && n%uint64(t.sample) != 0 {
+		return
+	}
+	spans, _ := acc.snapshot()
+	t.logger.LogAttrs(context.Background(), slog.LevelInfo, "trace finished",
+		slog.String("trace", root.Trace.String()),
+		slog.String("origin", t.origin),
+		slog.String("root", root.Name),
+		slog.Int64("durationUs", root.DurationUs),
+		slog.Int("spans", len(spans)))
+}
+
+// Finished returns how many traces have completed since the tracer was
+// built (including ones the ring has since evicted).
+func (t *Tracer) Finished() uint64 { return t.finished.Load() }
+
+// TraceData is one finished trace as served by /v1/debug/traces.
+type TraceData struct {
+	Trace TraceID    `json:"trace"`
+	Spans []SpanData `json:"spans"`
+	// Dropped counts spans beyond the per-trace retention cap.
+	Dropped int `json:"dropped,omitempty"`
+	// Tree is the deterministic rendering of this process's spans (see
+	// RenderTree); stitch rings from several processes for the full
+	// cross-process tree.
+	Tree string `json:"tree"`
+}
+
+// Traces snapshots the ring, oldest trace first.
+func (t *Tracer) Traces() []TraceData {
+	t.mu.Lock()
+	accs := make([]*traceAcc, len(t.ring))
+	copy(accs, t.ring)
+	t.mu.Unlock()
+	out := make([]TraceData, 0, len(accs))
+	for _, acc := range accs {
+		spans, dropped := acc.snapshot()
+		out = append(out, TraceData{
+			Trace:   acc.trace,
+			Spans:   spans,
+			Dropped: dropped,
+			Tree:    RenderTree(spans),
+		})
+	}
+	return out
+}
+
+// TraceByID returns one finished trace from the ring.
+func (t *Tracer) TraceByID(id TraceID) (TraceData, bool) {
+	for _, td := range t.Traces() {
+		if td.Trace == id {
+			return td, true
+		}
+	}
+	return TraceData{}, false
+}

@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"primecache/internal/sim"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	tid, sid := TraceID(0xdeadbeef01020304), SpanID(0x0000000a0000000b)
+	v := FormatHeader(tid, sid)
+	if want := "deadbeef01020304-0000000a0000000b"; v != want {
+		t.Fatalf("FormatHeader = %q, want %q", v, want)
+	}
+	gt, gs, ok := ParseHeader(v)
+	if !ok || gt != tid || gs != sid {
+		t.Fatalf("ParseHeader(%q) = %v %v %v", v, gt, gs, ok)
+	}
+	for _, bad := range []string{
+		"", "-", "deadbeef", "deadbeef01020304-", "-0000000a0000000b",
+		"deadbeef0102030-0000000a0000000b",   // short trace
+		"deadbeef01020304-0000000a0000000bc", // long span
+		"zzzzbeef01020304-0000000a0000000b",  // bad hex
+		"0000000000000000-0000000a0000000b",  // zero trace
+	} {
+		if _, _, ok := ParseHeader(bad); ok {
+			t.Errorf("ParseHeader(%q) accepted malformed header", bad)
+		}
+	}
+}
+
+func TestSpanLifecycleVirtualClock(t *testing.T) {
+	clk := sim.NewVirtual()
+	tr := NewTracer(TracerOptions{Origin: "test", Clock: clk})
+
+	ctx, root := tr.StartSpan(context.Background(), "request", String("path", "/v1/simulate"))
+	_, child := Start(ctx, "admit")
+	clk.Advance(50 * time.Microsecond)
+	child.End()
+	_, child2 := Start(ctx, "pool.wait", Int("depth", 3))
+	clk.Advance(25 * time.Microsecond)
+	child2.End()
+	clk.Advance(10 * time.Microsecond)
+	root.SetAttr("status", "200")
+	root.End()
+
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	td := traces[0]
+	if len(td.Spans) != 3 || td.Dropped != 0 {
+		t.Fatalf("got %d spans (%d dropped), want 3", len(td.Spans), td.Dropped)
+	}
+	want := "request path=/v1/simulate status=200 durUs=85\n" +
+		"  admit durUs=50\n" +
+		"  pool.wait depth=3 durUs=25\n"
+	if td.Tree != want {
+		t.Fatalf("tree:\n%s\nwant:\n%s", td.Tree, want)
+	}
+	for _, s := range td.Spans {
+		if s.Trace != td.Trace {
+			t.Errorf("span %s has trace %v, want %v", s.Name, s.Trace, td.Trace)
+		}
+		if s.Origin != "test" {
+			t.Errorf("span %s origin %q, want test", s.Name, s.Origin)
+		}
+	}
+}
+
+func TestNilSpanIsSafe(t *testing.T) {
+	ctx, s := Start(context.Background(), "orphan", Int("i", 1))
+	if s != nil {
+		t.Fatal("Start without a parent span should return nil")
+	}
+	s.SetAttr("k", "v") // must not panic
+	s.End()
+	if s.TraceID() != 0 || s.ID() != 0 {
+		t.Fatal("nil span should have zero IDs")
+	}
+	if SpanFrom(ctx) != nil {
+		t.Fatal("context should not carry a span")
+	}
+}
+
+func TestEndIdempotentAndLateAttrs(t *testing.T) {
+	clk := sim.NewVirtual()
+	tr := NewTracer(TracerOptions{Origin: "test", Clock: clk})
+	_, root := tr.StartSpan(context.Background(), "r")
+	clk.Advance(time.Microsecond)
+	root.End()
+	clk.Advance(time.Second)
+	root.End()                 // second End ignored
+	root.SetAttr("late", "no") // attrs after End ignored
+	if got := tr.Finished(); got != 1 {
+		t.Fatalf("Finished = %d, want 1", got)
+	}
+	td := tr.Traces()[0]
+	if len(td.Spans) != 1 || td.Spans[0].DurationUs != 1 || len(td.Spans[0].Attrs) != 0 {
+		t.Fatalf("span corrupted by post-End calls: %+v", td.Spans[0])
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := NewTracer(TracerOptions{Origin: "test", Clock: sim.NewVirtual(), Capacity: 2})
+	for i := 0; i < 3; i++ {
+		_, s := tr.StartSpan(context.Background(), fmt.Sprintf("r%d", i))
+		s.End()
+	}
+	traces := tr.Traces()
+	if len(traces) != 2 {
+		t.Fatalf("ring holds %d traces, want 2", len(traces))
+	}
+	if got := traces[0].Spans[0].Name; got != "r1" {
+		t.Fatalf("oldest retained trace is %q, want r1 (r0 evicted)", got)
+	}
+	if tr.Finished() != 3 {
+		t.Fatalf("Finished = %d, want 3", tr.Finished())
+	}
+}
+
+func TestMaxSpansDropCounting(t *testing.T) {
+	tr := NewTracer(TracerOptions{Origin: "test", Clock: sim.NewVirtual(), MaxSpans: 2})
+	ctx, root := tr.StartSpan(context.Background(), "r")
+	for i := 0; i < 4; i++ {
+		_, c := Start(ctx, "child")
+		c.End()
+	}
+	root.End()
+	td := tr.Traces()[0]
+	if len(td.Spans) != 2 || td.Dropped != 3 {
+		t.Fatalf("got %d spans %d dropped, want 2 spans 3 dropped", len(td.Spans), td.Dropped)
+	}
+}
+
+func TestRemoteSpanStitching(t *testing.T) {
+	clk := sim.NewVirtual()
+	coord := NewTracer(TracerOptions{Origin: "coordinator", Clock: clk})
+	backend := NewTracer(TracerOptions{Origin: "backend-0", Clock: clk})
+
+	ctx, root := coord.StartSpan(context.Background(), "sweep")
+	ctx, leg := Start(ctx, "sweep.leg", Int("jobs", 4))
+
+	// Propagate exactly as client/server do.
+	req := httptest.NewRequest("POST", "/v1/simulate", nil)
+	Inject(ctx, req.Header)
+	tid, psid, ok := ParseHeader(req.Header.Get(Header))
+	if !ok {
+		t.Fatal("injected header did not parse")
+	}
+	if tid != root.TraceID() || psid != leg.ID() {
+		t.Fatal("header does not carry the innermost span")
+	}
+
+	bctx, edge := backend.StartRemoteSpan(context.Background(), "simulate", tid, psid)
+	_, pool := Start(bctx, "pool.run")
+	clk.Advance(30 * time.Microsecond)
+	pool.End()
+	edge.End()
+	leg.End()
+	root.End()
+
+	if !edge2(backend).Remote {
+		t.Fatal("backend edge span should be marked remote")
+	}
+
+	// Stitch both rings and check the cross-process tree.
+	var all []SpanData
+	for _, tr := range []*Tracer{coord, backend} {
+		for _, td := range tr.Traces() {
+			if td.Trace != tid {
+				t.Fatalf("tracer %s retained foreign trace %v", tr.Origin(), td.Trace)
+			}
+			all = append(all, td.Spans...)
+		}
+	}
+	seen := map[SpanID]bool{}
+	for _, s := range all {
+		if seen[s.Span] {
+			t.Fatalf("span ID collision across origins: %v", s.Span)
+		}
+		seen[s.Span] = true
+	}
+	want := "sweep durUs=30\n" +
+		"  sweep.leg jobs=4 durUs=30\n" +
+		"    simulate durUs=30\n" +
+		"      pool.run durUs=30\n"
+	if got := RenderTree(all); got != want {
+		t.Fatalf("stitched tree:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// edge2 pulls the single remote edge span out of a backend ring.
+func edge2(tr *Tracer) SpanData {
+	for _, td := range tr.Traces() {
+		for _, s := range td.Spans {
+			if s.Remote {
+				return s
+			}
+		}
+	}
+	return SpanData{}
+}
+
+func TestLogSampling(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{}))
+	tr := NewTracer(TracerOptions{Origin: "test", Clock: sim.NewVirtual(), Logger: logger, SampleEvery: 2})
+	for i := 0; i < 4; i++ {
+		_, s := tr.StartSpan(context.Background(), "r")
+		s.End()
+	}
+	if got := strings.Count(buf.String(), "trace finished"); got != 2 {
+		t.Fatalf("sampled %d log lines, want 2:\n%s", got, buf.String())
+	}
+	if !strings.Contains(buf.String(), "origin=test") {
+		t.Fatalf("log line missing origin attr:\n%s", buf.String())
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer(TracerOptions{Origin: "test"})
+	ctx, root := tr.StartSpan(context.Background(), "fanout")
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cctx, s := Start(ctx, "leg", Int("i", i))
+			_, inner := Start(cctx, "inner")
+			inner.SetAttr("ok", "true")
+			inner.End()
+			s.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	td := tr.Traces()[0]
+	if len(td.Spans) != 65 {
+		t.Fatalf("got %d spans, want 65", len(td.Spans))
+	}
+}
+
+func TestTracesHandler(t *testing.T) {
+	clk := sim.NewVirtual()
+	tr := NewTracer(TracerOptions{Origin: "test", Clock: clk})
+	var ids []TraceID
+	for i := 0; i < 3; i++ {
+		_, s := tr.StartSpan(context.Background(), fmt.Sprintf("r%d", i))
+		ids = append(ids, s.TraceID())
+		s.End()
+	}
+	h := tr.TracesHandler()
+
+	get := func(url string) (*httptest.ResponseRecorder, tracesResponse) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		var resp tracesResponse
+		if rec.Code == 200 {
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("GET %s: bad JSON: %v", url, err)
+			}
+		}
+		return rec, resp
+	}
+
+	_, resp := get("/v1/debug/traces")
+	if len(resp.Traces) != 3 || resp.Origin != "test" {
+		t.Fatalf("full listing: %d traces origin %q", len(resp.Traces), resp.Origin)
+	}
+	_, resp = get("/v1/debug/traces?last=2")
+	if len(resp.Traces) != 2 || resp.Traces[1].Trace != ids[2] {
+		t.Fatalf("last=2 returned wrong window")
+	}
+	_, resp = get("/v1/debug/traces?id=" + ids[1].String())
+	if len(resp.Traces) != 1 || resp.Traces[0].Trace != ids[1] {
+		t.Fatalf("id filter returned wrong trace")
+	}
+	if rec, _ := get("/v1/debug/traces?id=zzzz"); rec.Code != 400 {
+		t.Fatalf("bad id: code %d, want 400", rec.Code)
+	}
+	if rec, _ := get("/v1/debug/traces?id=00000000000000ff"); rec.Code != 404 {
+		t.Fatalf("unknown id: code %d, want 404", rec.Code)
+	}
+	if rec, _ := get("/v1/debug/traces?last=-1"); rec.Code != 400 {
+		t.Fatalf("bad last: code %d, want 400", rec.Code)
+	}
+}

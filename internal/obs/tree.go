@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// treeNode is one span plus its resolved children.
+type treeNode struct {
+	span     SpanData
+	children []*treeNode
+}
+
+// line renders one span without its IDs: IDs are minted by racing
+// goroutines, so a byte-stable rendering keeps only the deterministic
+// parts — name, attributes, and the (clock-sourced) duration.
+func (n *treeNode) line() string {
+	var b strings.Builder
+	b.WriteString(n.span.Name)
+	for _, a := range n.span.Attrs {
+		fmt.Fprintf(&b, " %s=%s", a.K, a.V)
+	}
+	fmt.Fprintf(&b, " durUs=%d", n.span.DurationUs)
+	return b.String()
+}
+
+// RenderTree renders spans (from one ring or several stitched rings)
+// as a deterministic ASCII forest. Children attach by parent span ID;
+// a span whose parent is not in the set becomes a root. Siblings sort
+// by start time, then by their rendered line under natural order
+// (embedded integers compare numerically, so "job idx=2" sorts before
+// "job idx=10"), which makes the output a pure function of the span
+// set — the byte-identical-across-runs property the end-to-end
+// determinism test pins.
+func RenderTree(spans []SpanData) string {
+	byID := make(map[SpanID]*treeNode, len(spans))
+	nodes := make([]*treeNode, 0, len(spans))
+	for _, s := range spans {
+		n := &treeNode{span: s}
+		byID[s.Span] = n
+		nodes = append(nodes, n)
+	}
+	var roots []*treeNode
+	for _, n := range nodes {
+		if p, ok := byID[n.span.Parent]; ok && p != n {
+			p.children = append(p.children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	sortNodes(roots)
+	var b strings.Builder
+	for _, r := range roots {
+		writeNode(&b, r, 0)
+	}
+	return b.String()
+}
+
+func sortNodes(ns []*treeNode) {
+	sort.SliceStable(ns, func(i, j int) bool {
+		si, sj := ns[i].span, ns[j].span
+		if !si.Start.Equal(sj.Start) {
+			return si.Start.Before(sj.Start)
+		}
+		return naturalLess(ns[i].line(), ns[j].line())
+	})
+	for _, n := range ns {
+		sortNodes(n.children)
+	}
+}
+
+func writeNode(b *strings.Builder, n *treeNode, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	b.WriteString(n.line())
+	b.WriteByte('\n')
+	for _, c := range n.children {
+		writeNode(b, c, depth+1)
+	}
+}
+
+// naturalLess compares strings with embedded unsigned integers
+// compared numerically: "job 2" < "job 10".
+func naturalLess(a, b string) bool {
+	for len(a) > 0 && len(b) > 0 {
+		if isDigit(a[0]) && isDigit(b[0]) {
+			an, arest := takeNumber(a)
+			bn, brest := takeNumber(b)
+			if an != bn {
+				return an < bn
+			}
+			a, b = arest, brest
+			continue
+		}
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		a, b = a[1:], b[1:]
+	}
+	return len(a) < len(b)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// takeNumber splits a leading digit run into its value and the rest.
+// Runs longer than 18 digits saturate rather than overflow.
+func takeNumber(s string) (uint64, string) {
+	var n uint64
+	i := 0
+	for ; i < len(s) && isDigit(s[i]); i++ {
+		if i < 18 {
+			n = n*10 + uint64(s[i]-'0')
+		}
+	}
+	return n, s[i:]
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func mkSpan(trace TraceID, id, parent SpanID, name string, start int64, attrs ...Attr) SpanData {
+	return SpanData{
+		Trace: trace, Span: id, Parent: parent, Name: name,
+		Start: time.Unix(0, start*int64(time.Microsecond)).UTC(),
+		Attrs: attrs,
+	}
+}
+
+func TestRenderTreeOrphanBecomesRoot(t *testing.T) {
+	spans := []SpanData{
+		mkSpan(1, 2, 99, "orphan", 5), // parent 99 not in the set
+		mkSpan(1, 1, 0, "root", 0),
+		mkSpan(1, 3, 1, "child", 1),
+	}
+	want := "root durUs=0\n" +
+		"  child durUs=0\n" +
+		"orphan durUs=0\n"
+	if got := RenderTree(spans); got != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRenderTreeNaturalSiblingOrder(t *testing.T) {
+	// Same start time: siblings fall back to natural line order, so
+	// job=2 sorts before job=10 even though "10" < "2" lexically.
+	spans := []SpanData{
+		mkSpan(1, 1, 0, "root", 0),
+		mkSpan(1, 4, 1, "leg", 1, Int("job", 10)),
+		mkSpan(1, 3, 1, "leg", 1, Int("job", 2)),
+		mkSpan(1, 2, 1, "leg", 1, Int("job", 1)),
+	}
+	want := "root durUs=0\n" +
+		"  leg job=1 durUs=0\n" +
+		"  leg job=2 durUs=0\n" +
+		"  leg job=10 durUs=0\n"
+	if got := RenderTree(spans); got != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRenderTreeStartTimeWinsOverName(t *testing.T) {
+	spans := []SpanData{
+		mkSpan(1, 1, 0, "root", 0),
+		mkSpan(1, 2, 1, "zzz", 1),
+		mkSpan(1, 3, 1, "aaa", 2),
+	}
+	want := "root durUs=0\n" +
+		"  zzz durUs=0\n" +
+		"  aaa durUs=0\n"
+	if got := RenderTree(spans); got != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRenderTreeInputOrderIrrelevant(t *testing.T) {
+	spans := []SpanData{
+		mkSpan(1, 1, 0, "root", 0),
+		mkSpan(1, 2, 1, "a", 1),
+		mkSpan(1, 3, 2, "b", 2),
+		mkSpan(1, 4, 1, "c", 3),
+	}
+	fwd := RenderTree(spans)
+	rev := make([]SpanData, 0, len(spans))
+	for i := len(spans) - 1; i >= 0; i-- {
+		rev = append(rev, spans[i])
+	}
+	if got := RenderTree(rev); got != fwd {
+		t.Fatalf("tree depends on input order:\n%s\nvs\n%s", got, fwd)
+	}
+}
+
+func TestNaturalLess(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"job 2", "job 10", true},
+		{"job 10", "job 2", false},
+		{"job 2", "job 2", false},
+		{"a", "b", true},
+		{"a1b2", "a1b10", true},
+		{"x 999999999999999999999", "x 1000000000000000000000", false}, // >18-digit runs saturate without overflow
+		{"abc", "abcd", true},
+	}
+	for _, c := range cases {
+		if got := naturalLess(c.a, c.b); got != c.want {
+			t.Errorf("naturalLess(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strconv"
 
 	"primecache/internal/cache"
 	"primecache/internal/core"
 	"primecache/internal/mersenne"
+	"primecache/internal/obs"
 	"primecache/internal/oracle"
 	"primecache/internal/trace"
 	"primecache/internal/vcm"
@@ -62,7 +64,14 @@ func runSimulate(ctx context.Context, req SimulateRequest, opt evalOpts) (*Simul
 	// closed form: answer huge ones (and, under pressure, any for which
 	// the closed form is cheaper than simulating) in O(passes)
 	// arithmetic, guarded by a replayed cross-check at admission.
-	if resp, err := trySimulateAnalytic(req, opt.degrade); err != nil {
+	_, aspan := obs.Start(ctx, "eval.analytic")
+	resp, err := trySimulateAnalytic(req, opt.degrade)
+	aspan.SetAttr("hit", strconv.FormatBool(resp != nil))
+	if resp != nil {
+		aspan.SetAttr("degraded", strconv.FormatBool(resp.Degraded))
+	}
+	aspan.End()
+	if err != nil {
 		return nil, err
 	} else if resp != nil {
 		return resp, nil
@@ -83,11 +92,14 @@ func runSimulate(ctx context.Context, req SimulateRequest, opt evalOpts) (*Simul
 	if err != nil {
 		return nil, err
 	}
+	_, rspan := obs.Start(ctx, "eval.replay")
 	stats, refsDone, err := trace.ReplayPatternContext(ctx, sim, req.Pattern, req.Passes, evalChunk)
+	rspan.SetAttr("refs", strconv.FormatUint(refsDone, 10))
+	rspan.End()
 	if err != nil {
 		return nil, &PartialError{Refs: refsDone, Err: err}
 	}
-	resp := &SimulateResponse{
+	resp = &SimulateResponse{
 		Cache:       sim.Describe(),
 		Spec:        req.Cache.String(),
 		Pattern:     req.Pattern.String(),
@@ -242,11 +254,18 @@ func runSimulateVector(ctx context.Context, req SimulateRequest, vc *core.Vector
 	if p.Name == "diagonal" {
 		stride = int64(p.LD) + 1
 	}
+	// One span for the whole vector drive: per-chunk spans would bloat a
+	// big job's trace past the retention cap, so the chunk count rides
+	// along as an attribute instead.
+	_, vspan := obs.Start(ctx, "eval.vector")
 	var refsDone uint64
+	var chunks int
 	for pass := 0; pass < req.Passes; pass++ {
 		start := p.Start
 		for done := 0; done < p.N; done += evalChunk {
 			if err := ctx.Err(); err != nil {
+				vspan.SetAttr("chunks", strconv.Itoa(chunks))
+				vspan.End()
 				return nil, &PartialError{Refs: refsDone, Err: err}
 			}
 			n := p.N - done
@@ -254,12 +273,18 @@ func runSimulateVector(ctx context.Context, req SimulateRequest, vc *core.Vector
 				n = evalChunk
 			}
 			if _, err := vc.LoadVector(start, stride, n, p.Stream); err != nil {
+				vspan.SetAttr("chunks", strconv.Itoa(chunks))
+				vspan.End()
 				return nil, err
 			}
 			refsDone += uint64(n)
+			chunks++
 			start += uint64(int64(n) * stride)
 		}
 	}
+	vspan.SetAttr("chunks", strconv.Itoa(chunks))
+	vspan.SetAttr("refs", strconv.FormatUint(refsDone, 10))
+	vspan.End()
 	resp := &SimulateResponse{
 		Cache:       vc.Cache().Describe(),
 		Spec:        req.Cache.String(),

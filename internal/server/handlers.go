@@ -7,6 +7,9 @@ import (
 	"fmt"
 	"net/http"
 	"runtime/debug"
+	"strconv"
+
+	"primecache/internal/obs"
 )
 
 // decodeJSON strictly decodes the request body into dst, rejecting
@@ -53,7 +56,11 @@ type inflightCall struct {
 func (s *Server) computeJob(ctx context.Context, job SweepJob, degrade bool) (result any, memoized bool, err error) {
 	key := job.Key()
 	for {
-		if v, ok := s.memo.Get(key); ok {
+		_, mspan := obs.Start(ctx, "memo.lookup")
+		v, hit := s.memo.Get(key)
+		mspan.SetAttr("hit", strconv.FormatBool(hit))
+		mspan.End()
+		if hit {
 			return v, true, nil
 		}
 		if !s.memo.Enabled() {
@@ -84,9 +91,12 @@ func (s *Server) computeJob(ctx context.Context, job SweepJob, degrade bool) (re
 			return c.val, false, c.err
 		}
 
+		_, jspan := obs.Start(ctx, "singleflight.join")
 		select {
 		case <-c.done:
+			jspan.End()
 		case <-ctx.Done():
+			jspan.End()
 			return nil, false, ctx.Err()
 		}
 		if c.err != nil {
@@ -163,7 +173,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	release, err := s.admitRequest("simulate")
+	release, err := s.admitRequest(r.Context(), "simulate")
 	if err != nil {
 		writeError(w, err)
 		return
@@ -192,7 +202,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	release, err := s.admitRequest("model")
+	release, err := s.admitRequest(r.Context(), "model")
 	if err != nil {
 		writeError(w, err)
 		return
@@ -225,7 +235,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	// One admission slot covers the whole batch: the worker pool already
 	// bounds its parallelism, so the queue tracks requests, not jobs.
-	release, err := s.admitRequest("sweep")
+	release, err := s.admitRequest(r.Context(), "sweep")
 	if err != nil {
 		writeError(w, err)
 		return
@@ -242,8 +252,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for i := range req.Jobs {
 		slots[i] = make(chan SweepResult, 1)
 		go func(i int, job SweepJob) {
+			// Per-job span, ended before the result is handed to the
+			// writer: once the response is written every job span is in
+			// the trace.
+			jctx, jspan := obs.Start(ctx, "sweep.job", obs.Int("idx", i))
 			res := SweepResult{Index: i}
-			v, memoized, err := s.computeJob(ctx, job, degrade)
+			v, memoized, err := s.computeJob(jctx, job, degrade)
 			if err != nil {
 				ae := asAPIError(err)
 				res.Error = ae.Message
@@ -257,6 +271,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 					res.Model = t
 				}
 			}
+			jspan.End()
 			slots[i] <- res
 		}(i, req.Jobs[i])
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -66,9 +67,10 @@ func (h *Histogram) Observe(d time.Duration) {
 // HistogramSnapshot is the JSON form of a Histogram.
 type HistogramSnapshot struct {
 	// Count is the number of observations; MeanUs their mean in
-	// microseconds.
+	// microseconds and SumUs their total.
 	Count  uint64  `json:"count"`
 	MeanUs float64 `json:"meanUs"`
+	SumUs  int64   `json:"sumUs"`
 	// Buckets maps each upper bound (µs; the last is an overflow
 	// bucket reported as upperUs = -1) to its observation count.
 	Buckets []HistogramBucket `json:"buckets,omitempty"`
@@ -95,7 +97,11 @@ func (s HistogramSnapshot) QuantileUs(q float64) int64 {
 	} else if q > 1 {
 		q = 1
 	}
-	need := uint64(q * float64(s.Count))
+	// The q-quantile is the ceil(q·count)-th observation: truncating
+	// here used to under-rank (9 fast + 10 slow observations at q=0.5
+	// needs the 10th — truncation asked for the 9th and reported the
+	// fast bucket even though the median observation is slow).
+	need := uint64(math.Ceil(q * float64(s.Count)))
 	if need == 0 {
 		need = 1
 	}
@@ -113,12 +119,36 @@ func (s HistogramSnapshot) QuantileUs(q float64) int64 {
 	return histBuckets[len(histBuckets)-1]
 }
 
+// Cumulative re-derives the full Prometheus-style bucket ladder from a
+// sparse snapshot: every finite upper bound in microseconds (ascending)
+// plus a final implicit +Inf entry, each with the cumulative count of
+// observations at or below it. Zero buckets the sparse snapshot omitted
+// reappear here carrying the running total, so the ladder is always
+// complete and non-decreasing — the exposition layer and its property
+// tests both lean on that.
+func (s HistogramSnapshot) Cumulative() (uppersUs []int64, cum []uint64) {
+	uppersUs = make([]int64, len(histBuckets))
+	copy(uppersUs, histBuckets[:])
+	cum = make([]uint64, len(histBuckets)+1)
+	sparse := make(map[int64]uint64, len(s.Buckets))
+	for _, b := range s.Buckets {
+		sparse[b.UpperUs] = b.Count
+	}
+	var running uint64
+	for i, upper := range uppersUs {
+		running += sparse[upper]
+		cum[i] = running
+	}
+	cum[len(histBuckets)] = running + sparse[-1] // overflow joins +Inf
+	return uppersUs, cum
+}
+
 // Snapshot returns a consistent-enough copy for reporting (buckets are
 // read individually; concurrent observations may straddle the read).
 func (h *Histogram) Snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{Count: h.count.Load()}
+	s := HistogramSnapshot{Count: h.count.Load(), SumUs: h.sumUs.Load()}
 	if s.Count > 0 {
-		s.MeanUs = float64(h.sumUs.Load()) / float64(s.Count)
+		s.MeanUs = float64(s.SumUs) / float64(s.Count)
 	}
 	for i := range h.buckets {
 		n := h.buckets[i].Load()

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"primecache/internal/obs"
 	"primecache/internal/sim"
 )
 
@@ -34,6 +35,9 @@ type poolTask struct {
 	ctx  context.Context
 	fn   func(context.Context) (any, error)
 	done chan poolResult
+	// wait spans the time between Submit and a worker picking the task
+	// up; run() ends it and opens the sibling pool.run span around fn.
+	wait *obs.Span
 }
 
 type poolResult struct {
@@ -103,6 +107,7 @@ func (p *Pool) worker() {
 
 func (p *Pool) run(t *poolTask) {
 	p.queued.Dec()
+	t.wait.End()
 	// A job whose requester already gave up is not worth computing.
 	if err := t.ctx.Err(); err != nil {
 		t.done <- poolResult{err: err}
@@ -110,7 +115,9 @@ func (p *Pool) run(t *poolTask) {
 	}
 	p.busy.Inc()
 	start := p.clock.Now()
-	v, err := t.fn(t.ctx)
+	ctx, span := obs.Start(t.ctx, "pool.run")
+	v, err := t.fn(ctx)
+	span.End()
 	p.latency.Observe(p.clock.Since(start))
 	p.busy.Dec()
 	p.completed.Inc()
@@ -122,15 +129,18 @@ func (p *Pool) run(t *poolTask) {
 // closed before the job is accepted. fn is responsible for honouring ctx
 // once it is running.
 func (p *Pool) Submit(ctx context.Context, fn func(context.Context) (any, error)) (any, error) {
-	t := &poolTask{ctx: ctx, fn: fn, done: make(chan poolResult, 1)}
+	_, wait := obs.Start(ctx, "pool.wait")
+	t := &poolTask{ctx: ctx, fn: fn, done: make(chan poolResult, 1), wait: wait}
 	p.queued.Inc()
 	select {
 	case p.tasks <- t:
 	case <-ctx.Done():
 		p.queued.Dec()
+		wait.End()
 		return nil, ctx.Err()
 	case <-p.closed:
 		p.queued.Dec()
+		wait.End()
 		return nil, ErrPoolClosed
 	}
 	select {
@@ -146,6 +156,7 @@ func (p *Pool) Submit(ctx context.Context, fn func(context.Context) (any, error)
 			// Submit's increment is never matched by run(): the task
 			// is abandoned, so account for it here.
 			p.queued.Dec()
+			wait.End()
 			return nil, ErrPoolClosed
 		}
 	}

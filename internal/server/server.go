@@ -4,10 +4,12 @@ import (
 	"context"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"primecache/internal/obs"
 	"primecache/internal/sim"
 )
 
@@ -48,6 +50,13 @@ type Options struct {
 	// fault sleeps; nil selects the real clock. Simulation tests inject
 	// a sim.Virtual clock and advance it explicitly.
 	Clock sim.Clock
+	// Tracer, when non-nil, records a span tree per compute request:
+	// an edge span at the handler (stitched to the caller's trace when
+	// the X-Vcache-Trace header is present) with children around
+	// admission, memo lookup, queue wait, and evaluation. Finished
+	// traces are served at /v1/debug/traces. Nil disables tracing; the
+	// instrumented paths become no-ops.
+	Tracer *obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -76,6 +85,7 @@ func (o Options) withDefaults() Options {
 type Server struct {
 	opts    Options
 	clock   sim.Clock
+	tracer  *obs.Tracer
 	metrics *Metrics
 	memo    *Memo
 	pool    *Pool
@@ -112,6 +122,7 @@ func New(opts Options) *Server {
 	s := &Server{
 		opts:    opts,
 		clock:   clk,
+		tracer:  opts.Tracer,
 		metrics: m,
 		memo:    NewMemo(opts.MemoEntries),
 		pool:    NewPoolOn(opts.Workers, m, clk),
@@ -134,6 +145,12 @@ func New(opts Options) *Server {
 	s.mux.Handle("GET /v1/healthz", s.instrumentLive("healthz", s.handleHealthz))
 	s.mux.Handle("GET /v1/readyz", s.instrumentLive("readyz", s.handleReadyz))
 	s.mux.Handle("GET /v1/stats", s.instrument("stats", s.handleStats))
+	// Scrapes and trace pulls are observability plumbing, not compute:
+	// like the probes they stay answerable during a drain, and they are
+	// not themselves traced (a scraper polling every few seconds would
+	// churn the ring with single-span traces).
+	s.mux.Handle("GET /metrics", s.instrumentLive("metrics", s.handleMetrics))
+	s.mux.Handle("GET /v1/debug/traces", s.instrumentLive("traces", s.handleTraces))
 	s.httpSrv = &http.Server{Handler: s.mux}
 	return s
 }
@@ -143,6 +160,11 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Metrics returns the registry (for tests and embedding).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Tracer returns the server's tracer, nil when tracing is disabled.
+// Cluster tests use it to read a backend's finished-trace ring directly
+// instead of over HTTP.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Serve accepts connections on l until Shutdown or Close. It always
 // returns a non-nil error; after Shutdown it returns http.ErrServerClosed.
@@ -207,7 +229,9 @@ func (s *Server) Close() error {
 // admitRequest runs the fault hook and the admission valve for one
 // compute request. On success the returned release must be called once
 // the response is written; on overload it returns the 429 envelope.
-func (s *Server) admitRequest(endpoint string) (func(), error) {
+func (s *Server) admitRequest(ctx context.Context, endpoint string) (func(), error) {
+	_, span := obs.Start(ctx, "admit")
+	defer span.End()
 	if s.opts.Faults != nil {
 		f := s.opts.Faults("admit", s.admitSeq.Add(1))
 		if f.Latency > 0 {
@@ -218,11 +242,13 @@ func (s *Server) admitRequest(endpoint string) (func(), error) {
 		}
 		if f.QueueFull {
 			s.admit.shed.Inc()
+			span.SetAttr("shed", "true")
 			return nil, s.overloadedError()
 		}
 	}
 	release, ok := s.admit.tryAdmit(endpoint)
 	if !ok {
+		span.SetAttr("shed", "true")
 		return nil, s.overloadedError()
 	}
 	return release, nil
@@ -296,11 +322,36 @@ func (s *Server) wrap(name string, h http.HandlerFunc, live bool) http.Handler {
 			defer s.inflight.Done()
 		}
 
+		// Edge span: the local root of this request's trace. A propagated
+		// header stitches it under the caller's span; otherwise a fresh
+		// trace starts here. Probe/scrape handlers (live) are not traced.
+		var span *obs.Span
+		if s.tracer != nil && !live {
+			ctx := r.Context()
+			if tid, sid, ok := obs.ParseHeader(r.Header.Get(obs.Header)); ok {
+				ctx, span = s.tracer.StartRemoteSpan(ctx, name, tid, sid)
+			} else {
+				ctx, span = s.tracer.StartSpan(ctx, name)
+			}
+			r = r.WithContext(ctx)
+		}
+
 		requests.Inc()
 		inflight.Inc()
 		start := s.clock.Now()
 		sw := &statusWriter{ResponseWriter: w}
 		h(sw, r)
+		if span != nil {
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			span.SetAttr("status", strconv.Itoa(status))
+			// End (and so publish) before the gauges tick down: when the
+			// chaos harness observes a quiesced server, every admitted
+			// request's trace is already in the ring.
+			span.End()
+		}
 		latency.Observe(s.clock.Since(start))
 		inflight.Dec()
 		if sw.status >= 400 {

@@ -11,6 +11,7 @@ import (
 	"primecache/internal/cache"
 	"primecache/internal/client"
 	"primecache/internal/cluster"
+	"primecache/internal/obs"
 	"primecache/internal/server"
 	"primecache/internal/sim"
 	"primecache/internal/sim/leak"
@@ -90,6 +91,7 @@ const (
 	InvOracle    = "oracle-identical"  // payloads byte-identical to the single-node oracle
 	InvLocality  = "memo-locality"     // repeat of an identical job is a memo hit
 	InvAdmission = "admission-quiesce" // admission/pool/inflight gauges return to zero between steps
+	InvTrace     = "trace-stitching"   // every backend trace stitches to a coordinator trace across the hop
 	InvLeak      = "goroutine-leak"    // everything spawned during the run exits at teardown
 )
 
@@ -99,6 +101,7 @@ type run struct {
 	sched  sim.Schedule
 	nodes  []*node
 	coord  *cluster.Coordinator
+	tracer *obs.Tracer
 	cts    *httptest.Server
 	cl     *client.Client
 	req    server.SweepRequest
@@ -131,6 +134,7 @@ func Run(o Options) (*Report, error) {
 		r.runSweep(step)
 		r.checkLocality(step)
 		r.checkQuiesce(step)
+		r.checkTraces(step)
 	}
 	r.teardown()
 	if left := leak.Wait(2 * time.Second); len(left) > 0 {
@@ -181,12 +185,18 @@ func (r *run) setup() error {
 	// Probing and hedging are schedule-driven: the background prober is
 	// off (EventProbe runs rounds explicitly) and hedging is disabled so
 	// a request's backend is a deterministic function of health state.
+	// Tracing stays on for every run: the harness doubles as the proof
+	// that instrumentation never perturbs an invariant, and the stitching
+	// check needs the rings. Capacity covers a full run (every step's
+	// sweep plus two locality probes) without eviction.
+	r.tracer = obs.NewTracer(obs.TracerOptions{Origin: "coord", Capacity: 1024})
 	coord, err := cluster.New(cluster.Options{
 		Backends:       backends,
 		Replicas:       r.sched.Nodes,
 		ProbeInterval:  -1,
 		HedgeAfter:     -1,
 		RequestTimeout: r.opts.RequestTimeout,
+		Tracer:         r.tracer,
 		DropRescatter:  r.opts.DropRescatter,
 	})
 	if err != nil {
@@ -363,6 +373,61 @@ func (r *run) quiesceProblem() string {
 		for _, g := range []string{"admission.queued", "pool.busy", "pool.queued", "inflight"} {
 			if v := snap.Gauges[g]; v != 0 {
 				return fmt.Sprintf("node %d gauge %s = %d at rest, want 0", n.idx, g, v)
+			}
+		}
+	}
+	return ""
+}
+
+// checkTraces asserts the distributed-tracing invariant at rest: every
+// trace in every live node's ring must carry a remotely-parented edge
+// span (the propagation header survived the hop) and its trace ID must
+// exist in the coordinator's own ring — including traces created by
+// re-scattered or hedged work, which is exactly how "a failover hop
+// stays inside one trace" is proven. Publication trails the HTTP
+// response by a scheduler beat (the edge span ends after the handler
+// returns), so the check polls briefly like checkQuiesce does.
+func (r *run) checkTraces(step int) {
+	deadline := time.Now().Add(2 * time.Second)
+	var detail string
+	for {
+		detail = r.traceProblem()
+		if detail == "" {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r.violate(step, InvTrace, detail)
+}
+
+// traceProblem returns a description of the first stitching breach, or
+// "" when every backend trace joins up.
+func (r *run) traceProblem() string {
+	known := make(map[obs.TraceID]bool)
+	for _, td := range r.tracer.Traces() {
+		known[td.Trace] = true
+	}
+	for _, n := range r.nodes {
+		srv := n.server()
+		if srv == nil {
+			continue
+		}
+		for _, td := range srv.Tracer().Traces() {
+			remote := false
+			for _, s := range td.Spans {
+				if s.Remote {
+					remote = true
+					break
+				}
+			}
+			if !remote {
+				return fmt.Sprintf("node %d trace %016x has no remote edge span — the propagation header was dropped", n.idx, uint64(td.Trace))
+			}
+			if !known[td.Trace] {
+				return fmt.Sprintf("node %d trace %016x is unknown to the coordinator — the trace ID did not survive the hop", n.idx, uint64(td.Trace))
 			}
 		}
 	}

@@ -5,17 +5,20 @@
 // distributed-systems invariants the cluster must keep — no lost or
 // duplicated jobs, byte-identical results against a single-node oracle,
 // memoizer locality across failover, admission-gauge conservation at
-// quiesce, and no goroutine leaks at teardown. Every run's event log is
-// a pure function of its seed, so any violation is replayable from the
-// seed alone.
+// quiesce, trace stitching across every hop (including failover hops),
+// and no goroutine leaks at teardown. Every run's event log is a pure
+// function of its seed, so any violation is replayable from the seed
+// alone.
 package chaos
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync"
 	"time"
 
+	"primecache/internal/obs"
 	"primecache/internal/server"
 	"primecache/internal/sim"
 )
@@ -65,6 +68,7 @@ type node struct {
 	mu  sync.Mutex
 	srv *server.Server
 	up  bool
+	gen int // boot generation, bumped on every start
 }
 
 // newNode boots one backend. nopts is copied; its Clock is replaced by
@@ -78,9 +82,22 @@ func newNode(idx int, nopts server.Options) *node {
 }
 
 // start boots a fresh server behind the gate (initial boot and every
-// restart): empty memoizer, zeroed metrics — crash-restart loses state.
+// restart): empty memoizer, zeroed metrics, fresh tracer —
+// crash-restart loses state. The tracer's origin carries the boot
+// generation so span IDs from a pre-crash incarnation can never
+// collide with post-restart ones inside the same stitched trace.
 func (n *node) start() {
-	srv := server.New(n.opts)
+	n.mu.Lock()
+	n.gen++
+	gen := n.gen
+	n.mu.Unlock()
+	opts := n.opts
+	opts.Tracer = obs.NewTracer(obs.TracerOptions{
+		Origin:   fmt.Sprintf("node-%d.%d", n.idx, gen),
+		Clock:    opts.Clock,
+		Capacity: 1024,
+	})
+	srv := server.New(opts)
 	n.mu.Lock()
 	n.srv = srv
 	n.up = true
