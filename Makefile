@@ -18,7 +18,7 @@ FUZZTIME ?= 10s
 # Seeded fault schedules per `make chaos` run (see internal/sim/chaos).
 CHAOS_SCHEDULES ?= 50
 
-.PHONY: build test vet race race-server cluster-test stress chaos bench bench-go bench-smoke oracle fuzz-smoke obs-test obscheck golden-update ci
+.PHONY: build test vet race race-server cluster-test stress chaos persist-test bench bench-go bench-smoke oracle fuzz-smoke obs-test obscheck golden-update ci
 
 build:
 	$(GO) build ./...
@@ -110,10 +110,19 @@ obs-test: obscheck
 obscheck:
 	$(GO) run ./cmd/obscheck
 
+# Durable memo-tier suite under the race detector: the persist store's
+# own tests (log replay, torn tails, corrupt-record quarantine, segment
+# rotation, compaction, snapshot restore), plus the warm-restart,
+# conditional-GET, and stats-schema-2 contracts across the server,
+# client, cluster, and chaos layers.
+persist-test:
+	$(GO) test -race -count=1 ./internal/persist/
+	$(GO) test -race -count=1 -run 'Persist|Warm|ETag|Conditional|StatsV2|StatsSchema' ./internal/server/ ./internal/client/ ./internal/cluster/ ./internal/sim/chaos/
+
 # Regenerate the golden files for the report renderers, the figures
 # command, and the /metrics exposition after an intended output change.
 golden-update:
 	$(GO) test ./internal/report/ ./cmd/figures/ -update
 	$(GO) test ./internal/server/ -run Golden -update
 
-ci: vet build test race-server cluster-test stress chaos obs-test fuzz-smoke oracle bench-smoke
+ci: vet build test race-server cluster-test stress chaos persist-test obs-test fuzz-smoke oracle bench-smoke

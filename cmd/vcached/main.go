@@ -54,6 +54,7 @@ import (
 
 	"primecache/internal/cluster"
 	"primecache/internal/obs"
+	"primecache/internal/persist"
 	"primecache/internal/server"
 )
 
@@ -72,6 +73,9 @@ func main() {
 		queue     = flag.Int("queue", 0, "admission backlog beyond the worker count; excess requests get 429 (0 = default 256, negative = none)")
 		epLimit   = flag.Int("endpoint-limit", 0, "max concurrently admitted requests per endpoint (0 = global queue only)")
 		degradeAt = flag.Float64("degrade-threshold", 0, "admission-pressure fraction at which qualifying jobs degrade to analytic answers (0 = default 0.75, negative disables)")
+
+		persistDir      = flag.String("persist-dir", "", "directory for the disk-backed memo tier; restarts start warm from it (empty disables persistence)")
+		persistMaxBytes = flag.Int64("persist-max-bytes", 0, "disk budget for the persist log; oldest segments are dropped beyond it (0 = default 256MiB, negative = unbounded)")
 
 		debugAddr  = flag.String("debug-addr", "", "listen address for the pprof debug server (empty disables)")
 		traceRing  = flag.Int("trace-ring", 256, "finished-trace ring capacity served at /v1/debug/traces (0 disables tracing)")
@@ -99,6 +103,17 @@ func main() {
 	if reqTimeout == 0 {
 		reqTimeout = -1 // Options treats 0 as "default"; <0 disables
 	}
+	var store *persist.Store
+	if *persistDir != "" {
+		var err error
+		store, err = persist.Open(persist.Options{Dir: *persistDir, MaxBytes: *persistMaxBytes})
+		if err != nil {
+			log.Fatalf("vcached: opening persist dir: %v", err)
+		}
+		st := store.Stats()
+		log.Printf("vcached persist tier open: %d warm keys, %d segments, %d bytes (snapshot=%v torn=%d corrupt=%d)",
+			st.Keys, st.Segments, st.DiskBytes, st.SnapshotRestore, st.TornTruncations, st.CorruptRecords)
+	}
 	srv := server.New(server.Options{
 		Workers:        *workers,
 		MemoEntries:    *memo,
@@ -111,6 +126,7 @@ func main() {
 		QueueDepth:          *queue,
 		EndpointConcurrency: *epLimit,
 		DegradeThreshold:    *degradeAt,
+		Persist:             store,
 		Tracer:              newTracer("vcached", *traceRing, *traceEvery),
 	})
 

@@ -9,10 +9,12 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 
 	"primecache/internal/cache"
 	"primecache/internal/client"
 	"primecache/internal/cluster"
+	"primecache/internal/persist"
 	"primecache/internal/server"
 	"primecache/internal/trace"
 )
@@ -46,6 +48,7 @@ func Suite() []Scenario {
 		serviceSimulate("service/simulate/memo-hit", true),
 		serviceSimulate("service/simulate/memo-miss", false),
 		serviceOverload(),
+		serviceWarmRestart(),
 		clusterSweepScatter(),
 	)
 	return scenarios
@@ -176,6 +179,82 @@ func serviceSimulate(name string, hit bool) Scenario {
 				v = seq
 			}
 			return post(v)
+		}
+		return op, cleanup, nil
+	}}
+}
+
+// serviceWarmRestart measures the disk tier end to end: setup computes
+// a band of jobs on a vcached instance over a persist directory, shuts
+// it down gracefully (fsync + snapshot), then boots a fresh instance on
+// the same directory with the in-memory memoizer disabled — so every
+// measured op answers a pre-restart job straight from the warm-start
+// store (decode, disk lookup, CRC re-verify, respond), never from
+// memory and never by recomputing. Compare against
+// service/simulate/memo-miss for the cold cost of the same round trip.
+func serviceWarmRestart() Scenario {
+	const jobs = 8
+	return Scenario{Name: "service/vcached-warm-restart", Setup: func() (func() error, func(), error) {
+		dir, err := os.MkdirTemp("", "primebench-warm-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		fail := func(err error) (func() error, func(), error) {
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		reqs := make([]server.SimulateRequest, jobs)
+		for i := range reqs {
+			reqs[i] = server.SimulateRequest{
+				Cache:   cache.Spec{Kind: "assoc", Lines: 4096, Ways: 4},
+				Pattern: trace.Pattern{Name: "strided", Stride: int64(7 + 2*i), N: 8192, Stream: 1},
+				Passes:  2,
+			}
+		}
+		// First incarnation: compute the band, then shut down cleanly so
+		// the directory ends with a snapshot to restore from.
+		store, err := persist.Open(persist.Options{Dir: dir})
+		if err != nil {
+			return fail(err)
+		}
+		srv1 := server.New(server.Options{Persist: store})
+		ts1 := httptest.NewServer(srv1.Handler())
+		c1 := client.New(ts1.URL, client.WithRetries(0), client.WithHTTPClient(ts1.Client()))
+		for _, rq := range reqs {
+			if _, err := c1.Simulate(context.Background(), rq); err != nil {
+				ts1.Close()
+				srv1.Close()
+				return fail(fmt.Errorf("warm-restart setup compute: %w", err))
+			}
+		}
+		ts1.Close()
+		if err := srv1.Shutdown(context.Background()); err != nil {
+			return fail(err)
+		}
+		store2, err := persist.Open(persist.Options{Dir: dir})
+		if err != nil {
+			return fail(err)
+		}
+		srv2 := server.New(server.Options{Persist: store2, MemoEntries: -1})
+		ts2 := httptest.NewServer(srv2.Handler())
+		c2 := client.New(ts2.URL, client.WithRetries(0), client.WithHTTPClient(ts2.Client()))
+		cleanup := func() {
+			ts2.Close()
+			srv2.Close()
+			os.RemoveAll(dir)
+		}
+		var seq int
+		op := func() error {
+			rq := reqs[seq%jobs]
+			seq++
+			res, err := c2.Simulate(context.Background(), rq)
+			if err != nil {
+				return err
+			}
+			if !res.Memoized {
+				return fmt.Errorf("warm restart recomputed stride %d instead of serving it from disk", rq.Pattern.Stride)
+			}
+			return nil
 		}
 		return op, cleanup, nil
 	}}

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"primecache/internal/cache"
+	"primecache/internal/client"
+	"primecache/internal/persist"
+	"primecache/internal/server"
+	"primecache/internal/trace"
+)
+
+// warmBenchJob is the job both sides of the speedup test serve: a
+// 4-way set-associative organisation (never eligible for the analytic
+// closed form, so the cold side must simulate all 128Ki references) at
+// a size where compute dwarfs the HTTP round trip.
+func warmBenchJob() server.SimulateRequest {
+	return server.SimulateRequest{
+		Cache:   cache.Spec{Kind: "assoc", Lines: 4096, Ways: 4},
+		Pattern: trace.Pattern{Name: "strided", Stride: 17, N: 1 << 16, Stream: 1},
+		Passes:  2,
+	}
+}
+
+// coldCompute is the control: memo and persist both absent, so every op
+// recomputes the job from scratch through the pool.
+func coldCompute(job server.SimulateRequest) Scenario {
+	return Scenario{Name: "test/cold-compute", Setup: func() (func() error, func(), error) {
+		srv := server.New(server.Options{MemoEntries: -1})
+		ts := httptest.NewServer(srv.Handler())
+		c := client.New(ts.URL, client.WithRetries(0), client.WithHTTPClient(ts.Client()))
+		cleanup := func() {
+			ts.Close()
+			srv.Close()
+		}
+		op := func() error {
+			res, err := c.Simulate(context.Background(), job)
+			if err != nil {
+				return err
+			}
+			if res.Memoized {
+				return fmt.Errorf("cold op was memoized — control is not measuring compute")
+			}
+			return nil
+		}
+		return op, cleanup, nil
+	}}
+}
+
+// warmFromDisk computes the job once on a persist-backed instance,
+// restarts onto the same directory with the memoizer disabled, and
+// serves every op from the warm-start store.
+func warmFromDisk(job server.SimulateRequest) (Scenario, error) {
+	dir, err := os.MkdirTemp("", "bench-warm-test-*")
+	if err != nil {
+		return Scenario{}, err
+	}
+	return Scenario{Name: "test/warm-from-disk", Setup: func() (func() error, func(), error) {
+		store, err := persist.Open(persist.Options{Dir: dir})
+		if err != nil {
+			return nil, nil, err
+		}
+		srv1 := server.New(server.Options{Persist: store})
+		ts1 := httptest.NewServer(srv1.Handler())
+		c1 := client.New(ts1.URL, client.WithRetries(0), client.WithHTTPClient(ts1.Client()))
+		if _, err := c1.Simulate(context.Background(), job); err != nil {
+			ts1.Close()
+			srv1.Close()
+			return nil, nil, err
+		}
+		ts1.Close()
+		if err := srv1.Shutdown(context.Background()); err != nil {
+			return nil, nil, err
+		}
+		store2, err := persist.Open(persist.Options{Dir: dir})
+		if err != nil {
+			return nil, nil, err
+		}
+		srv2 := server.New(server.Options{Persist: store2, MemoEntries: -1})
+		ts2 := httptest.NewServer(srv2.Handler())
+		c2 := client.New(ts2.URL, client.WithRetries(0), client.WithHTTPClient(ts2.Client()))
+		cleanup := func() {
+			ts2.Close()
+			srv2.Close()
+			os.RemoveAll(dir)
+		}
+		op := func() error {
+			res, err := c2.Simulate(context.Background(), job)
+			if err != nil {
+				return err
+			}
+			if !res.Memoized {
+				return fmt.Errorf("warm op recomputed instead of hitting the persist tier")
+			}
+			return nil
+		}
+		return op, cleanup, nil
+	}}, nil
+}
+
+// TestWarmRestartSpeedup pins the acceptance bound from the persistence
+// design: answering a previously-persisted job after a restart must be
+// at least 10× faster than recomputing it. Both sides run the identical
+// request through the identical HTTP stack; the only difference is
+// whether the answer comes from disk or from 128Ki simulated
+// references.
+func TestWarmRestartSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup measurement skipped in -short mode")
+	}
+	job := warmBenchJob()
+	warm, err := warmFromDisk(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{MinTime: 200 * time.Millisecond}
+	coldRes, err := Measure(coldCompute(job), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmRes, err := Measure(warm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := coldRes.NsPerOp / warmRes.NsPerOp
+	t.Logf("cold %.0f ns/op, warm %.0f ns/op, speedup %.1f×", coldRes.NsPerOp, warmRes.NsPerOp, ratio)
+	if ratio < 10 {
+		t.Errorf("warm restart is only %.1f× faster than cold compute, want ≥ 10×", ratio)
+	}
+}

@@ -33,6 +33,7 @@ type Client struct {
 	backoff time.Duration // first retry delay, doubled per attempt
 	maxWait time.Duration // ceiling on any single delay
 	clock   sim.Clock     // backoff timer source; sim.Real in production
+	etags   *etagCache    // conditional-request cache; nil when disabled
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -72,6 +73,14 @@ func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
 
+// WithETagCache resizes the conditional-request cache: the client
+// remembers the last n (ETag, result) pairs per canonical job key and
+// sends If-None-Match automatically, serving 304s from the stored copy
+// with NotModified set (default 256; <= 0 disables conditionals).
+func WithETagCache(n int) Option {
+	return func(c *Client) { c.etags = newEtagCache(n) }
+}
+
 // WithClock injects the time source behind retry backoff waits, so
 // simulation tests advance the delays explicitly instead of waiting
 // them out on the wall clock.
@@ -89,6 +98,7 @@ func New(baseURL string, opts ...Option) *Client {
 		backoff: 50 * time.Millisecond,
 		maxWait: 5 * time.Second,
 		clock:   sim.Real,
+		etags:   newEtagCache(256),
 	}
 	for _, o := range opts {
 		o(c)
@@ -125,33 +135,75 @@ func (e *Error) Temporary() bool {
 }
 
 // SimulateResult is a simulate response plus the transport-level
-// memoization flag.
+// memoization flag. ETag carries the response's strong validator;
+// NotModified is true when this call was answered 304 from the
+// client's conditional cache (the payload is the stored copy, and
+// Memoized reflects the server's verdict from the 304's header).
 type SimulateResult struct {
 	server.SimulateResponse
-	Memoized bool `json:"memoized"`
+	Memoized    bool   `json:"memoized"`
+	ETag        string `json:"-"`
+	NotModified bool   `json:"-"`
 }
 
-// ModelResult is a model response plus the memoization flag.
+// ModelResult is a model response plus the memoization flag; see
+// SimulateResult for ETag/NotModified semantics.
 type ModelResult struct {
 	server.ModelResponse
-	Memoized bool `json:"memoized"`
+	Memoized    bool   `json:"memoized"`
+	ETag        string `json:"-"`
+	NotModified bool   `json:"-"`
 }
 
 // Simulate runs one cache simulation.
 func (c *Client) Simulate(ctx context.Context, req server.SimulateRequest) (*SimulateResult, error) {
+	key := "simulate|" + req.Key()
+	inm, cached, _ := c.etags.lookup(key)
 	var out SimulateResult
-	if err := c.do(ctx, http.MethodPost, "/v1/simulate", req, &out); err != nil {
+	cond, err := c.do(ctx, http.MethodPost, "/v1/simulate", req, &out, inm)
+	if err != nil {
 		return nil, err
 	}
+	if cond.notModified {
+		if prev, ok := cached.(SimulateResult); ok {
+			out = prev
+			out.NotModified = true
+			out.Memoized = cond.memoized
+			return &out, nil
+		}
+		// The entry was evicted while the request was in flight;
+		// refetch unconditionally.
+		if cond, err = c.do(ctx, http.MethodPost, "/v1/simulate", req, &out, ""); err != nil {
+			return nil, err
+		}
+	}
+	out.ETag = cond.etag
+	c.etags.store(key, cond.etag, out)
 	return &out, nil
 }
 
 // Model evaluates the analytic models at one operating point.
 func (c *Client) Model(ctx context.Context, req server.ModelRequest) (*ModelResult, error) {
+	key := "model|" + req.Key()
+	inm, cached, _ := c.etags.lookup(key)
 	var out ModelResult
-	if err := c.do(ctx, http.MethodPost, "/v1/model", req, &out); err != nil {
+	cond, err := c.do(ctx, http.MethodPost, "/v1/model", req, &out, inm)
+	if err != nil {
 		return nil, err
 	}
+	if cond.notModified {
+		if prev, ok := cached.(ModelResult); ok {
+			out = prev
+			out.NotModified = true
+			out.Memoized = cond.memoized
+			return &out, nil
+		}
+		if cond, err = c.do(ctx, http.MethodPost, "/v1/model", req, &out, ""); err != nil {
+			return nil, err
+		}
+	}
+	out.ETag = cond.etag
+	c.etags.store(key, cond.etag, out)
 	return &out, nil
 }
 
@@ -162,24 +214,43 @@ func (c *Client) Sweep(ctx context.Context, req server.SweepRequest) ([]server.S
 	var out struct {
 		Results []server.SweepResult `json:"results"`
 	}
-	if err := c.do(ctx, http.MethodPost, "/v1/sweep", req, &out); err != nil {
+	if _, err := c.do(ctx, http.MethodPost, "/v1/sweep", req, &out, ""); err != nil {
 		return nil, err
 	}
 	return out.Results, nil
 }
 
-// Stats fetches the server's counters.
+// Stats fetches the server's counters (the full tier-specific body;
+// dashboards that only need the uniform blocks should use StatsV2).
 func (c *Client) Stats(ctx context.Context) (*server.StatsResponse, error) {
 	var out server.StatsResponse
-	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+	if _, err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out, ""); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
+// StatsV2 fetches the uniform schema-2 stats view. Against a schema-1
+// server (one predating the versioned schema) the shared blocks decode
+// identically — the memo/admission/partial shapes did not change — so
+// the shim only has to stamp the schema it actually got and leave the
+// persist block zero-valued.
+func (c *Client) StatsV2(ctx context.Context) (*server.StatsV2, error) {
+	resp, err := c.Stats(ctx)
+	if err != nil {
+		return nil, err
+	}
+	v2 := resp.V2()
+	if v2.Schema == 0 {
+		v2.Schema = 1
+	}
+	return &v2, nil
+}
+
 // Healthz checks liveness.
 func (c *Client) Healthz(ctx context.Context) error {
-	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, &struct{}{})
+	_, err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &struct{}{}, "")
+	return err
 }
 
 // BaseURL returns the instance this client talks to.
@@ -223,27 +294,38 @@ func (c *Client) Readyz(ctx context.Context) (*server.ReadyzResponse, error) {
 	return &rz, nil
 }
 
+// cond carries the conditional-request outcome of one call: the
+// response's ETag, whether the server answered 304, and the memoized
+// verdict from the 304's X-Vcached-Memoized header.
+type cond struct {
+	etag        string
+	notModified bool
+	memoized    bool
+}
+
 // do issues one logical API call: marshal, attempt, and retry transient
 // failures until the retry budget or ctx runs out. The last error is
-// returned when the budget is exhausted.
-func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+// returned when the budget is exhausted. A non-empty ifNoneMatch rides
+// every attempt as an If-None-Match header.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, ifNoneMatch string) (cond, error) {
 	var body []byte
 	if in != nil {
 		var err error
 		if body, err = json.Marshal(in); err != nil {
-			return fmt.Errorf("client: encoding request: %w", err)
+			return cond{}, fmt.Errorf("client: encoding request: %w", err)
 		}
 	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		lastErr = c.once(ctx, method, path, body, out)
+		var cd cond
+		cd, lastErr = c.once(ctx, method, path, body, out, ifNoneMatch)
 		if lastErr == nil || ctx.Err() != nil || attempt >= c.retries {
-			return lastErr
+			return cd, lastErr
 		}
 		var ae *Error
 		isAPI := asClientError(lastErr, &ae)
 		if isAPI && !ae.Temporary() {
-			return lastErr
+			return cd, lastErr
 		}
 		delay := c.backoff << attempt
 		if isAPI && ae.RetryAfter > delay {
@@ -262,7 +344,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		select {
 		case <-ctx.Done():
 			t.Stop()
-			return ctx.Err()
+			return cond{}, ctx.Err()
 		case <-t.C:
 		}
 	}
@@ -278,37 +360,48 @@ func asClientError(err error, target **Error) bool {
 }
 
 // once performs a single HTTP round trip.
-func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any, ifNoneMatch string) (cond, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return fmt.Errorf("client: building request: %w", err)
+		return cond{}, fmt.Errorf("client: building request: %w", err)
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
 	}
 	// Propagate the caller's trace, if any, so the backend's spans
 	// stitch under it.
 	obs.Inject(ctx, req.Header)
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return fmt.Errorf("client: %s %s: %w", method, path, err)
+		return cond{}, fmt.Errorf("client: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return fmt.Errorf("client: reading response: %w", err)
+		return cond{}, fmt.Errorf("client: reading response: %w", err)
+	}
+	cd := cond{etag: resp.Header.Get("ETag")}
+	if resp.StatusCode == http.StatusNotModified {
+		// Bodiless by definition; the stored entity is current. The
+		// memoized verdict rides a header since there is no body.
+		cd.notModified = true
+		cd.memoized = resp.Header.Get("X-Vcached-Memoized") == "true"
+		return cd, nil
 	}
 	if resp.StatusCode/100 != 2 {
-		return decodeError(resp, data)
+		return cd, decodeError(resp, data)
 	}
 	if err := json.Unmarshal(data, out); err != nil {
-		return fmt.Errorf("client: decoding %s response: %w", path, err)
+		return cd, fmt.Errorf("client: decoding %s response: %w", path, err)
 	}
-	return nil
+	return cd, nil
 }
 
 // decodeError maps a non-2xx response to *Error, preferring the unified

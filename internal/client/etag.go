@@ -1,0 +1,70 @@
+package client
+
+import (
+	"container/list"
+	"sync"
+)
+
+// The client-side conditional-request cache: per canonical job key it
+// remembers the last ETag the server returned together with the
+// decoded result. Later identical requests carry If-None-Match; a 304
+// answer is served from the stored copy with NotModified set, saving
+// the response body on every memo/persist hit. Results are
+// deterministic, so a stored entity never goes stale — the ETag either
+// matches (same job, same result) or the entry is simply replaced.
+type etagCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List               // front = most recent
+	byKey map[string]*list.Element // value: *etagEntry
+}
+
+type etagEntry struct {
+	key    string
+	etag   string
+	result any // *SimulateResult or *ModelResult snapshot (value copy)
+}
+
+func newEtagCache(capacity int) *etagCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &etagCache{cap: capacity, order: list.New(), byKey: map[string]*list.Element{}}
+}
+
+// lookup returns the stored validator and result snapshot for key.
+func (c *etagCache) lookup(key string) (etag string, result any, ok bool) {
+	if c == nil {
+		return "", nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return "", nil, false
+	}
+	c.order.MoveToFront(el)
+	e := el.Value.(*etagEntry)
+	return e.etag, e.result, true
+}
+
+// store remembers the validator and result for key, evicting the least
+// recently used entry beyond capacity.
+func (c *etagCache) store(key, etag string, result any) {
+	if c == nil || etag == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value = &etagEntry{key: key, etag: etag, result: result}
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&etagEntry{key: key, etag: etag, result: result})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*etagEntry).key)
+	}
+}

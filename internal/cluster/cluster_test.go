@@ -534,3 +534,205 @@ func TestClusterReadyz(t *testing.T) {
 		t.Error("upstream_unavailable not classified Temporary")
 	}
 }
+
+// TestClusterFailoverPrefersWarmReplica checks the warm-replica
+// preference: when a job's ring primary dies, the re-route tries the
+// replica with the largest reported warm working set first, not the
+// next one in ring order.
+func TestClusterFailoverPrefersWarmReplica(t *testing.T) {
+	lc, err := StartLocal(3, server.Options{}, Options{ProbeInterval: -1, HedgeAfter: -1, Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	primary := lc.Backends[0].URL()
+	req := keyOnBackend(t, lc.Coordinator.ring, primary)
+	key := server.SweepJob{Simulate: &req}.Key()
+	order := lc.Coordinator.ring.Replicas(key, 3)
+	if len(order) != 3 || order[0] != primary {
+		t.Fatalf("replica order %v, want primary %s first", order, primary)
+	}
+	// Warm the ring-last replica directly (bypassing the coordinator) so
+	// its memo — and therefore its readyz warm_keys — outweighs the
+	// ring-second replica's.
+	warmURL := order[2]
+	wc := client.New(warmURL, client.WithRetries(0))
+	for i := 0; i < 4; i++ {
+		if _, err := wc.Simulate(context.Background(), server.SimulateRequest{
+			Pattern: trace.Pattern{Name: "strided", Stride: 3, N: 4096 + i, Stream: 1},
+		}); err != nil {
+			t.Fatalf("warming replica: %v", err)
+		}
+	}
+	lc.Coordinator.CheckHealth(context.Background())
+	if w := lc.Coordinator.health.warm(warmURL); w < 4 {
+		t.Fatalf("warmed replica reports %d warm keys, want >= 4", w)
+	}
+
+	// Kill the primary; the next probe round marks it out.
+	for i, b := range lc.Backends {
+		if b.URL() == primary {
+			lc.Kill(i)
+		}
+	}
+	lc.Coordinator.CheckHealth(context.Background())
+
+	cands := lc.Coordinator.candidates(key, nil)
+	if len(cands) != 3 {
+		t.Fatalf("got %d candidates, want 3", len(cands))
+	}
+	if cands[0].url != warmURL {
+		t.Fatalf("first failover candidate is %s, want warm replica %s", cands[0].url, warmURL)
+	}
+	if cands[2].url != primary {
+		t.Fatalf("dead primary is candidate %v, want last", cands)
+	}
+
+	// End to end: the proxied job lands on the warm replica, and the
+	// cold middle replica sees no traffic.
+	c := client.New(lc.URL(), client.WithRetries(0))
+	if _, err := c.Simulate(context.Background(), req); err != nil {
+		t.Fatalf("simulate with dead primary: %v", err)
+	}
+	if n := lc.Coordinator.backends[warmURL].requests.Value(); n == 0 {
+		t.Error("warm replica saw no requests after failover")
+	}
+	if n := lc.Coordinator.backends[order[1]].requests.Value(); n != 0 {
+		t.Errorf("cold replica saw %d requests; warm preference did not hold", n)
+	}
+}
+
+// TestClusterConditionalGet checks the coordinator answers
+// If-None-Match at the edge: the second identical request gets a
+// bodiless 304 carrying the memoized verdict header, with the same
+// ETag a backend would emit.
+func TestClusterConditionalGet(t *testing.T) {
+	lc, err := StartLocal(2, server.Options{}, Options{ProbeInterval: -1, HedgeAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	body, _ := json.Marshal(server.SimulateRequest{
+		Pattern: trace.Pattern{Name: "strided", Stride: 7, N: 1024, Stream: 1},
+	})
+	post := func(inm string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, lc.URL()+"/v1/simulate", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	first := post("")
+	io.Copy(io.Discard, first.Body)
+	first.Body.Close()
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("first request status %d", first.StatusCode)
+	}
+	etag := first.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("coordinator response carries no ETag")
+	}
+
+	second := post(etag)
+	data, _ := io.ReadAll(second.Body)
+	second.Body.Close()
+	if second.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional repeat status %d, want 304", second.StatusCode)
+	}
+	if len(data) != 0 {
+		t.Errorf("304 carried a %d-byte body", len(data))
+	}
+	if got := second.Header.Get(server.MemoizedHeader); got != "true" {
+		t.Errorf("%s = %q on 304, want true (repeat is a memo hit)", server.MemoizedHeader, got)
+	}
+	if second.Header.Get("ETag") != etag {
+		t.Errorf("304 ETag %q differs from original %q", second.Header.Get("ETag"), etag)
+	}
+
+	// The typed client sees the same round trip as NotModified.
+	c := client.New(lc.URL(), client.WithRetries(0))
+	var req server.SimulateRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Simulate(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Simulate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.NotModified {
+		t.Error("client repeat against coordinator not served from 304")
+	}
+	if !res.Memoized {
+		t.Error("304-served repeat lost the memoized verdict")
+	}
+}
+
+// TestCoordinatorStatsSchema2 checks the coordinator's /v1/stats speaks
+// schema 2 with the uniform blocks aggregated across backends, and
+// announces the schema-1 sunset.
+func TestCoordinatorStatsSchema2(t *testing.T) {
+	lc, err := StartLocal(2, server.Options{}, Options{ProbeInterval: -1, HedgeAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	c := client.New(lc.URL(), client.WithRetries(0))
+	req := server.SimulateRequest{Pattern: trace.Pattern{Name: "strided", Stride: 5, N: 2048, Stream: 1}}
+	for i := 0; i < 2; i++ {
+		if _, err := c.Simulate(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := http.Get(lc.URL() + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.Header.Get("Deprecation") == "" || resp.Header.Get("Sunset") == "" {
+		t.Error("coordinator stats missing Deprecation/Sunset headers")
+	}
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Schema != server.StatsSchemaVersion {
+		t.Errorf("schema = %d, want %d", stats.Schema, server.StatsSchemaVersion)
+	}
+	if stats.Memo.Hits == 0 {
+		t.Error("aggregated memo block reports zero hits after a memoized repeat")
+	}
+	if stats.Memo.Entries == 0 {
+		t.Error("aggregated memo block reports zero entries")
+	}
+	if stats.Memo.Capacity == 0 {
+		t.Error("aggregated memo capacity is zero")
+	}
+	if stats.Persist.Enabled {
+		t.Error("persist block enabled with memory-only backends")
+	}
+	// The typed client's uniform view decodes the same blocks.
+	v2, err := c.StatsV2(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Schema != server.StatsSchemaVersion || v2.Memo.Hits != stats.Memo.Hits {
+		t.Errorf("client StatsV2 = %+v, disagrees with raw response", v2)
+	}
+}

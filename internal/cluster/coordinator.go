@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"primecache/internal/client"
@@ -220,14 +222,20 @@ func (c *Coordinator) Close() {
 	}
 }
 
-// probeBackend is the active health check: one readyz round trip.
-func (c *Coordinator) probeBackend(ctx context.Context, backend string) (ready, draining bool) {
+// probeBackend is the active health check: one readyz round trip. The
+// readyz body also carries the backend's warm-key count (memo plus
+// persist tier), which feeds the warm-replica preference in
+// candidates().
+func (c *Coordinator) probeBackend(ctx context.Context, backend string) (ready, draining bool, warmKeys int) {
 	b := c.backends[backend]
 	rz, err := b.client.Readyz(ctx)
-	if err != nil {
-		return false, rz != nil && rz.Draining
+	if rz != nil {
+		warmKeys = rz.WarmKeys
 	}
-	return true, false
+	if err != nil {
+		return false, rz != nil && rz.Draining, warmKeys
+	}
+	return true, false, warmKeys
 }
 
 // admit claims a coordinator admission slot; on overload it writes the
@@ -267,9 +275,17 @@ func (c *Coordinator) requestCtx(r *http.Request) (context.Context, context.Canc
 
 // candidates returns the backends to try for key, in order: the ring's
 // replica sequence with excluded members removed and healthy backends
-// first. Unhealthy replicas stay at the tail as a last resort — when
-// every replica looks down, trying one anyway is how the cluster
-// recovers before the next probe.
+// first. A healthy ring primary keeps its position — that is where the
+// job's memo entry lives — but the failover tail is re-ordered
+// warmest-first by each backend's last reported warm-key count, so a
+// re-scatter prefers a replica whose memo or persist tier can likely
+// answer without recomputing. When the primary itself is down or
+// excluded, every healthy replica is a failover target and the whole
+// healthy run is warm-sorted. The sort is stable: equal warmth
+// preserves ring order, keeping routing deterministic. Unhealthy
+// replicas stay at the tail as a last resort — when every replica
+// looks down, trying one anyway is how the cluster recovers before the
+// next probe.
 func (c *Coordinator) candidates(key string, excluded map[string]bool) []*backendState {
 	urls := c.ring.Replicas(key, c.opts.Replicas)
 	var healthy, down []*backendState
@@ -282,6 +298,15 @@ func (c *Coordinator) candidates(key string, excluded map[string]bool) []*backen
 		} else {
 			down = append(down, c.backends[u])
 		}
+	}
+	if len(healthy) > 1 {
+		tail := healthy
+		if tail[0].url == urls[0] {
+			tail = tail[1:]
+		}
+		sort.SliceStable(tail, func(i, j int) bool {
+			return c.health.warm(tail[i].url) > c.health.warm(tail[j].url)
+		})
 	}
 	return append(healthy, down...)
 }
@@ -526,7 +551,8 @@ func (c *Coordinator) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, v.(*client.SimulateResult))
+	res := v.(*client.SimulateResult)
+	writeConditional(w, r, res.ETag, res.Memoized, res)
 }
 
 func (c *Coordinator) handleModel(w http.ResponseWriter, r *http.Request) {
@@ -550,20 +576,42 @@ func (c *Coordinator) handleModel(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, v.(*client.ModelResult))
+	res := v.(*client.ModelResult)
+	writeConditional(w, r, res.ETag, res.Memoized, res)
+}
+
+// writeConditional echoes the backend's strong validator at the edge:
+// ETags are derived from the canonical job key and deterministic
+// result, so they match across backends and restarts, and the
+// coordinator can answer If-None-Match itself without re-serializing a
+// body. On 304 the memoized verdict rides the X-Vcached-Memoized
+// header, exactly as a single node answers.
+func writeConditional(w http.ResponseWriter, r *http.Request, etag string, memoized bool, body any) {
+	if etag != "" {
+		w.Header().Set("ETag", etag)
+		if inm := r.Header.Get("If-None-Match"); inm != "" && server.ETagMatch(inm, etag) {
+			w.Header().Set(server.MemoizedHeader, strconv.FormatBool(memoized))
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleReadyz: the coordinator is ready while at least one backend is.
+// handleReadyz: the coordinator is ready while at least one backend
+// is. warm_keys aggregates the healthy backends' reported warm working
+// sets — the cluster's routable warmth.
 func (c *Coordinator) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	warm := c.health.warmKeysTotal()
 	if c.health.healthyCount() == 0 {
-		writeJSON(w, http.StatusServiceUnavailable, server.ReadyzResponse{Status: "no healthy backends"})
+		writeJSON(w, http.StatusServiceUnavailable, server.ReadyzResponse{Status: "no healthy backends", WarmKeys: warm})
 		return
 	}
-	writeJSON(w, http.StatusOK, server.ReadyzResponse{Status: "ok"})
+	writeJSON(w, http.StatusOK, server.ReadyzResponse{Status: "ok", WarmKeys: warm})
 }
 
 // BackendStats is one backend's row in the coordinator's /v1/stats.
@@ -579,8 +627,14 @@ type BackendStats struct {
 	Latency server.HistogramSnapshot `json:"latency"`
 }
 
-// StatsResponse is the coordinator's /v1/stats body.
+// StatsResponse is the coordinator's /v1/stats body. Schema 2 shapes
+// the memo, persist, admission, and partial blocks identically to the
+// single-node server's — aggregated across healthy backends — so one
+// dashboard works against either tier. The cluster routing block and
+// per-backend rows are the coordinator's tier-specific extras, just as
+// pool stats are the server's.
 type StatsResponse struct {
+	Schema  int `json:"schema"`
 	Cluster struct {
 		Backends     int   `json:"backends"`
 		Healthy      int   `json:"healthy"`
@@ -588,13 +642,22 @@ type StatsResponse struct {
 		RingPoints   int   `json:"ringPoints"`
 		RingModulus  int64 `json:"ringModulus"`
 		VirtualNodes int   `json:"virtualNodes"`
+		WarmKeys     int   `json:"warmKeys"`
 	} `json:"cluster"`
+	// Memo, Persist, and Partial sum the healthy backends' blocks;
+	// backends that fail the (bounded) stats fan-out are skipped rather
+	// than failing the whole endpoint.
+	Memo    server.MemoBlock    `json:"memo"`
+	Persist server.PersistBlock `json:"persist"`
+	Partial server.PartialBlock `json:"partial"`
 	// Admission is the coordinator's own valve, in front of the
-	// backends' per-node admission control.
+	// backends' per-node admission control; Degraded sums the backends'
+	// degraded-answer counters (the coordinator itself never degrades).
 	Admission struct {
 		Capacity int     `json:"capacity"`
 		Queued   int     `json:"queued"`
 		Shed     uint64  `json:"shed"`
+		Degraded uint64  `json:"degraded"`
 		Pressure float64 `json:"pressure"`
 	} `json:"admission"`
 	Requests uint64         `json:"requests"`
@@ -603,14 +666,81 @@ type StatsResponse struct {
 	Backends []BackendStats `json:"backends"`
 }
 
-func (c *Coordinator) handleStats(w http.ResponseWriter, _ *http.Request) {
+// statsFanoutTimeout bounds the per-backend stats collection behind the
+// coordinator's /v1/stats; a slow backend costs at most this much and
+// is then reported with zeroed aggregate contribution.
+const statsFanoutTimeout = time.Second
+
+// aggregateBackendStats fans /v1/stats out to the healthy backends and
+// sums the uniform schema-2 blocks.
+func (c *Coordinator) aggregateBackendStats(ctx context.Context) (memo server.MemoBlock, per server.PersistBlock, part server.PartialBlock, degraded uint64) {
+	ctx, cancel := context.WithTimeout(ctx, statsFanoutTimeout)
+	defer cancel()
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for _, u := range c.ring.Backends() {
+		if !c.health.healthy(u) {
+			continue
+		}
+		b := c.backends[u]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v2, err := b.client.StatsV2(ctx)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			memo.Hits += v2.Memo.Hits
+			memo.Misses += v2.Memo.Misses
+			memo.Evictions += v2.Memo.Evictions
+			memo.Entries += v2.Memo.Entries
+			memo.Capacity += v2.Memo.Capacity
+			if v2.Persist.Enabled {
+				per.Enabled = true
+			}
+			per.Keys += v2.Persist.Keys
+			per.Segments += v2.Persist.Segments
+			per.DiskBytes += v2.Persist.DiskBytes
+			per.DeadBytes += v2.Persist.DeadBytes
+			per.Hits += v2.Persist.Hits
+			per.Misses += v2.Persist.Misses
+			per.BytesAppended += v2.Persist.BytesAppended
+			per.SegmentsCreated += v2.Persist.SegmentsCreated
+			per.Compactions += v2.Persist.Compactions
+			per.CorruptRecords += v2.Persist.CorruptRecords
+			per.TornTruncations += v2.Persist.TornTruncations
+			per.IOErrors += v2.Persist.IOErrors
+			per.EvictedKeys += v2.Persist.EvictedKeys
+			if v2.Persist.SnapshotRestore {
+				per.SnapshotRestore = true
+			}
+			part.CancelledJobs += v2.Partial.CancelledJobs
+			part.RefsCompleted += v2.Partial.RefsCompleted
+			degraded += v2.Admission.Degraded
+		}()
+	}
+	wg.Wait()
+	if total := memo.Hits + memo.Misses; total > 0 {
+		memo.HitRatio = float64(memo.Hits) / float64(total)
+	}
+	return memo, per, part, degraded
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 	var resp StatsResponse
+	resp.Schema = server.StatsSchemaVersion
 	resp.Cluster.Backends = len(c.backends)
 	resp.Cluster.Healthy = c.health.healthyCount()
 	resp.Cluster.Replicas = c.opts.Replicas
 	resp.Cluster.RingPoints = c.ring.Points()
 	resp.Cluster.RingModulus = RingModulus
 	resp.Cluster.VirtualNodes = c.ring.VirtualNodes()
+	resp.Cluster.WarmKeys = c.health.warmKeysTotal()
+	resp.Memo, resp.Persist, resp.Partial, resp.Admission.Degraded = c.aggregateBackendStats(r.Context())
 	if c.slots != nil {
 		resp.Admission.Capacity = cap(c.slots)
 		resp.Admission.Queued = len(c.slots)
@@ -634,5 +764,6 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Latency:       snap,
 		})
 	}
+	server.SetDeprecationHeaders(w.Header().Set)
 	writeJSON(w, http.StatusOK, resp)
 }

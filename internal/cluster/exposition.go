@@ -79,11 +79,11 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Write(buf.Bytes())
 }
 
-// handleTraces serves the finished-trace ring; 404 when the
-// coordinator was built without a tracer.
+// handleTraces serves the finished-trace ring; a structured not_found
+// envelope when the coordinator was built without a tracer.
 func (c *Coordinator) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if c.tracer == nil {
-		http.Error(w, "tracing is not enabled on this coordinator", http.StatusNotFound)
+		writeErr(w, server.Errf(server.CodeNotFound, "tracing is not enabled on this coordinator"))
 		return
 	}
 	c.tracer.TracesHandler().ServeHTTP(w, r)

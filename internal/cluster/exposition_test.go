@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"strings"
@@ -71,8 +72,15 @@ func TestCoordinatorTracesEndpointWithoutTracer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("/v1/debug/traces without a tracer: status %d, want 404", resp.StatusCode)
+	}
+	var env server.ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("404 body is not the unified error envelope: %v", err)
+	}
+	if env.Error == nil || env.Error.Code != server.CodeNotFound {
+		t.Fatalf("envelope = %+v, want code %s", env, server.CodeNotFound)
 	}
 }

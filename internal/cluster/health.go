@@ -10,8 +10,10 @@ import (
 
 // probeFunc checks one backend's readiness. ready means the backend can
 // take new work; draining means it answered but reported it is shutting
-// down (alive, not ready).
-type probeFunc func(ctx context.Context, backend string) (ready, draining bool)
+// down (alive, not ready). warmKeys is the backend's self-reported warm
+// working set (memo + persist tier), used to prefer warm replicas on
+// failover.
+type probeFunc func(ctx context.Context, backend string) (ready, draining bool, warmKeys int)
 
 // BackendHealth is one backend's view in the checker, as surfaced by
 // the coordinator's /v1/stats.
@@ -26,6 +28,10 @@ type BackendHealth struct {
 	ConsecutiveFailures int `json:"consecutiveFailures"`
 	// Probes counts completed active probes.
 	Probes uint64 `json:"probes"`
+	// WarmKeys is the backend's last reported warm working-set size
+	// (resident memo entries or persisted keys, whichever is larger).
+	// Failover re-scatter prefers warmer replicas.
+	WarmKeys int `json:"warmKeys"`
 }
 
 // health tracks backend readiness two ways: actively (a periodic readyz
@@ -114,15 +120,18 @@ func (h *health) CheckNow(ctx context.Context) {
 			defer wg.Done()
 			pctx, cancel := context.WithTimeout(ctx, h.timeout)
 			defer cancel()
-			ready, draining := h.probe(pctx, b)
-			h.record(b, ready, draining)
+			ready, draining, warm := h.probe(pctx, b)
+			h.record(b, ready, draining, warm)
 		}(b)
 	}
 	wg.Wait()
 }
 
-// record applies one probe verdict.
-func (h *health) record(backend string, ready, draining bool) {
+// record applies one probe verdict. A failed probe keeps the last
+// known warm count: the store is durable, so a backend that dies warm
+// restarts warm, and the stale count is exactly the right tiebreak for
+// routing around its replacement in the meantime.
+func (h *health) record(backend string, ready, draining bool, warmKeys int) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	s := h.state[backend]
@@ -134,6 +143,7 @@ func (h *health) record(backend string, ready, draining bool) {
 	if ready {
 		s.Healthy = true
 		s.ConsecutiveFailures = 0
+		s.WarmKeys = warmKeys
 	} else {
 		s.Healthy = false
 		s.ConsecutiveFailures++
@@ -146,6 +156,32 @@ func (h *health) healthy(backend string) bool {
 	defer h.mu.Unlock()
 	s := h.state[backend]
 	return s != nil && s.Healthy
+}
+
+// warm returns backend's last reported warm-key count.
+func (h *health) warm(backend string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.state[backend]
+	if s == nil {
+		return 0
+	}
+	return s.WarmKeys
+}
+
+// warmKeysTotal sums the last reported warm counts across healthy
+// backends — the cluster's routable warm working set, surfaced in the
+// coordinator's readyz body.
+func (h *health) warmKeysTotal() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, s := range h.state {
+		if s.Healthy {
+			n += s.WarmKeys
+		}
+	}
+	return n
 }
 
 // reportFailure is the passive path: the coordinator saw a transport

@@ -12,6 +12,19 @@ type tracesResponse struct {
 	Traces []TraceData `json:"traces"`
 }
 
+// writeHandlerError emits the service's unified error envelope
+// ({"error":{"code","message"}}). The shape is duplicated here rather
+// than imported: obs sits below the server package, which already
+// imports obs for spans. The codes used ("invalid_request",
+// "not_found") are members of the server's ErrorCode contract.
+func writeHandlerError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{"error": map[string]string{"code": code, "message": message}})
+}
+
 // TracesHandler serves the finished-trace ring as JSON. Without a
 // query it returns every retained trace, oldest first; ?id=<hex trace
 // id> returns just that trace (404 when it has been evicted), and
@@ -22,12 +35,12 @@ func (t *Tracer) TracesHandler() http.Handler {
 		if idStr := r.URL.Query().Get("id"); idStr != "" {
 			id, err := strconv.ParseUint(idStr, 16, 64)
 			if err != nil {
-				http.Error(w, "bad trace id: want 16 hex digits", http.StatusBadRequest)
+				writeHandlerError(w, http.StatusBadRequest, "invalid_request", "bad trace id: want 16 hex digits")
 				return
 			}
 			td, ok := t.TraceByID(TraceID(id))
 			if !ok {
-				http.Error(w, "trace not found (evicted or never finished)", http.StatusNotFound)
+				writeHandlerError(w, http.StatusNotFound, "not_found", "trace not found (evicted or never finished)")
 				return
 			}
 			resp.Traces = []TraceData{td}
@@ -36,7 +49,7 @@ func (t *Tracer) TracesHandler() http.Handler {
 			if lastStr := r.URL.Query().Get("last"); lastStr != "" {
 				n, err := strconv.Atoi(lastStr)
 				if err != nil || n < 0 {
-					http.Error(w, "bad last: want a non-negative integer", http.StatusBadRequest)
+					writeHandlerError(w, http.StatusBadRequest, "invalid_request", "bad last: want a non-negative integer")
 					return
 				}
 				if n < len(resp.Traces) {

@@ -1,0 +1,117 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk record framing, little-endian throughout:
+//
+//	[u32 payloadLen][u32 crc32(payload)][payload]
+//	payload = [u8 kind][u32 keyLen][key bytes][value bytes]
+//
+// The CRC covers the whole payload, so a flipped bit anywhere in kind,
+// key, or value is caught on scan and on every read. The length prefix
+// lets the scanner distinguish a torn tail (the record runs past EOF —
+// the tell-tale of a crash mid-append) from mid-log corruption (the
+// record fits but its checksum lies).
+
+const (
+	recordHeaderLen = 8
+	minPayloadLen   = 5 // kind + keyLen, with an empty key
+
+	kindPut       = byte(1)
+	kindTombstone = byte(2)
+
+	// maxRecordLen bounds one record so a garbage length prefix cannot
+	// drive a multi-gigabyte allocation during scan.
+	maxRecordLen = 64 << 20
+	// maxSnapshotLen bounds the single framed index snapshot record.
+	maxSnapshotLen = 256 << 20
+)
+
+var (
+	errTorn    = errors.New("persist: torn record")
+	errCorrupt = errors.New("persist: corrupt record")
+)
+
+// encodeRecord frames one put or tombstone. The returned slice is the
+// exact bytes appended to the log.
+func encodeRecord(kind byte, key string, value []byte) []byte {
+	payloadLen := minPayloadLen + len(key) + len(value)
+	buf := make([]byte, recordHeaderLen+payloadLen)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(payloadLen))
+	payload := buf[recordHeaderLen:]
+	payload[0] = kind
+	binary.LittleEndian.PutUint32(payload[1:5], uint32(len(key)))
+	copy(payload[5:], key)
+	copy(payload[5+len(key):], value)
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// decodePayload splits a checksum-verified payload into its fields.
+func decodePayload(payload []byte) (kind byte, key string, value []byte, err error) {
+	if len(payload) < minPayloadLen {
+		return 0, "", nil, errCorrupt
+	}
+	kind = payload[0]
+	if kind != kindPut && kind != kindTombstone {
+		return 0, "", nil, errCorrupt
+	}
+	keyLen := int(binary.LittleEndian.Uint32(payload[1:5]))
+	if keyLen < 0 || minPayloadLen+keyLen > len(payload) {
+		return 0, "", nil, errCorrupt
+	}
+	key = string(payload[5 : 5+keyLen])
+	value = payload[5+keyLen:]
+	return kind, key, value, nil
+}
+
+// readRecordAt reads and fully verifies the record at off, bounded by
+// size (the known good extent of the file). It distinguishes a torn
+// tail from corruption:
+//
+//   - errTorn: the header or payload runs past `size`, or the FINAL
+//     record's checksum fails — a crash mid-append; truncating to off
+//     loses only the un-acknowledged write.
+//   - errCorrupt: a record that fits entirely before EOF fails its
+//     checksum or decodes inconsistently — bits rotted under us.
+func readRecordAt(f File, off, size int64, maxLen int) (kind byte, key string, value []byte, recLen int64, err error) {
+	if off+recordHeaderLen > size {
+		return 0, "", nil, 0, errTorn
+	}
+	var hdr [recordHeaderLen]byte
+	if _, err := f.ReadAt(hdr[:], off); err != nil {
+		return 0, "", nil, 0, fmt.Errorf("persist: read header: %w", err)
+	}
+	payloadLen := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+	if off+recordHeaderLen+payloadLen > size {
+		// The length prefix may itself be garbage from a partial write;
+		// either way the record does not fit, so it is a torn tail.
+		return 0, "", nil, 0, errTorn
+	}
+	if payloadLen < minPayloadLen || payloadLen > int64(maxLen) {
+		return 0, "", nil, 0, errCorrupt
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := f.ReadAt(payload, off+recordHeaderLen); err != nil {
+		return 0, "", nil, 0, fmt.Errorf("persist: read payload: %w", err)
+	}
+	recLen = recordHeaderLen + payloadLen
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		if off+recLen == size {
+			// Bad checksum on the very last record: the payload bytes
+			// never fully landed. Torn, not rot.
+			return 0, "", nil, 0, errTorn
+		}
+		return 0, "", nil, 0, errCorrupt
+	}
+	kind, key, value, err = decodePayload(payload)
+	if err != nil {
+		return 0, "", nil, 0, err
+	}
+	return kind, key, value, recLen, nil
+}

@@ -1,0 +1,349 @@
+package persist
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// seedStore writes a known key set and crashes (Kill), returning the
+// dir. Keys key-0..key-9 hold value-0..value-9.
+func seedStore(t *testing.T, graceful bool) string {
+	t.Helper()
+	dir := t.TempDir()
+	st := mustOpen(t, Options{Dir: dir})
+	for i := 0; i < 10; i++ {
+		mustPut(t, st, fmt.Sprintf("key-%d", i), fmt.Sprintf("value-%d", i))
+	}
+	if graceful {
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		st.Kill()
+	}
+	return dir
+}
+
+func segFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), segmentPrefix) && strings.HasSuffix(e.Name(), segmentSuffix) {
+			segs = append(segs, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(segs) == 0 {
+		t.Fatal("no segment files found")
+	}
+	return segs
+}
+
+// TestCrashRecoveryTable is the corruption matrix from the issue: every
+// fault must either truncate cleanly (torn tail) or cold-start the
+// affected extent with the corruption counter incremented — and the
+// store must never serve a wrong or partial value afterwards.
+func TestCrashRecoveryTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		graceful bool
+		mutate   func(t *testing.T, dir string)
+		// check runs against the reopened store.
+		check func(t *testing.T, st *Store)
+	}{
+		{
+			name: "torn-final-record-garbage-header",
+			mutate: func(t *testing.T, dir string) {
+				// Crash mid-append: only 5 of the 8 header bytes landed.
+				seg := segFiles(t, dir)[0]
+				f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.Write([]byte{0xDE, 0xAD, 0xBE, 0xEF, 0x01}); err != nil {
+					t.Fatal(err)
+				}
+				f.Close()
+			},
+			check: func(t *testing.T, st *Store) {
+				for i := 0; i < 10; i++ {
+					wantGet(t, st, fmt.Sprintf("key-%d", i), fmt.Sprintf("value-%d", i))
+				}
+				if st.Stats().TornTruncations != 1 {
+					t.Fatalf("torn = %d, want 1", st.Stats().TornTruncations)
+				}
+				if st.Stats().CorruptRecords != 0 {
+					t.Fatalf("a torn tail is not corruption, corrupt = %d", st.Stats().CorruptRecords)
+				}
+			},
+		},
+		{
+			name: "torn-final-record-partial-payload",
+			mutate: func(t *testing.T, dir string) {
+				// A plausible header promising 100 payload bytes, then
+				// only a few of them.
+				seg := segFiles(t, dir)[0]
+				f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec := encodeRecord(kindPut, "torn-key", make([]byte, 100))
+				if _, err := f.Write(rec[:len(rec)-60]); err != nil {
+					t.Fatal(err)
+				}
+				f.Close()
+			},
+			check: func(t *testing.T, st *Store) {
+				for i := 0; i < 10; i++ {
+					wantGet(t, st, fmt.Sprintf("key-%d", i), fmt.Sprintf("value-%d", i))
+				}
+				wantMiss(t, st, "torn-key")
+				if st.Stats().TornTruncations != 1 {
+					t.Fatalf("torn = %d, want 1", st.Stats().TornTruncations)
+				}
+			},
+		},
+		{
+			name: "flipped-crc-byte-mid-log",
+			mutate: func(t *testing.T, dir string) {
+				// Flip one payload byte of the FIRST record: a full,
+				// in-bounds record whose checksum now lies. Mid-log rot,
+				// not a torn tail — the whole segment is quarantined.
+				seg := segFiles(t, dir)[0]
+				data, err := os.ReadFile(seg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				data[recordHeaderLen+1] ^= 0xFF
+				if err := os.WriteFile(seg, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			check: func(t *testing.T, st *Store) {
+				// Cold start for that segment: every key gone, but
+				// counted — and nothing wrong was ever served.
+				for i := 0; i < 10; i++ {
+					wantMiss(t, st, fmt.Sprintf("key-%d", i))
+				}
+				if st.Stats().CorruptRecords == 0 {
+					t.Fatal("mid-log corruption must increment the corrupt counter")
+				}
+			},
+		},
+		{
+			name:     "truncated-index-snapshot",
+			graceful: true,
+			mutate: func(t *testing.T, dir string) {
+				snap := filepath.Join(dir, snapshotName)
+				fi, err := os.Stat(snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.Truncate(snap, fi.Size()/2); err != nil {
+					t.Fatal(err)
+				}
+			},
+			check: func(t *testing.T, st *Store) {
+				if st.Stats().SnapshotRestore {
+					t.Fatal("truncated snapshot must not be trusted")
+				}
+				for i := 0; i < 10; i++ {
+					wantGet(t, st, fmt.Sprintf("key-%d", i), fmt.Sprintf("value-%d", i))
+				}
+			},
+		},
+		{
+			name:     "bit-flipped-index-snapshot",
+			graceful: true,
+			mutate: func(t *testing.T, dir string) {
+				snap := filepath.Join(dir, snapshotName)
+				data, err := os.ReadFile(snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				data[len(data)/2] ^= 0x01
+				if err := os.WriteFile(snap, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			check: func(t *testing.T, st *Store) {
+				if st.Stats().SnapshotRestore {
+					t.Fatal("checksum-failing snapshot must not be trusted")
+				}
+				for i := 0; i < 10; i++ {
+					wantGet(t, st, fmt.Sprintf("key-%d", i), fmt.Sprintf("value-%d", i))
+				}
+			},
+		},
+		{
+			name: "leftover-compaction-tmp",
+			mutate: func(t *testing.T, dir string) {
+				// Crash after compaction wrote its temp file but before
+				// the rename: recovery must discard the temp and trust
+				// the retained old segments.
+				tmp := filepath.Join(dir, "seg-0000000000000099.log.tmp")
+				if err := os.WriteFile(tmp, []byte("half-finished compaction output"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			check: func(t *testing.T, st *Store) {
+				for i := 0; i < 10; i++ {
+					wantGet(t, st, fmt.Sprintf("key-%d", i), fmt.Sprintf("value-%d", i))
+				}
+			},
+		},
+		{
+			name: "zero-length-segment",
+			mutate: func(t *testing.T, dir string) {
+				if err := os.WriteFile(filepath.Join(dir, "seg-0000000000000050.log"), nil, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			check: func(t *testing.T, st *Store) {
+				for i := 0; i < 10; i++ {
+					wantGet(t, st, fmt.Sprintf("key-%d", i), fmt.Sprintf("value-%d", i))
+				}
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := seedStore(t, tc.graceful)
+			tc.mutate(t, dir)
+			st := mustOpen(t, Options{Dir: dir})
+			defer st.Kill()
+			tc.check(t, st)
+
+			// Whatever happened, the store must keep working.
+			mustPut(t, st, "after-recovery", "still-writable")
+			wantGet(t, st, "after-recovery", "still-writable")
+		})
+	}
+}
+
+// TestQuarantinedSegmentSurvivesForForensics checks the corrupt file is
+// renamed aside, not deleted.
+func TestQuarantinedSegmentSurvivesForForensics(t *testing.T) {
+	dir := seedStore(t, false)
+	seg := segFiles(t, dir)[0]
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[recordHeaderLen+1] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st := mustOpen(t, Options{Dir: dir})
+	defer st.Kill()
+	if _, err := os.Stat(seg + corruptSuffix); err != nil {
+		t.Fatalf("quarantined segment should be kept as %s: %v", seg+corruptSuffix, err)
+	}
+}
+
+// TestFaultInjectedAppend proves a failed write never leaves a
+// half-record behind: the store truncates the partial append and later
+// writes land cleanly.
+func TestFaultInjectedAppend(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	dir := t.TempDir()
+	st := mustOpen(t, Options{Dir: dir, FS: ffs})
+
+	mustPut(t, st, "before", "fault")
+	ffs.Fail(OpWrite, 0, nil)
+	if err := st.Put(context.Background(), "doomed", []byte("never lands")); err == nil {
+		t.Fatal("Put should surface the injected write error")
+	}
+	ffs.Clear()
+	wantMiss(t, st, "doomed")
+	mustPut(t, st, "after", "fault cleared")
+	wantGet(t, st, "before", "fault")
+	wantGet(t, st, "after", "fault cleared")
+	if st.Stats().IOErrors == 0 {
+		t.Fatal("injected write error should be counted")
+	}
+	st.Kill()
+
+	// Recovery sees only the intact records.
+	st2 := mustOpen(t, Options{Dir: dir})
+	defer st2.Kill()
+	wantGet(t, st2, "before", "fault")
+	wantGet(t, st2, "after", "fault cleared")
+	wantMiss(t, st2, "doomed")
+	if st2.Stats().CorruptRecords != 0 {
+		t.Fatalf("truncated partial append must not read as corruption, corrupt=%d", st2.Stats().CorruptRecords)
+	}
+}
+
+// TestKillMidCompaction fails the compaction's sync and rename windows:
+// each abort must retain the old segments and lose nothing.
+func TestKillMidCompaction(t *testing.T) {
+	for _, op := range []Op{OpSync, OpRename} {
+		t.Run(string(op), func(t *testing.T) {
+			ffs := NewFaultFS(nil)
+			dir := t.TempDir()
+			st := mustOpen(t, Options{Dir: dir, FS: ffs})
+			for i := 0; i < 10; i++ {
+				mustPut(t, st, fmt.Sprintf("key-%d", i), fmt.Sprintf("value-%d", i))
+			}
+			mustPut(t, st, "key-0", "rewritten")
+
+			ffs.Fail(op, 0, nil)
+			if err := st.Compact(context.Background()); err == nil {
+				t.Fatal("Compact should surface the injected error")
+			}
+			ffs.Clear()
+
+			// The live store still answers from the retained segments.
+			wantGet(t, st, "key-0", "rewritten")
+			for i := 1; i < 10; i++ {
+				wantGet(t, st, fmt.Sprintf("key-%d", i), fmt.Sprintf("value-%d", i))
+			}
+			st.Kill()
+
+			st2 := mustOpen(t, Options{Dir: dir})
+			defer st2.Kill()
+			wantGet(t, st2, "key-0", "rewritten")
+			for i := 1; i < 10; i++ {
+				wantGet(t, st2, fmt.Sprintf("key-%d", i), fmt.Sprintf("value-%d", i))
+			}
+			// A later compaction attempt succeeds.
+			if err := st2.Compact(context.Background()); err != nil {
+				t.Fatalf("post-recovery Compact: %v", err)
+			}
+			wantGet(t, st2, "key-0", "rewritten")
+		})
+	}
+}
+
+// TestBrokenStoreGoesReadOnly: when even truncating the failed append
+// fails, the store must refuse further writes instead of gambling.
+func TestBrokenStoreGoesReadOnly(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	st := mustOpen(t, Options{Dir: t.TempDir(), FS: ffs})
+	defer st.Kill()
+	mustPut(t, st, "good", "value")
+
+	// Fail the write AND make the file unfixable by closing it behind
+	// the store's back — Truncate on a closed fd fails.
+	st.mu.Lock()
+	st.segs[len(st.segs)-1].f.Close()
+	st.mu.Unlock()
+	if err := st.Put(context.Background(), "doomed", []byte("x")); err == nil {
+		t.Fatal("Put on a sabotaged file should fail")
+	}
+	if err := st.Put(context.Background(), "also-doomed", []byte("x")); err == nil {
+		t.Fatal("broken store must reject writes")
+	}
+	// Reads of already-indexed keys still work (different segment? no —
+	// same file). The contract is only: no wrong data, no new writes.
+}

@@ -36,6 +36,10 @@ const (
 	// replica for the job (all down, draining, or shedding); retry once
 	// the cluster heals.
 	CodeUnavailable ErrorCode = "upstream_unavailable"
+	// CodeNotFound: the requested resource does not exist on this server
+	// (e.g. /v1/debug/traces on a server built without a tracer, or an
+	// unknown trace id).
+	CodeNotFound ErrorCode = "not_found"
 	// CodeInternal: an unexpected server-side failure.
 	CodeInternal ErrorCode = "internal"
 )
@@ -61,6 +65,8 @@ func (c ErrorCode) HTTPStatus() int {
 		return http.StatusServiceUnavailable
 	case CodeUnavailable:
 		return http.StatusBadGateway
+	case CodeNotFound:
+		return http.StatusNotFound
 	default:
 		return http.StatusInternalServerError
 	}

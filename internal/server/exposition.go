@@ -96,10 +96,14 @@ func memoFamilies(st MemoStats) []obs.Family {
 	}
 }
 
-// handleMetrics serves the whole registry (plus memo stats) in the
+// handleMetrics serves the whole registry (plus memo stats, plus the
+// vcached_persist_* families when the disk tier is enabled) in the
 // Prometheus text exposition format.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fams := append(s.metrics.PromFamilies(), memoFamilies(s.memo.Stats())...)
+	if s.persist != nil {
+		fams = append(fams, persistFamilies(s.persist.Stats())...)
+	}
 	var buf bytes.Buffer
 	if err := obs.WriteProm(&buf, fams); err != nil {
 		writeError(w, Errf(CodeInternal, "rendering metrics: %v", err))
@@ -109,11 +113,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Write(buf.Bytes())
 }
 
-// handleTraces serves the finished-trace ring; 404 when the server was
-// built without a tracer.
+// handleTraces serves the finished-trace ring; a structured not_found
+// envelope when the server was built without a tracer.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if s.tracer == nil {
-		http.Error(w, "tracing is not enabled on this server", http.StatusNotFound)
+		writeError(w, Errf(CodeNotFound, "tracing is not enabled on this server"))
 		return
 	}
 	s.tracer.TracesHandler().ServeHTTP(w, r)

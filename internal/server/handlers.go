@@ -48,8 +48,10 @@ type inflightCall struct {
 	err  error
 }
 
-// computeJob evaluates one job through the memoizer and worker pool:
-// memo hit → cached result; miss → compute on a pool worker, then store.
+// computeJob evaluates one job through the two cache tiers and the
+// worker pool: memo hit → cached result; memo miss → persist-tier
+// lookup (a disk hit is promoted into the LRU and counts as memoized);
+// full miss → compute on a pool worker, then store through both tiers.
 // Concurrent identical jobs are single-flighted: the first becomes the
 // leader and computes, the rest share its result and count as memoized —
 // so a sweep repeating one config costs one worker slot, not many.
@@ -63,8 +65,16 @@ func (s *Server) computeJob(ctx context.Context, job SweepJob, degrade bool) (re
 		if hit {
 			return v, true, nil
 		}
+		if s.persist != nil {
+			if v, ok := s.persistLookup(ctx, key); ok {
+				return v, true, nil
+			}
+		}
 		if !s.memo.Enabled() {
 			v, err := s.compute(ctx, job, degrade)
+			if err == nil && !isDegraded(v) && s.persist != nil {
+				s.persistStore(ctx, key, v)
+			}
 			return v, false, err
 		}
 		s.callMu.Lock()
@@ -83,6 +93,9 @@ func (s *Server) computeJob(ctx context.Context, job SweepJob, degrade bool) (re
 			c.val, c.err = s.compute(ctx, job, degrade)
 			if c.err == nil && !isDegraded(c.val) {
 				s.memo.Put(key, c.val)
+				if s.persist != nil {
+					s.persistStore(ctx, key, c.val)
+				}
 			}
 			s.callMu.Lock()
 			delete(s.calls, key)
@@ -186,10 +199,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, struct {
+	resp := v.(*SimulateResponse)
+	s.writeConditional(w, r, SweepJob{Simulate: &req}.Key(), resp, memoized, struct {
 		*SimulateResponse
 		Memoized bool `json:"memoized"`
-	}{v.(*SimulateResponse), memoized})
+	}{resp, memoized})
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
@@ -215,10 +229,11 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, struct {
+	resp := v.(*ModelResponse)
+	s.writeConditional(w, r, SweepJob{Model: &req}.Key(), resp, memoized, struct {
 		*ModelResponse
 		Memoized bool `json:"memoized"`
-	}{v.(*ModelResponse), memoized})
+	}{resp, memoized})
 }
 
 // handleSweep fans the batch out across the worker pool and streams the
@@ -306,27 +321,35 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // ReadyzResponse is the /v1/readyz body: readiness, as opposed to the
 // pure liveness of /v1/healthz. A draining server is alive but not
 // ready — load balancers and the cluster health checker route away from
-// it while its in-flight work finishes.
+// it while its in-flight work finishes. WarmKeys reports how many job
+// keys this server answers without pool work (memo entries, or persist
+// keys when the disk tier is larger); the coordinator prefers warmer
+// replicas when re-scattering around a failure.
 type ReadyzResponse struct {
 	Status   string `json:"status"`
 	Draining bool   `json:"draining"`
+	WarmKeys int    `json:"warm_keys"`
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, ReadyzResponse{Status: "draining", Draining: true})
+		writeJSON(w, http.StatusServiceUnavailable, ReadyzResponse{Status: "draining", Draining: true, WarmKeys: s.WarmKeys()})
 		return
 	}
-	writeJSON(w, http.StatusOK, ReadyzResponse{Status: "ok"})
+	writeJSON(w, http.StatusOK, ReadyzResponse{Status: "ok", WarmKeys: s.WarmKeys()})
 }
 
-// StatsResponse is the /v1/stats body.
+// StatsResponse is the /v1/stats body, schema 2: the memo, persist,
+// admission, and partial blocks are shaped identically to the
+// coordinator's (see StatsV2); pool and metrics are this tier's
+// extras. The block shapes are wire-compatible with schema 1 — the
+// Deprecation/Sunset headers on the endpoint refer to the un-versioned
+// schema-1 layout as a whole.
 type StatsResponse struct {
-	Memo struct {
-		MemoStats
-		HitRatio float64 `json:"hitRatio"`
-	} `json:"memo"`
-	Pool struct {
+	Schema  int          `json:"schema"`
+	Memo    MemoBlock    `json:"memo"`
+	Persist PersistBlock `json:"persist"`
+	Pool    struct {
 		Workers int   `json:"workers"`
 		Busy    int64 `json:"busy"`
 		Queued  int64 `json:"queued"`
@@ -334,27 +357,19 @@ type StatsResponse struct {
 	// Admission reports the overload valve: queue occupancy, capacity,
 	// shed and degraded request counts, and the pressure fraction the
 	// degradation threshold is compared against.
-	Admission struct {
-		Capacity int     `json:"capacity"`
-		Queued   int64   `json:"queued"`
-		Shed     uint64  `json:"shed"`
-		Degraded uint64  `json:"degraded"`
-		Pressure float64 `json:"pressure"`
-	} `json:"admission"`
+	Admission AdmissionBlock `json:"admission"`
 	// Partial accounts work burned by jobs that were cancelled or timed
 	// out mid-simulation: how many jobs stopped early and how many
 	// references they had completed when they stopped.
-	Partial struct {
-		CancelledJobs uint64 `json:"cancelledJobs"`
-		RefsCompleted uint64 `json:"refsCompleted"`
-	} `json:"partial"`
+	Partial PartialBlock   `json:"partial"`
 	Metrics MetricsSnapshot `json:"metrics"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	var resp StatsResponse
-	resp.Memo.MemoStats = s.memo.Stats()
-	resp.Memo.HitRatio = resp.Memo.MemoStats.HitRatio()
+	resp.Schema = StatsSchemaVersion
+	resp.Memo = memoBlock(s.memo.Stats())
+	resp.Persist = persistBlock(s.persist)
 	resp.Pool.Workers = s.pool.Size()
 	resp.Pool.Busy = s.metrics.Gauge("pool.busy").Value()
 	resp.Pool.Queued = s.metrics.Gauge("pool.queued").Value()
@@ -366,5 +381,6 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	resp.Partial.CancelledJobs = s.metrics.Counter("compute.cancelledJobs").Value()
 	resp.Partial.RefsCompleted = s.metrics.Counter("compute.partialRefs").Value()
 	resp.Metrics = s.metrics.Snapshot()
+	SetDeprecationHeaders(w.Header().Set)
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"primecache/internal/obs"
+	"primecache/internal/persist"
 	"primecache/internal/sim"
 )
 
@@ -50,6 +51,13 @@ type Options struct {
 	// fault sleeps; nil selects the real clock. Simulation tests inject
 	// a sim.Virtual clock and advance it explicitly.
 	Clock sim.Clock
+	// Persist, when non-nil, is the disk-backed second-level memo tier:
+	// memo misses fall through to it (promoting hits back into the LRU),
+	// computed results are stored through, and a graceful Shutdown syncs
+	// and snapshots it so the next process starts warm. The server owns
+	// the store's lifecycle from here on: Shutdown closes it cleanly,
+	// Close kills it (crash semantics).
+	Persist *persist.Store
 	// Tracer, when non-nil, records a span tree per compute request:
 	// an edge span at the handler (stitched to the caller's trace when
 	// the X-Vcache-Trace header is present) with children around
@@ -88,6 +96,7 @@ type Server struct {
 	tracer  *obs.Tracer
 	metrics *Metrics
 	memo    *Memo
+	persist *persist.Store
 	pool    *Pool
 	admit   *admission
 	mux     *http.ServeMux
@@ -125,6 +134,7 @@ func New(opts Options) *Server {
 		tracer:  opts.Tracer,
 		metrics: m,
 		memo:    NewMemo(opts.MemoEntries),
+		persist: opts.Persist,
 		pool:    NewPoolOn(opts.Workers, m, clk),
 		mux:     http.NewServeMux(),
 		calls:   map[string]*inflightCall{},
@@ -165,6 +175,24 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // Cluster tests use it to read a backend's finished-trace ring directly
 // instead of over HTTP.
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// Persist returns the disk tier, nil when the server runs memory-only.
+func (s *Server) Persist() *persist.Store { return s.persist }
+
+// WarmKeys reports how many job keys this server can answer without
+// pool work: the larger of the memo's resident entries and the persist
+// tier's live keys (the disk tier survives restarts, so after a reboot
+// it is what makes the server warm). Surfaced in /v1/readyz for the
+// coordinator's warm-replica failover preference.
+func (s *Server) WarmKeys() int {
+	warm := s.memo.Len()
+	if s.persist != nil {
+		if k := s.persist.Keys(); k > warm {
+			warm = k
+		}
+	}
+	return warm
+}
 
 // Serve accepts connections on l until Shutdown or Close. It always
 // returns a non-nil error; after Shutdown it returns http.ErrServerClosed.
@@ -216,13 +244,26 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 	}
 	s.pool.Close()
+	// With every request drained, the disk tier's log is final: fsync
+	// and write the index snapshot so the next open restores warm
+	// without a scan.
+	if s.persist != nil {
+		if perr := s.persist.Close(); perr != nil && err == nil {
+			err = perr
+		}
+	}
 	return err
 }
 
-// Close stops the server without draining.
+// Close stops the server without draining. The persist tier is killed,
+// not closed: no fsync, no snapshot — the same disk state a crash
+// leaves behind, so recovery always goes through the scan path.
 func (s *Server) Close() error {
 	err := s.httpSrv.Close()
 	s.pool.Close()
+	if s.persist != nil {
+		s.persist.Kill()
+	}
 	return err
 }
 

@@ -132,3 +132,61 @@ func TestChaosBrokenFailoverTripsInvariant(t *testing.T) {
 		t.Errorf("broken failover not caught: want a %s violation, got %v", InvJobs, broken.Violations)
 	}
 }
+
+// warmRestartSchedule cycles a crash/restart through every node, with
+// a probe round after each fault so routing follows health: step 0 is
+// fault-free (seeding the probe job onto its primary's disk), then
+// each node in turn is killed for a step and restarted the next.
+// Whichever node owns the probe job, its restart lands on a warm disk
+// — so a full cycle forces at least one warm-restart check.
+func warmRestartSchedule(nodes int) *sim.Schedule {
+	s := &sim.Schedule{Seed: -2, Nodes: nodes, Steps: 2*nodes + 1}
+	step := 1
+	for i := 0; i < nodes; i++ {
+		s.Events = append(s.Events,
+			sim.Event{Step: step, Kind: sim.EventCrash, Node: i},
+			sim.Event{Step: step, Kind: sim.EventProbe},
+		)
+		step++
+		s.Events = append(s.Events,
+			sim.Event{Step: step, Kind: sim.EventRestart, Node: i},
+			sim.Event{Step: step, Kind: sim.EventProbe},
+		)
+		step++
+	}
+	return s
+}
+
+// TestChaosWarmRestart drives kill-and-restart schedules against a
+// persist-enabled cluster: every invariant must hold — including the
+// warm-restart one, which must actually have run — proving a restarted
+// backend answers previously-persisted jobs from disk with zero pool
+// work, and that the store's crash recovery never corrupts an answer.
+func TestChaosWarmRestart(t *testing.T) {
+	rep, err := Run(Options{Seed: -2, Schedule: warmRestartSchedule(3), Persist: true})
+	if err != nil {
+		t.Fatalf("harness error: %v", err)
+	}
+	if rep.Failed() {
+		for _, v := range rep.Violations {
+			t.Errorf("%s", v)
+		}
+		t.Logf("event log:\n%s", strings.Join(rep.Log, "\n"))
+	}
+	if rep.WarmChecks == 0 {
+		t.Error("schedule restarted every node yet no warm-restart check ran — the persist tier never held the probe job")
+	}
+
+	// A generated kill schedule over a persist-enabled cluster must hold
+	// the same invariants: recovery runs against whatever the crash left.
+	rep, err = Run(Options{Seed: 3, Persist: true})
+	if err != nil {
+		t.Fatalf("harness error: %v", err)
+	}
+	if rep.Failed() {
+		for _, v := range rep.Violations {
+			t.Errorf("seeded persist run: %s", v)
+		}
+		t.Logf("event log:\n%s", strings.Join(rep.Log, "\n"))
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"os"
 	"time"
 
 	"primecache/internal/cache"
@@ -33,6 +35,13 @@ type Options struct {
 	// DropRescatter plants the deliberate failover bug in the
 	// coordinator, to prove the no-lost-jobs invariant trips on it.
 	DropRescatter bool
+	// Persist gives every node a disk-backed memo tier in its own temp
+	// directory. The directory survives crash/restart events — like a
+	// disk across a process crash — so each restart exercises the
+	// store's recovery path, and the warm-restart invariant checks a
+	// restarted node answers previously-persisted jobs without
+	// recomputing.
+	Persist bool
 	// RequestTimeout bounds one coordinator request (default 30s — the
 	// run is step-synchronous, so this only matters when failover is
 	// broken and a job's result never arrives).
@@ -80,6 +89,11 @@ type Report struct {
 	Log []string
 	// Violations holds every invariant breach, in step order.
 	Violations []Violation
+	// WarmChecks counts warm-restart invariant evaluations that ran: a
+	// node restarted with the probe job on disk and was actually
+	// checked. A persist-enabled run whose schedule restarts the probe's
+	// owner should report at least one.
+	WarmChecks int
 }
 
 // Failed reports whether any invariant was violated.
@@ -93,6 +107,7 @@ const (
 	InvAdmission = "admission-quiesce" // admission/pool/inflight gauges return to zero between steps
 	InvTrace     = "trace-stitching"   // every backend trace stitches to a coordinator trace across the hop
 	InvLeak      = "goroutine-leak"    // everything spawned during the run exits at teardown
+	InvWarm      = "warm-restart"      // a restarted node answers previously-persisted jobs memoized, with zero pool work
 )
 
 // run owns the live pieces of one chaos execution.
@@ -107,6 +122,7 @@ type run struct {
 	req    server.SweepRequest
 	oracle [][]byte // per-index payload JSON from the single-node reference
 	probe  server.SimulateRequest
+	dirs   []string // per-node persist temp dirs, removed at teardown
 	rep    *Report
 }
 
@@ -178,7 +194,15 @@ func (r *run) setup() error {
 
 	backends := make([]string, r.sched.Nodes)
 	for i := 0; i < r.sched.Nodes; i++ {
-		n := newNode(i, server.Options{})
+		dir := ""
+		if r.opts.Persist {
+			var err error
+			if dir, err = os.MkdirTemp("", fmt.Sprintf("chaos-persist-%d-*", i)); err != nil {
+				return fmt.Errorf("chaos: persist dir: %w", err)
+			}
+			r.dirs = append(r.dirs, dir)
+		}
+		n := newNode(i, server.Options{}, dir)
 		r.nodes = append(r.nodes, n)
 		backends[i] = n.ts.URL
 	}
@@ -222,6 +246,9 @@ func (r *run) teardown() {
 	for _, n := range r.nodes {
 		n.close()
 	}
+	for _, d := range r.dirs {
+		os.RemoveAll(d)
+	}
 }
 
 func (r *run) violate(step int, inv, detail string) {
@@ -242,6 +269,7 @@ func (r *run) applyEvents(step int) {
 			n.crash()
 		case sim.EventRestart:
 			n.start()
+			r.checkWarm(step, n)
 		case sim.EventPartition:
 			n.partition()
 		case sim.EventHeal:
@@ -255,6 +283,53 @@ func (r *run) applyEvents(step int) {
 			r.coord.CheckHealth(ctx)
 			cancel()
 		}
+	}
+}
+
+// checkWarm evaluates the warm-restart invariant on a node that just
+// restarted: if its persist directory holds the fixed probe job (a
+// prior incarnation computed and stored it before dying), the fresh
+// server — whose memo and pool are empty — must answer that job
+// memoized with zero pool work, straight from disk. The probe goes to
+// the node directly but rides a span from the coordinator's tracer, so
+// the trace-stitching invariant sees a remote-parented trace the
+// coordinator knows, exactly like proxied traffic.
+func (r *run) checkWarm(step int, n *node) {
+	if !r.opts.Persist {
+		return
+	}
+	srv := n.server()
+	if srv == nil || srv.Persist() == nil {
+		return
+	}
+	key := server.SweepJob{Simulate: &r.probe}.Key()
+	if _, ok := srv.Persist().Get(key); !ok {
+		return // this node never served the probe; nothing to assert
+	}
+	r.rep.WarmChecks++
+	before := srv.Metrics().Counter("pool.completed").Value()
+
+	ctx, cancel := context.WithTimeout(context.Background(), r.opts.RequestTimeout)
+	defer cancel()
+	ctx, span := r.tracer.StartSpan(ctx, "warm-probe")
+	// A dedicated transport guarantees a fresh connection: the shared
+	// default pool may hold a keep-alive connection the crash severed,
+	// and a stale-connection EOF would read as a false violation.
+	tr := &http.Transport{}
+	ncl := client.New(n.ts.URL, client.WithRetries(0),
+		client.WithHTTPClient(&http.Client{Transport: tr, Timeout: r.opts.RequestTimeout}))
+	res, err := ncl.Simulate(ctx, r.probe)
+	tr.CloseIdleConnections()
+	span.End()
+	if err != nil {
+		r.violate(step, InvWarm, fmt.Sprintf("node %d: probe against restarted node failed: %v", n.idx, err))
+		return
+	}
+	if !res.Memoized {
+		r.violate(step, InvWarm, fmt.Sprintf("node %d answered the persisted probe job unmemoized — the disk tier was not consulted", n.idx))
+	}
+	if after := srv.Metrics().Counter("pool.completed").Value(); after != before {
+		r.violate(step, InvWarm, fmt.Sprintf("node %d burned %d pool job(s) answering a persisted job, want 0", n.idx, after-before))
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"primecache/internal/obs"
+	"primecache/internal/persist"
 	"primecache/internal/server"
 	"primecache/internal/sim"
 )
@@ -56,11 +57,13 @@ func (g *gate) set(fn func(*gate)) {
 
 // node is one simulated vcached backend: a real server.Server behind a
 // gate, on a skewable clock, restartable in place (the listener — and
-// therefore the URL the ring hashes — survives a crash; the server
-// state does not).
+// therefore the URL the ring hashes — survives a crash; the server's
+// memory state does not, while its persist directory, when configured,
+// survives like a disk would).
 type node struct {
 	idx     int
 	opts    server.Options
+	dir     string // persist directory surviving restarts; "" = memory-only
 	gate    *gate
 	ts      *httptest.Server
 	setSkew func(time.Duration)
@@ -72,9 +75,10 @@ type node struct {
 }
 
 // newNode boots one backend. nopts is copied; its Clock is replaced by
-// the node's own skewable clock.
-func newNode(idx int, nopts server.Options) *node {
-	n := &node{idx: idx, opts: nopts, gate: &gate{}}
+// the node's own skewable clock. A non-empty dir gives the node a
+// disk-backed memo tier whose contents outlive crash/restart cycles.
+func newNode(idx int, nopts server.Options, dir string) *node {
+	n := &node{idx: idx, opts: nopts, dir: dir, gate: &gate{}}
 	n.opts.Clock, n.setSkew = sim.NewOffset(sim.Real)
 	n.ts = httptest.NewServer(n.gate)
 	n.start()
@@ -83,8 +87,10 @@ func newNode(idx int, nopts server.Options) *node {
 
 // start boots a fresh server behind the gate (initial boot and every
 // restart): empty memoizer, zeroed metrics, fresh tracer —
-// crash-restart loses state. The tracer's origin carries the boot
-// generation so span IDs from a pre-crash incarnation can never
+// crash-restart loses memory state. A persist-configured node reopens
+// its directory, running the store's crash recovery against whatever
+// the dying incarnation left on disk. The tracer's origin carries the
+// boot generation so span IDs from a pre-crash incarnation can never
 // collide with post-restart ones inside the same stitched trace.
 func (n *node) start() {
 	n.mu.Lock()
@@ -97,6 +103,16 @@ func (n *node) start() {
 		Clock:    opts.Clock,
 		Capacity: 1024,
 	})
+	if n.dir != "" {
+		store, err := persist.Open(persist.Options{Dir: n.dir})
+		if err != nil {
+			// Open fails open on data corruption (that is the store's
+			// contract, exercised by its own tests); an error here means
+			// the harness itself lost its temp dir — unrecoverable.
+			panic(fmt.Sprintf("chaos: node %d reopening persist dir: %v", n.idx, err))
+		}
+		opts.Persist = store
+	}
 	srv := server.New(opts)
 	n.mu.Lock()
 	n.srv = srv
