@@ -18,7 +18,7 @@ FUZZTIME ?= 10s
 # Seeded fault schedules per `make chaos` run (see internal/sim/chaos).
 CHAOS_SCHEDULES ?= 50
 
-.PHONY: build test vet race race-server cluster-test stress chaos persist-test bench bench-go bench-smoke oracle fuzz-smoke obs-test obscheck golden-update ci
+.PHONY: build test vet race race-server cluster-test stress chaos persist-test bench bench-go bench-smoke oracle fuzz-smoke obs-test obscheck docs-check golden-update ci
 
 build:
 	$(GO) build ./...
@@ -110,6 +110,14 @@ obs-test: obscheck
 obscheck:
 	$(GO) run ./cmd/obscheck
 
+# Documentation lint: every mux route in the HTTP layers has an API.md
+# entry, every intra-repo markdown link resolves, and every exported
+# identifier in internal/cluster and internal/persist carries a doc
+# comment (cmd/doccheck, plus its own tests).
+docs-check:
+	$(GO) run ./cmd/doccheck
+	$(GO) test -count=1 ./cmd/doccheck/
+
 # Durable memo-tier suite under the race detector: the persist store's
 # own tests (log replay, torn tails, corrupt-record quarantine, segment
 # rotation, compaction, snapshot restore), plus the warm-restart,
@@ -125,4 +133,4 @@ golden-update:
 	$(GO) test ./internal/report/ ./cmd/figures/ -update
 	$(GO) test ./internal/server/ -run Golden -update
 
-ci: vet build test race-server cluster-test stress chaos persist-test obs-test fuzz-smoke oracle bench-smoke
+ci: vet build test race-server cluster-test stress chaos persist-test obs-test docs-check fuzz-smoke oracle bench-smoke

@@ -88,6 +88,7 @@ func main() {
 		probeLimit  = flag.Duration("probe-timeout", 0, "per-probe readiness timeout (0 = default 1s)")
 		hedgeAfter  = flag.Duration("hedge-after", 0, "floor on the hedge delay for single jobs (0 = default 50ms, negative disables hedging)")
 		maxInflight = flag.Int("coordinator-inflight", 0, "coordinator admission capacity (0 = default 256, negative = unbounded)")
+		adminToken  = flag.String("admin-token", "", "bearer token enabling the coordinator's /v1/admin membership API (empty keeps it off)")
 	)
 	flag.Parse()
 
@@ -95,7 +96,7 @@ func main() {
 
 	if *coordinator {
 		runCoordinator(*addr, *backends, *replicas, *probeEvery, *probeLimit, *hedgeAfter, *maxInflight, *drain,
-			newTracer("coordinator", *traceRing, *traceEvery))
+			*adminToken, newTracer("coordinator", *traceRing, *traceEvery))
 		return
 	}
 
@@ -221,7 +222,7 @@ func startDebugServer(addr string) {
 
 // runCoordinator is the -coordinator mode: serve the cluster
 // coordinator over the given backends until a signal arrives.
-func runCoordinator(addr, backendList string, replicas int, probeEvery, probeLimit, hedgeAfter time.Duration, maxInflight int, drain time.Duration, tracer *obs.Tracer) {
+func runCoordinator(addr, backendList string, replicas int, probeEvery, probeLimit, hedgeAfter time.Duration, maxInflight int, drain time.Duration, adminToken string, tracer *obs.Tracer) {
 	var urls []string
 	for _, b := range strings.Split(backendList, ",") {
 		if b = strings.TrimSpace(b); b != "" {
@@ -238,6 +239,7 @@ func runCoordinator(addr, backendList string, replicas int, probeEvery, probeLim
 		ProbeTimeout:  probeLimit,
 		HedgeAfter:    hedgeAfter,
 		MaxInflight:   maxInflight,
+		AdminToken:    adminToken,
 		Tracer:        tracer,
 	})
 	if err != nil {

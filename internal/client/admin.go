@@ -1,0 +1,164 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"primecache/internal/keyspace"
+	"primecache/internal/obs"
+)
+
+// Cluster-administration and warm-migration methods. The wire types for
+// the coordinator's /v1/admin surface live here (not in the cluster
+// package) because the dependency arrow points the other way: the
+// coordinator imports this package for its backend clients, so these
+// shapes are what both sides marshal.
+
+// AdminBackend is one backend row in the coordinator's membership view.
+type AdminBackend struct {
+	// URL is the backend's base URL — its ring identity.
+	URL string `json:"url"`
+	// Healthy reports the backend is taking new work.
+	Healthy bool `json:"healthy"`
+	// Draining reports the backend is being removed (or reported itself
+	// shutting down) and only finishes in-flight work.
+	Draining bool `json:"draining"`
+	// WarmKeys is the backend's last reported warm working-set size.
+	WarmKeys int `json:"warmKeys"`
+}
+
+// AdminBackendsResponse is the GET /v1/admin/backends body.
+type AdminBackendsResponse struct {
+	// RingVersion counts atomic ring swaps since the coordinator booted;
+	// it bumps by one on every successful join or leave.
+	RingVersion uint64 `json:"ringVersion"`
+	// VirtualNodes is the per-backend ring point count.
+	VirtualNodes int `json:"virtualNodes"`
+	// Backends lists the current members in ring construction order.
+	Backends []AdminBackend `json:"backends"`
+}
+
+// AdminChangeRequest is the POST /v1/admin/backends body.
+type AdminChangeRequest struct {
+	// URL is the backend to add, e.g. "http://10.0.0.4:8372".
+	URL string `json:"url"`
+}
+
+// AdminChangeResponse reports one completed membership change.
+type AdminChangeResponse struct {
+	// RingVersion is the ring generation after the swap.
+	RingVersion uint64 `json:"ringVersion"`
+	// Backends is the member set after the change.
+	Backends []string `json:"backends"`
+	// MigratedKeys and MigratedBytes count warm-state records moved for
+	// this change (export → import, both sides CRC-checked).
+	MigratedKeys  int64 `json:"migratedKeys"`
+	MigratedBytes int64 `json:"migratedBytes"`
+	// MigrationErrors counts source/destination transfers that failed or
+	// were skipped; the affected keys recompute cold on first touch
+	// instead of failing the membership change.
+	MigrationErrors int64 `json:"migrationErrors"`
+	// Drained reports (on a leave) that the departing backend's in-flight
+	// work quiesced before removal; false means the quiesce wait timed
+	// out and the backend was removed anyway.
+	Drained bool `json:"drained,omitempty"`
+}
+
+// AdminBackends fetches the coordinator's live membership view.
+// Requires WithAdminToken.
+func (c *Client) AdminBackends(ctx context.Context) (*AdminBackendsResponse, error) {
+	var out AdminBackendsResponse
+	if _, err := c.do(ctx, http.MethodGet, "/v1/admin/backends", nil, &out, ""); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AdminJoin adds a backend to the cluster: the coordinator migrates the
+// persisted records the joiner now owns onto it, then atomically swaps
+// the routing ring. Requires WithAdminToken.
+func (c *Client) AdminJoin(ctx context.Context, backendURL string) (*AdminChangeResponse, error) {
+	var out AdminChangeResponse
+	if _, err := c.do(ctx, http.MethodPost, "/v1/admin/backends", AdminChangeRequest{URL: backendURL}, &out, ""); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AdminLeave drains a backend out of the cluster: its shards re-scatter
+// to the ring successors (with warm-state migration), the ring swaps,
+// and the backend is removed once in-flight work quiesces. Requires
+// WithAdminToken.
+func (c *Client) AdminLeave(ctx context.Context, backendURL string) (*AdminChangeResponse, error) {
+	var out AdminChangeResponse
+	path := "/v1/admin/backends?url=" + url.QueryEscape(backendURL)
+	if _, err := c.do(ctx, http.MethodDelete, path, nil, &out, ""); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PersistExport streams the backend's persisted records whose keys hash
+// into owner, as CRC-checked persist frames. The caller must Close the
+// returned stream; a typed *Error is returned for non-2xx answers
+// (CodeNotFound when the backend runs memory-only).
+func (c *Client) PersistExport(ctx context.Context, owner keyspace.Ranges) (io.ReadCloser, error) {
+	u := c.base + "/v1/persist/export?owner=" + url.QueryEscape(owner.String())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: building request: %w", err)
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	obs.Inject(ctx, req.Header)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: GET /v1/persist/export: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		return nil, decodeError(resp, data)
+	}
+	return resp.Body, nil
+}
+
+// PersistImport streams persist frames into the backend's disk tier and
+// returns how many records and value bytes it accepted. The reader is
+// consumed to EOF on success.
+func (c *Client) PersistImport(ctx context.Context, frames io.Reader) (imported, bytes int64, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/persist/import", frames)
+	if err != nil {
+		return 0, 0, fmt.Errorf("client: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	obs.Inject(ctx, req.Header)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, 0, fmt.Errorf("client: POST /v1/persist/import: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, 0, fmt.Errorf("client: reading import response: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		return 0, 0, decodeError(resp, data)
+	}
+	var out struct {
+		Imported int64 `json:"imported"`
+		Bytes    int64 `json:"bytes"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return 0, 0, fmt.Errorf("client: decoding import response: %w", err)
+	}
+	return out.Imported, out.Bytes, nil
+}

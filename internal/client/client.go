@@ -34,6 +34,7 @@ type Client struct {
 	maxWait time.Duration // ceiling on any single delay
 	clock   sim.Clock     // backoff timer source; sim.Real in production
 	etags   *etagCache    // conditional-request cache; nil when disabled
+	token   string        // admin bearer token; empty sends no Authorization
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -86,6 +87,13 @@ func WithETagCache(n int) Option {
 // them out on the wall clock.
 func WithClock(clk sim.Clock) Option {
 	return func(c *Client) { c.clock = sim.Or(clk) }
+}
+
+// WithAdminToken sets the bearer token sent as an Authorization header
+// on every request, required by the coordinator's token-gated
+// /v1/admin endpoints. Non-admin endpoints ignore it.
+func WithAdminToken(token string) Option {
+	return func(c *Client) { c.token = token }
 }
 
 // New returns a client for the vcached instance at baseURL
@@ -374,6 +382,9 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	}
 	if ifNoneMatch != "" {
 		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
 	}
 	// Propagate the caller's trace, if any, so the backend's spans
 	// stitch under it.

@@ -578,7 +578,7 @@ func TestClusterFailoverPrefersWarmReplica(t *testing.T) {
 	}
 	lc.Coordinator.CheckHealth(context.Background())
 
-	cands := lc.Coordinator.candidates(key, nil)
+	cands := lc.Coordinator.candidates(lc.Coordinator.currentRing(), key, nil)
 	if len(cands) != 3 {
 		t.Fatalf("got %d candidates, want 3", len(cands))
 	}

@@ -68,6 +68,10 @@ type Options struct {
 	// no-lost-jobs invariant actually trips on a failover bug; nothing
 	// outside a test may set it.
 	DropRescatter bool
+	// AdminToken, when non-empty, enables the /v1/admin membership API,
+	// gated by this bearer token. Empty keeps the admin surface off
+	// (requests answer not_found).
+	AdminToken string
 }
 
 func (o Options) withDefaults() Options {
@@ -115,13 +119,23 @@ type backendState struct {
 // results back in input order, and fails jobs over to the next ring
 // replica when a backend dies, drains, or sheds.
 type Coordinator struct {
-	opts     Options
-	clock    sim.Clock
-	tracer   *obs.Tracer
-	ring     *Ring
-	backends map[string]*backendState
-	health   *health
-	mux      *http.ServeMux
+	opts   Options
+	clock  sim.Clock
+	tracer *obs.Tracer
+	health *health
+	mux    *http.ServeMux
+
+	// Membership. The ring is copy-on-write: a membership change builds
+	// a whole new Ring and swaps the pointer under memberMu, so a
+	// request that captured the old ring keeps routing on a consistent
+	// view while new requests see the new one. adminMu serializes
+	// join/leave end to end (migration included) without holding
+	// memberMu, so routing never blocks on a migration.
+	adminMu     sync.Mutex
+	memberMu    sync.RWMutex
+	ring        *Ring
+	ringVersion uint64
+	backends    map[string]*backendState
 
 	// Admission valve: nil when disabled.
 	slots chan struct{}
@@ -130,6 +144,13 @@ type Coordinator struct {
 	hedges   server.Counter
 	reroutes server.Counter
 	requests server.Counter
+
+	// Membership-change counters, surfaced in /v1/stats and /metrics.
+	joins           server.Counter
+	leaves          server.Counter
+	migratedKeys    server.Counter
+	migratedBytes   server.Counter
+	migrationErrors server.Counter
 }
 
 // New builds a Coordinator over opts.Backends and runs one synchronous
@@ -170,6 +191,9 @@ func New(opts Options) (*Coordinator, error) {
 	c.mux.HandleFunc("GET /v1/stats", c.tracedLive("stats", c.handleStats))
 	c.mux.HandleFunc("GET /metrics", c.tracedLive("metrics", c.handleMetrics))
 	c.mux.HandleFunc("GET /v1/debug/traces", c.tracedLive("traces", c.handleTraces))
+	c.mux.HandleFunc("GET /v1/admin/backends", c.tracedLive("admin.list", c.requireAdmin(c.handleAdminList)))
+	c.mux.HandleFunc("POST /v1/admin/backends", c.traced("admin.join", c.requireAdmin(c.handleAdminJoin)))
+	c.mux.HandleFunc("DELETE /v1/admin/backends", c.traced("admin.leave", c.requireAdmin(c.handleAdminLeave)))
 	return c, nil
 }
 
@@ -207,8 +231,33 @@ func (c *Coordinator) tracedLive(_ string, h http.HandlerFunc) http.HandlerFunc 
 // Handler returns the coordinator's HTTP handler.
 func (c *Coordinator) Handler() http.Handler { return c.mux }
 
-// Ring returns the routing ring (read-only).
-func (c *Coordinator) Ring() *Ring { return c.ring }
+// Ring returns the current routing ring (read-only; a membership
+// change swaps in a new one).
+func (c *Coordinator) Ring() *Ring { return c.currentRing() }
+
+// RingVersion counts atomic ring swaps since boot.
+func (c *Coordinator) RingVersion() uint64 {
+	c.memberMu.RLock()
+	defer c.memberMu.RUnlock()
+	return c.ringVersion
+}
+
+// currentRing snapshots the routing ring. Handlers capture it once per
+// request: in-flight work (sweep legs included) finishes against the
+// ring it started on while new requests route on the new one.
+func (c *Coordinator) currentRing() *Ring {
+	c.memberMu.RLock()
+	defer c.memberMu.RUnlock()
+	return c.ring
+}
+
+// backendFor returns backend's live state, nil when it has been
+// removed (a request routed on an old ring may still name it).
+func (c *Coordinator) backendFor(backend string) *backendState {
+	c.memberMu.RLock()
+	defer c.memberMu.RUnlock()
+	return c.backends[backend]
+}
 
 // CheckHealth runs one synchronous round of readiness probes.
 func (c *Coordinator) CheckHealth(ctx context.Context) { c.health.CheckNow(ctx) }
@@ -217,6 +266,8 @@ func (c *Coordinator) CheckHealth(ctx context.Context) { c.health.CheckNow(ctx) 
 // idle connections.
 func (c *Coordinator) Close() {
 	c.health.close()
+	c.memberMu.RLock()
+	defer c.memberMu.RUnlock()
 	for _, b := range c.backends {
 		b.client.Close()
 	}
@@ -227,7 +278,10 @@ func (c *Coordinator) Close() {
 // persist tier), which feeds the warm-replica preference in
 // candidates().
 func (c *Coordinator) probeBackend(ctx context.Context, backend string) (ready, draining bool, warmKeys int) {
-	b := c.backends[backend]
+	b := c.backendFor(backend)
+	if b == nil {
+		return false, false, 0 // removed while a probe was in flight
+	}
 	rz, err := b.client.Readyz(ctx)
 	if rz != nil {
 		warmKeys = rz.WarmKeys
@@ -286,17 +340,21 @@ func (c *Coordinator) requestCtx(r *http.Request) (context.Context, context.Canc
 // replicas stay at the tail as a last resort — when every replica
 // looks down, trying one anyway is how the cluster recovers before the
 // next probe.
-func (c *Coordinator) candidates(key string, excluded map[string]bool) []*backendState {
-	urls := c.ring.Replicas(key, c.opts.Replicas)
+func (c *Coordinator) candidates(ring *Ring, key string, excluded map[string]bool) []*backendState {
+	urls := ring.Replicas(key, c.opts.Replicas)
 	var healthy, down []*backendState
 	for _, u := range urls {
 		if excluded[u] {
 			continue
 		}
+		b := c.backendFor(u)
+		if b == nil {
+			continue // removed after this request captured its ring
+		}
 		if c.health.healthy(u) {
-			healthy = append(healthy, c.backends[u])
+			healthy = append(healthy, b)
 		} else {
-			down = append(down, c.backends[u])
+			down = append(down, b)
 		}
 	}
 	if len(healthy) > 1 {
@@ -379,8 +437,8 @@ func (c *Coordinator) callBackend(b *backendState, fn func() error) error {
 // ring order, hedging the primary after its latency quantile and
 // failing over on any retryable error. The first success wins; losers
 // are cancelled.
-func (c *Coordinator) runSingle(ctx context.Context, key string, do func(ctx context.Context, cl *client.Client) (any, error)) (any, error) {
-	cands := c.candidates(key, nil)
+func (c *Coordinator) runSingle(ctx context.Context, ring *Ring, key string, do func(ctx context.Context, cl *client.Client) (any, error)) (any, error) {
+	cands := c.candidates(ring, key, nil)
 	if len(cands) == 0 {
 		return nil, server.Errf(server.CodeUnavailable, "cluster: no backend available for job")
 	}
@@ -544,7 +602,7 @@ func (c *Coordinator) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := c.requestCtx(r)
 	defer cancel()
 	key := server.SweepJob{Simulate: &req}.Key()
-	v, err := c.runSingle(ctx, key, func(ctx context.Context, cl *client.Client) (any, error) {
+	v, err := c.runSingle(ctx, c.currentRing(), key, func(ctx context.Context, cl *client.Client) (any, error) {
 		return cl.Simulate(ctx, req)
 	})
 	if err != nil {
@@ -569,7 +627,7 @@ func (c *Coordinator) handleModel(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := c.requestCtx(r)
 	defer cancel()
 	key := server.SweepJob{Model: &req}.Key()
-	v, err := c.runSingle(ctx, key, func(ctx context.Context, cl *client.Client) (any, error) {
+	v, err := c.runSingle(ctx, c.currentRing(), key, func(ctx context.Context, cl *client.Client) (any, error) {
 		return cl.Model(ctx, req)
 	})
 	if err != nil {
@@ -636,13 +694,14 @@ type BackendStats struct {
 type StatsResponse struct {
 	Schema  int `json:"schema"`
 	Cluster struct {
-		Backends     int   `json:"backends"`
-		Healthy      int   `json:"healthy"`
-		Replicas     int   `json:"replicas"`
-		RingPoints   int   `json:"ringPoints"`
-		RingModulus  int64 `json:"ringModulus"`
-		VirtualNodes int   `json:"virtualNodes"`
-		WarmKeys     int   `json:"warmKeys"`
+		Backends     int    `json:"backends"`
+		Healthy      int    `json:"healthy"`
+		Replicas     int    `json:"replicas"`
+		RingPoints   int    `json:"ringPoints"`
+		RingModulus  int64  `json:"ringModulus"`
+		VirtualNodes int    `json:"virtualNodes"`
+		WarmKeys     int    `json:"warmKeys"`
+		RingVersion  uint64 `json:"ringVersion"`
 	} `json:"cluster"`
 	// Memo, Persist, and Partial sum the healthy backends' blocks;
 	// backends that fail the (bounded) stats fan-out are skipped rather
@@ -660,9 +719,18 @@ type StatsResponse struct {
 		Degraded uint64  `json:"degraded"`
 		Pressure float64 `json:"pressure"`
 	} `json:"admission"`
-	Requests uint64         `json:"requests"`
-	Hedges   uint64         `json:"hedges"`
-	Reroutes uint64         `json:"reroutes"`
+	Requests uint64 `json:"requests"`
+	Hedges   uint64 `json:"hedges"`
+	Reroutes uint64 `json:"reroutes"`
+	// Membership counts completed membership changes and the warm-state
+	// records they moved.
+	Membership struct {
+		Joins           uint64 `json:"joins"`
+		Leaves          uint64 `json:"leaves"`
+		MigratedKeys    uint64 `json:"migratedKeys"`
+		MigratedBytes   uint64 `json:"migratedBytes"`
+		MigrationErrors uint64 `json:"migrationErrors"`
+	} `json:"membership"`
 	Backends []BackendStats `json:"backends"`
 }
 
@@ -680,11 +748,14 @@ func (c *Coordinator) aggregateBackendStats(ctx context.Context) (memo server.Me
 		mu sync.Mutex
 		wg sync.WaitGroup
 	)
-	for _, u := range c.ring.Backends() {
+	for _, u := range c.currentRing().Backends() {
 		if !c.health.healthy(u) {
 			continue
 		}
-		b := c.backends[u]
+		b := c.backendFor(u)
+		if b == nil {
+			continue
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -731,15 +802,17 @@ func (c *Coordinator) aggregateBackendStats(ctx context.Context) (memo server.Me
 }
 
 func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	ring := c.currentRing()
 	var resp StatsResponse
 	resp.Schema = server.StatsSchemaVersion
-	resp.Cluster.Backends = len(c.backends)
+	resp.Cluster.Backends = len(ring.Backends())
 	resp.Cluster.Healthy = c.health.healthyCount()
 	resp.Cluster.Replicas = c.opts.Replicas
-	resp.Cluster.RingPoints = c.ring.Points()
+	resp.Cluster.RingPoints = ring.Points()
 	resp.Cluster.RingModulus = RingModulus
-	resp.Cluster.VirtualNodes = c.ring.VirtualNodes()
+	resp.Cluster.VirtualNodes = ring.VirtualNodes()
 	resp.Cluster.WarmKeys = c.health.warmKeysTotal()
+	resp.Cluster.RingVersion = c.RingVersion()
 	resp.Memo, resp.Persist, resp.Partial, resp.Admission.Degraded = c.aggregateBackendStats(r.Context())
 	if c.slots != nil {
 		resp.Admission.Capacity = cap(c.slots)
@@ -750,9 +823,17 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Requests = c.requests.Value()
 	resp.Hedges = c.hedges.Value()
 	resp.Reroutes = c.reroutes.Value()
+	resp.Membership.Joins = c.joins.Value()
+	resp.Membership.Leaves = c.leaves.Value()
+	resp.Membership.MigratedKeys = c.migratedKeys.Value()
+	resp.Membership.MigratedBytes = c.migratedBytes.Value()
+	resp.Membership.MigrationErrors = c.migrationErrors.Value()
 	hs := c.health.snapshot()
-	for _, u := range c.ring.Backends() {
-		b := c.backends[u]
+	for _, u := range ring.Backends() {
+		b := c.backendFor(u)
+		if b == nil {
+			continue
+		}
 		snap := b.latency.Snapshot()
 		resp.Backends = append(resp.Backends, BackendStats{
 			URL:           u,

@@ -26,10 +26,20 @@ func (c *Coordinator) PromFamilies() []obs.Family {
 		counter("vcached_coordinator_shed_total", "Requests shed by the coordinator's admission valve.", c.shed.Value()),
 		counter("vcached_coordinator_hedges_total", "Hedged backend calls launched.", c.hedges.Value()),
 		counter("vcached_coordinator_reroutes_total", "Jobs rerouted to another replica after a failure.", c.reroutes.Value()),
+		counter("vcached_coordinator_joins_total", "Completed backend joins.", c.joins.Value()),
+		counter("vcached_coordinator_leaves_total", "Completed backend leaves.", c.leaves.Value()),
+		counter("vcached_coordinator_migrated_keys_total", "Warm-state records moved by membership changes.", c.migratedKeys.Value()),
+		counter("vcached_coordinator_migrated_bytes_total", "Warm-state value bytes moved by membership changes.", c.migratedBytes.Value()),
+		counter("vcached_coordinator_migration_errors_total", "Failed or skipped migration transfers.", c.migrationErrors.Value()),
 		{
 			Name: "vcached_coordinator_healthy_backends", Help: "Backends currently passing readiness probes.",
 			Kind:    obs.KindGauge,
 			Samples: []obs.Sample{{Value: float64(c.health.healthyCount())}},
+		},
+		{
+			Name: "vcached_coordinator_ring_version", Help: "Atomic ring swaps since the coordinator booted.",
+			Kind:    obs.KindGauge,
+			Samples: []obs.Sample{{Value: float64(c.RingVersion())}},
 		},
 	}
 
@@ -44,8 +54,11 @@ func (c *Coordinator) PromFamilies() []obs.Family {
 		Help: "Calls in flight to the backend.", Kind: obs.KindGauge}
 	latency := obs.Family{Name: "vcached_backend_latency_seconds",
 		Help: "Observed call latency per backend in seconds.", Kind: obs.KindHistogram}
-	for _, u := range c.ring.Backends() {
-		b := c.backends[u]
+	for _, u := range c.currentRing().Backends() {
+		b := c.backendFor(u)
+		if b == nil {
+			continue // removed between the ring read and here
+		}
 		label := []obs.Label{{Name: "backend", Value: u}}
 		reqs.Samples = append(reqs.Samples, obs.Sample{Labels: label, Value: float64(b.requests.Value())})
 		fails.Samples = append(fails.Samples, obs.Sample{Labels: label, Value: float64(b.failures.Value())})

@@ -184,6 +184,25 @@ func (h *health) warmKeysTotal() int {
 	return n
 }
 
+// add registers a newly joined backend, seeded with the warm-key count
+// its admission probe reported so failover warm-sorting sees it
+// immediately.
+func (h *health) add(backend string, warmKeys int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.state[backend] == nil {
+		h.state[backend] = &BackendHealth{Healthy: true, WarmKeys: warmKeys}
+	}
+}
+
+// remove forgets a departed backend; in-flight probes against it become
+// no-ops (record tolerates a missing entry).
+func (h *health) remove(backend string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.state, backend)
+}
+
 // reportFailure is the passive path: the coordinator saw a transport
 // failure talking to backend, so stop routing to it now. Only a
 // successful probe brings it back.

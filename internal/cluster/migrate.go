@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sort"
+
+	"primecache/internal/client"
+	"primecache/internal/keyspace"
+	"primecache/internal/server"
+)
+
+// movedRanges computes which arcs of the hash space change primary
+// owner between two rings, grouped as moved[src][dst] — the key ranges
+// whose owner is src on oldRing and dst on newRing. These are exactly
+// the ranges a membership change must migrate: for a join every dst is
+// the joiner, for a leave every src is the leaver (consistent hashing's
+// minimal-disruption property, which the ring property tests assert).
+//
+// The walk merges both rings' point positions into one sorted boundary
+// list. Between two consecutive boundaries neither ring has a point,
+// so ownership on each ring is constant across the arc and equals the
+// owner of the arc's upper bound (a key belongs to the first point at
+// or clockwise after its hash). Each boundary arc where the owners
+// differ is emitted as (prev, bound], with contiguous same-pair arcs
+// coalesced.
+func movedRanges(oldRing, newRing *Ring) map[string]map[string]keyspace.Ranges {
+	bounds := append(oldRing.positions(), newRing.positions()...)
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	dedup := bounds[:0]
+	for i, b := range bounds {
+		if i == 0 || b != dedup[len(dedup)-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	bounds = dedup
+
+	moved := make(map[string]map[string]keyspace.Ranges)
+	emit := func(src, dst string, arc keyspace.Range) {
+		if moved[src] == nil {
+			moved[src] = make(map[string]keyspace.Ranges)
+		}
+		rs := moved[src][dst]
+		// Coalesce with the previous arc when contiguous: the walk emits
+		// arcs in ascending order, so only the last range can extend.
+		if n := len(rs); n > 0 && rs[n-1].Hi == arc.Lo {
+			rs[n-1].Hi = arc.Hi
+			moved[src][dst] = rs
+			return
+		}
+		moved[src][dst] = append(rs, arc)
+	}
+	for i, b := range bounds {
+		oldOwner, newOwner := oldRing.ownerAt(b), newRing.ownerAt(b)
+		if oldOwner == newOwner {
+			continue
+		}
+		// The arc ending at bounds[0] wraps from the last boundary; with
+		// a single boundary Lo == Hi encodes the full circle.
+		prev := bounds[(i+len(bounds)-1)%len(bounds)]
+		emit(oldOwner, newOwner, keyspace.Range{Lo: prev, Hi: b})
+	}
+	return moved
+}
+
+// runMigration streams the persist-tier records covered by moves from
+// each source to its destination: one export request per (src, dst)
+// pair, piped directly into the destination's import endpoint — the
+// CRC-checked record framing travels the wire unmodified, so a frame
+// corrupted in transit is rejected exactly like a corrupt log record.
+//
+// clientFor resolves a backend URL to its client, returning nil for
+// members that cannot serve a transfer right now (down, unknown);
+// those pairs are skipped and counted as errors. A source running
+// memory-only answers the export with not_found — that is a clean
+// "nothing persisted to move", not an error. Migration is best-effort
+// by design: a failed pair leaves its keys to recompute cold on first
+// touch rather than failing the membership change.
+func (c *Coordinator) runMigration(ctx context.Context, moves map[string]map[string]keyspace.Ranges, clientFor func(url string) *client.Client) (keys, bytes, errs int64) {
+	// Deterministic pair order keeps logs and traces stable.
+	srcs := make([]string, 0, len(moves))
+	for src := range moves {
+		srcs = append(srcs, src)
+	}
+	sort.Strings(srcs)
+	for _, src := range srcs {
+		dsts := make([]string, 0, len(moves[src]))
+		for dst := range moves[src] {
+			dsts = append(dsts, dst)
+		}
+		sort.Strings(dsts)
+		for _, dst := range dsts {
+			n, b, err := c.migratePair(ctx, clientFor(src), clientFor(dst), moves[src][dst])
+			keys += n
+			bytes += b
+			if err != nil {
+				errs++
+			}
+		}
+	}
+	c.migratedKeys.Add(uint64(keys))
+	c.migratedBytes.Add(uint64(bytes))
+	c.migrationErrors.Add(uint64(errs))
+	return keys, bytes, errs
+}
+
+// errSkipTransfer marks a (src, dst) pair that cannot transfer —
+// counted into migrationErrors by runMigration.
+var errSkipTransfer = errors.New("cluster: migration pair skipped")
+
+func (c *Coordinator) migratePair(ctx context.Context, src, dst *client.Client, ranges keyspace.Ranges) (keys, bytes int64, err error) {
+	if src == nil || dst == nil {
+		return 0, 0, errSkipTransfer
+	}
+	stream, err := src.PersistExport(ctx, ranges)
+	if err != nil {
+		var ce *client.Error
+		if errors.As(err, &ce) && ce.Code == server.CodeNotFound {
+			return 0, 0, nil // memory-only source: nothing persisted to move
+		}
+		return 0, 0, err
+	}
+	defer stream.Close()
+	return dst.PersistImport(ctx, stream)
+}

@@ -17,11 +17,13 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+
+	"primecache/internal/keyspace"
 )
 
 // RingModulus is the size of the hash space: the Mersenne prime 2³¹−1,
 // the same modulus family the simulated cache uses for set mapping.
-const RingModulus = 1<<31 - 1
+const RingModulus = keyspace.Modulus
 
 // Ring is an immutable consistent-hash ring over a set of backends.
 // Each backend owns VirtualNodes points; a key belongs to the first
@@ -79,27 +81,10 @@ func NewRing(backends []string, virtualNodes int) (*Ring, error) {
 	return r, nil
 }
 
-// ringHash maps a string into the prime-sized ring space: FNV-1a over
-// the bytes, a 64-bit avalanche finalizer (FNV alone leaves the hashes
-// of near-identical strings — vnode labels differ only in a digit or
-// two — strongly correlated), folded by the Mersenne modulus.
-func ringHash(s string) uint32 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= prime64
-	}
-	h ^= h >> 33
-	h *= 0xff51afd7ed558ccd
-	h ^= h >> 33
-	h *= 0xc4ceb9fe1a85ec53
-	h ^= h >> 33
-	return uint32(h % RingModulus)
-}
+// ringHash maps a string into the prime-sized ring space. The math
+// lives in keyspace.Hash so backend servers evaluate migration-range
+// membership with exactly the hash the ring routes by.
+func ringHash(s string) uint32 { return keyspace.Hash(s) }
 
 // find returns the index of the first point at or after pos, wrapping.
 func (r *Ring) find(pos uint32) int {
@@ -134,6 +119,32 @@ func (r *Ring) Replicas(key string, n int) []string {
 		}
 	}
 	return out
+}
+
+// ownerAt returns the backend owning ring position pos — Primary
+// without the hashing, used by the migration-range walk.
+func (r *Ring) ownerAt(pos uint32) string {
+	return r.backends[r.points[r.find(pos)].backend]
+}
+
+// positions returns every point position on the ring, sorted ascending
+// (duplicates possible on vnode collisions).
+func (r *Ring) positions() []uint32 {
+	out := make([]uint32, len(r.points))
+	for i, p := range r.points {
+		out[i] = p.pos
+	}
+	return out
+}
+
+// Has reports whether backend is a ring member.
+func (r *Ring) Has(backend string) bool {
+	for _, b := range r.backends {
+		if b == backend {
+			return true
+		}
+	}
+	return false
 }
 
 // Backends returns the member set (in construction order).

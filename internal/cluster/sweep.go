@@ -50,7 +50,10 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		slots[i] = make(chan server.SweepResult, 1)
 	}
 	deliver := func(res server.SweepResult) { slots[res.Index] <- res }
-	go c.scatter(ctx, jobs, nil, deliver)
+	// The ring is captured once: every leg of this sweep — including
+	// failover re-scatters — routes on the ring the request arrived on,
+	// even if a membership change swaps the ring mid-flight.
+	go c.scatter(ctx, c.currentRing(), jobs, nil, deliver)
 
 	w.Header().Set("Content-Type", "application/json")
 	flusher, _ := w.(http.Flusher)
@@ -109,10 +112,10 @@ func (c *Coordinator) gatherSlot(ctx context.Context, slot <-chan server.SweepRe
 // Failed groups recurse with the failed backend excluded, so a job is
 // tried on every replica before its slot is filled with an error
 // envelope; each job is delivered exactly once.
-func (c *Coordinator) scatter(ctx context.Context, jobs []routedJob, excluded map[string]bool, deliver func(server.SweepResult)) {
+func (c *Coordinator) scatter(ctx context.Context, ring *Ring, jobs []routedJob, excluded map[string]bool, deliver func(server.SweepResult)) {
 	groups := make(map[*backendState][]routedJob)
 	for _, j := range jobs {
-		cands := c.candidates(j.key, excluded)
+		cands := c.candidates(ring, j.key, excluded)
 		if len(cands) == 0 {
 			deliver(errorResult(j.idx, server.Errf(server.CodeUnavailable,
 				"cluster: no backend available for job (tried %d replicas)", len(excluded))))
@@ -125,7 +128,7 @@ func (c *Coordinator) scatter(ctx context.Context, jobs []routedJob, excluded ma
 		wg.Add(1)
 		go func(b *backendState, group []routedJob) {
 			defer wg.Done()
-			c.subSweep(ctx, b, group, excluded, deliver)
+			c.subSweep(ctx, ring, b, group, excluded, deliver)
 		}(b, group)
 	}
 	wg.Wait()
@@ -133,7 +136,7 @@ func (c *Coordinator) scatter(ctx context.Context, jobs []routedJob, excluded ma
 
 // subSweep runs one backend's share of the batch and routes per-job and
 // call-level failures onward.
-func (c *Coordinator) subSweep(ctx context.Context, b *backendState, group []routedJob, excluded map[string]bool, deliver func(server.SweepResult)) {
+func (c *Coordinator) subSweep(ctx context.Context, ring *Ring, b *backendState, group []routedJob, excluded map[string]bool, deliver func(server.SweepResult)) {
 	sub := server.SweepRequest{Jobs: make([]server.SweepJob, len(group))}
 	for i, j := range group {
 		sub.Jobs[i] = j.job
@@ -164,7 +167,7 @@ func (c *Coordinator) subSweep(ctx context.Context, b *backendState, group []rou
 		}
 		if ctx.Err() == nil && retryable(err) {
 			c.reroutes.Add(uint64(len(group)))
-			c.scatter(ctx, group, exclude(excluded, b.url), deliver)
+			c.scatter(ctx, ring, group, exclude(excluded, b.url), deliver)
 			return
 		}
 		ae := apiErrorFrom(err)
@@ -193,7 +196,7 @@ func (c *Coordinator) subSweep(ctx context.Context, b *backendState, group []rou
 	}
 	if len(retry) > 0 {
 		c.reroutes.Add(uint64(len(retry)))
-		c.scatter(ctx, retry, exclude(excluded, b.url), deliver)
+		c.scatter(ctx, ring, retry, exclude(excluded, b.url), deliver)
 	}
 }
 

@@ -1,0 +1,124 @@
+// Package keyspace defines the cluster's shared key-hash space: the
+// Mersenne-prime ring positions every tier agrees on, plus the arc
+// (range) arithmetic the warm-migration protocol uses to describe which
+// slices of the ring moved between two ring generations.
+//
+// It is a leaf package on purpose. The consistent-hash ring lives in
+// internal/cluster, but a backend server must be able to evaluate "does
+// this key fall in the arcs the coordinator asked for" without
+// importing the cluster package (which imports the server package).
+// Both sides import keyspace instead, so a key hashes identically on
+// the coordinator and on every backend.
+package keyspace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Modulus is the size of the hash space: the Mersenne prime 2³¹−1, the
+// same modulus family the simulated cache uses for set mapping. Ring
+// positions are in [0, Modulus).
+const Modulus = 1<<31 - 1
+
+// Hash maps a string into the prime-sized ring space: FNV-1a over the
+// bytes, a 64-bit avalanche finalizer (FNV alone leaves the hashes of
+// near-identical strings — vnode labels differ only in a digit or two —
+// strongly correlated), folded by the Mersenne modulus.
+func Hash(s string) uint32 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return uint32(h % Modulus)
+}
+
+// Range is one arc of the ring, half-open on the left: it contains the
+// positions in (Lo, Hi], walking clockwise from Lo. Lo >= Hi means the
+// arc wraps through zero; in particular Lo == Hi denotes the full
+// circle (walking clockwise from Lo all the way back to it).
+type Range struct {
+	Lo uint32 `json:"lo"`
+	Hi uint32 `json:"hi"`
+}
+
+// Contains reports whether position h lies on the arc.
+func (r Range) Contains(h uint32) bool {
+	if r.Lo < r.Hi {
+		return h > r.Lo && h <= r.Hi
+	}
+	return h > r.Lo || h <= r.Hi
+}
+
+// String renders the arc as "lo-hi" (decimal), the wire form the
+// export endpoint's owner parameter carries.
+func (r Range) String() string {
+	return strconv.FormatUint(uint64(r.Lo), 10) + "-" + strconv.FormatUint(uint64(r.Hi), 10)
+}
+
+// Ranges is a set of arcs; a key belongs to the set when any arc
+// contains its hash.
+type Ranges []Range
+
+// Contains reports whether any arc contains position h.
+func (rs Ranges) Contains(h uint32) bool {
+	for _, r := range rs {
+		if r.Contains(h) {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsKey reports whether any arc contains Hash(key).
+func (rs Ranges) ContainsKey(key string) bool { return rs.Contains(Hash(key)) }
+
+// String renders the set as comma-joined "lo-hi" arcs.
+func (rs Ranges) String() string {
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseRanges parses the wire form produced by Ranges.String: one or
+// more comma-separated "lo-hi" decimal arcs, each endpoint within the
+// modulus.
+func ParseRanges(s string) (Ranges, error) {
+	if s == "" {
+		return nil, fmt.Errorf("keyspace: empty range set")
+	}
+	parts := strings.Split(s, ",")
+	out := make(Ranges, 0, len(parts))
+	for _, p := range parts {
+		lo, hi, ok := strings.Cut(p, "-")
+		if !ok {
+			return nil, fmt.Errorf("keyspace: range %q is not lo-hi", p)
+		}
+		l, err := strconv.ParseUint(lo, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("keyspace: range %q: bad lo: %v", p, err)
+		}
+		h, err := strconv.ParseUint(hi, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("keyspace: range %q: bad hi: %v", p, err)
+		}
+		if l >= Modulus || h >= Modulus {
+			return nil, fmt.Errorf("keyspace: range %q exceeds the ring modulus %d", p, int64(Modulus))
+		}
+		out = append(out, Range{Lo: uint32(l), Hi: uint32(h)})
+	}
+	return out, nil
+}

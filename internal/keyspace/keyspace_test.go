@@ -1,0 +1,76 @@
+package keyspace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHashWithinModulus(t *testing.T) {
+	for _, s := range []string{"", "a", "backend#0", "backend#1", "some-long-canonical-job-key|prime|13"} {
+		if h := Hash(s); h >= Modulus {
+			t.Errorf("Hash(%q) = %d, outside [0, %d)", s, h, int64(Modulus))
+		}
+	}
+	if Hash("a") == Hash("b") {
+		t.Error("trivial collision between distinct single-byte keys")
+	}
+}
+
+func TestRangeContains(t *testing.T) {
+	plain := Range{Lo: 100, Hi: 200}
+	for h, want := range map[uint32]bool{100: false, 101: true, 200: true, 201: false, 50: false} {
+		if got := plain.Contains(h); got != want {
+			t.Errorf("(100,200].Contains(%d) = %v, want %v", h, got, want)
+		}
+	}
+	wrap := Range{Lo: Modulus - 10, Hi: 5}
+	for h, want := range map[uint32]bool{Modulus - 10: false, Modulus - 9: true, 0: true, 5: true, 6: false, 1000: false} {
+		if got := wrap.Contains(h); got != want {
+			t.Errorf("wrap.Contains(%d) = %v, want %v", h, got, want)
+		}
+	}
+	full := Range{Lo: 42, Hi: 42}
+	for _, h := range []uint32{0, 41, 42, 43, Modulus - 1} {
+		if !full.Contains(h) {
+			t.Errorf("full-circle arc must contain %d", h)
+		}
+	}
+}
+
+func TestRangesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(5)
+		rs := make(Ranges, n)
+		for i := range rs {
+			rs[i] = Range{Lo: uint32(rng.Int63n(Modulus)), Hi: uint32(rng.Int63n(Modulus))}
+		}
+		parsed, err := ParseRanges(rs.String())
+		if err != nil {
+			t.Fatalf("round-trip parse of %q: %v", rs.String(), err)
+		}
+		if len(parsed) != len(rs) {
+			t.Fatalf("round trip changed arc count: %d -> %d", len(rs), len(parsed))
+		}
+		for i := range rs {
+			if parsed[i] != rs[i] {
+				t.Fatalf("arc %d changed in round trip: %v -> %v", i, rs[i], parsed[i])
+			}
+		}
+		// Membership agrees on random probes.
+		for p := 0; p < 20; p++ {
+			h := uint32(rng.Int63n(Modulus))
+			if rs.Contains(h) != parsed.Contains(h) {
+				t.Fatalf("membership of %d disagrees after round trip", h)
+			}
+		}
+	}
+}
+
+func TestParseRangesRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "10", "a-b", "1-2-3", "10-", "-10", "2147483647-0", "0-2147483647"} {
+		if _, err := ParseRanges(bad); err == nil {
+			t.Errorf("ParseRanges(%q) accepted garbage", bad)
+		}
+	}
+}

@@ -49,6 +49,8 @@ func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(p
 // Op names one filesystem operation class a FaultFS can fail.
 type Op string
 
+// The operation classes a fault can be armed against — each names the
+// FS or File method family it intercepts.
 const (
 	OpOpen   Op = "open"
 	OpWrite  Op = "write"
@@ -132,6 +134,9 @@ func (f *FaultFS) check(op Op) error {
 	return fl.err
 }
 
+// OpenFile implements FS: it counts the operation, injects an armed
+// open fault, and wraps the returned file so its reads, writes, and
+// syncs route through the same fault table.
 func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
 	if err := f.check(OpOpen); err != nil {
 		return nil, fmt.Errorf("%s: %w", filepath.Base(name), err)
@@ -143,6 +148,7 @@ func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error
 	return &faultFile{File: file, fs: f}, nil
 }
 
+// Rename implements FS, injecting armed rename faults.
 func (f *FaultFS) Rename(oldpath, newpath string) error {
 	if err := f.check(OpRename); err != nil {
 		return err
@@ -150,6 +156,7 @@ func (f *FaultFS) Rename(oldpath, newpath string) error {
 	return f.inner.Rename(oldpath, newpath)
 }
 
+// Remove implements FS, injecting armed remove faults.
 func (f *FaultFS) Remove(name string) error {
 	if err := f.check(OpRemove); err != nil {
 		return err
@@ -157,8 +164,10 @@ func (f *FaultFS) Remove(name string) error {
 	return f.inner.Remove(name)
 }
 
+// ReadDir implements FS; directory listing is never faulted.
 func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) { return f.inner.ReadDir(name) }
 
+// MkdirAll implements FS; directory creation is never faulted.
 func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
 	return f.inner.MkdirAll(path, perm)
 }

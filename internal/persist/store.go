@@ -304,7 +304,12 @@ func (s *Store) applyEntry(kind byte, key string, r ref) {
 // are re-verified on every read; a record that fails verification is
 // dropped from the index and counted corrupt, and the caller sees a
 // plain miss — never bad bytes.
-func (s *Store) Get(key string) ([]byte, bool) {
+func (s *Store) Get(key string) ([]byte, bool) { return s.read(key, true) }
+
+// read is Get's body; count false skips the hit/miss counters so
+// replication reads (Export) do not distort cache statistics. Corrupt
+// records are counted and quarantined either way.
+func (s *Store) read(key string, count bool) ([]byte, bool) {
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -313,13 +318,17 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	r, ok := s.index[key]
 	s.mu.RUnlock()
 	if !ok {
-		s.misses.Add(1)
+		if count {
+			s.misses.Add(1)
+		}
 		return nil, false
 	}
 	kind, gotKey, value, _, err := readRecordAt(r.seg.f, r.off, r.off+r.n, maxRecordLen)
 	if err != nil || kind != kindPut || gotKey != key {
 		s.corrupt.Add(1)
-		s.misses.Add(1)
+		if count {
+			s.misses.Add(1)
+		}
 		s.mu.Lock()
 		if cur, ok := s.index[key]; ok && cur == r {
 			delete(s.index, key)
@@ -328,7 +337,9 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		s.mu.Unlock()
 		return nil, false
 	}
-	s.hits.Add(1)
+	if count {
+		s.hits.Add(1)
+	}
 	return value, true
 }
 

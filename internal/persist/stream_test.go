@@ -1,0 +1,124 @@
+package persist
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := map[string]string{
+		"alpha": "one",
+		"beta":  strings.Repeat("v", 4096),
+		"gamma": "",
+	}
+	for k, v := range want {
+		if err := WriteFrame(&buf, k, []byte(v)); err != nil {
+			t.Fatalf("WriteFrame(%q): %v", k, err)
+		}
+	}
+	fr := NewFrameReader(&buf)
+	got := map[string]string{}
+	for {
+		k, v, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		got[k] = string(v)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d records, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("key %q: got %q, want %q", k, got[k], v)
+		}
+	}
+	// A finished reader stays at EOF.
+	if _, _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("Next after EOF = %v, want io.EOF", err)
+	}
+}
+
+// TestFrameReaderTruncation: a stream cut mid-frame must error, never
+// report a clean EOF — exactly the torn-tail distinction the log
+// recovery makes.
+func TestFrameReaderTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, "key", []byte("a value long enough to cut")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{1, recordHeaderLen - 1, recordHeaderLen + 3, len(full) - 1} {
+		fr := NewFrameReader(bytes.NewReader(full[:cut]))
+		_, _, err := fr.Next()
+		if err == nil || err == io.EOF {
+			t.Errorf("cut at %d: err = %v, want a truncation error", cut, err)
+		}
+	}
+}
+
+func TestFrameReaderCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, "key", []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[len(b)-1] ^= 0xff // flip a payload byte; the CRC must catch it
+	fr := NewFrameReader(bytes.NewReader(b))
+	if _, _, err := fr.Next(); err == nil || err == io.EOF {
+		t.Fatalf("corrupted frame read back: err = %v, want checksum error", err)
+	}
+}
+
+func TestStoreExport(t *testing.T) {
+	s, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		k := fmt.Sprintf("key-%02d", i)
+		if err := s.Put(context.Background(), k, []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hitsBefore := s.Stats().Hits
+
+	var keys []string
+	pred := func(k string) bool { return strings.HasSuffix(k, "3") || strings.HasSuffix(k, "7") }
+	err = s.Export(pred, func(k string, v []byte) error {
+		keys = append(keys, k)
+		if want := "value-" + k[len(k)-1:]; string(v) != want {
+			t.Errorf("key %s exported value %q, want %q", k, v, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	if want := []string{"key-03", "key-07"}; len(keys) != 2 || keys[0] != want[0] || keys[1] != want[1] {
+		t.Fatalf("exported keys %v, want %v (sorted)", keys, want)
+	}
+	if got := s.Stats().Hits; got != hitsBefore {
+		t.Errorf("export moved the hit counter %d → %d; replication traffic must not count as cache traffic", hitsBefore, got)
+	}
+
+	// fn's error aborts the walk and surfaces.
+	boom := errors.New("boom")
+	calls := 0
+	if err := s.Export(nil, func(string, []byte) error { calls++; return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Export error = %v, want boom", err)
+	}
+	if calls != 1 {
+		t.Fatalf("Export kept walking after fn error: %d calls", calls)
+	}
+}

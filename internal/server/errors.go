@@ -40,6 +40,10 @@ const (
 	// (e.g. /v1/debug/traces on a server built without a tracer, or an
 	// unknown trace id).
 	CodeNotFound ErrorCode = "not_found"
+	// CodeUnauthorized: the request needs a valid admin bearer token and
+	// did not present one; retrying without new credentials cannot
+	// succeed.
+	CodeUnauthorized ErrorCode = "unauthorized"
 	// CodeInternal: an unexpected server-side failure.
 	CodeInternal ErrorCode = "internal"
 )
@@ -67,6 +71,8 @@ func (c ErrorCode) HTTPStatus() int {
 		return http.StatusBadGateway
 	case CodeNotFound:
 		return http.StatusNotFound
+	case CodeUnauthorized:
+		return http.StatusUnauthorized
 	default:
 		return http.StatusInternalServerError
 	}

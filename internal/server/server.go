@@ -161,6 +161,13 @@ func New(opts Options) *Server {
 	// churn the ring with single-span traces).
 	s.mux.Handle("GET /metrics", s.instrumentLive("metrics", s.handleMetrics))
 	s.mux.Handle("GET /v1/debug/traces", s.instrumentLive("traces", s.handleTraces))
+	// Warm-state migration only exists where there is durable state to
+	// move: memory-only servers answer 404 on these paths, and their
+	// metric families never mention the migration counters.
+	if s.persist != nil {
+		s.mux.Handle("GET /v1/persist/export", s.instrument("persistExport", s.handlePersistExport))
+		s.mux.Handle("POST /v1/persist/import", s.instrument("persistImport", s.handlePersistImport))
+	}
 	s.httpSrv = &http.Server{Handler: s.mux}
 	return s
 }

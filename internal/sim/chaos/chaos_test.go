@@ -190,3 +190,76 @@ func TestChaosWarmRestart(t *testing.T) {
 		t.Logf("event log:\n%s", strings.Join(rep.Log, "\n"))
 	}
 }
+
+// warmJoinSchedule cycles a leave/join through every node, with probe
+// rounds keeping health current. Step 0 is fault-free: the sweep and
+// the locality probes run, so the probe job is computed and persisted
+// by its ring owner. Then each node in turn leaves (its shards —
+// probe job included, when it owns it — migrate to the survivors and
+// its disk is wiped) and rejoins the next step (the coordinator
+// migrates its shard back onto its cold disk). Whichever node owns
+// the probe job, its rejoin therefore lands the job on a freshly
+// wiped disk via migration alone — forcing at least one warm-join
+// check across the cycle.
+func warmJoinSchedule(nodes int) *sim.Schedule {
+	s := &sim.Schedule{Seed: -3, Nodes: nodes, Steps: 2*nodes + 1}
+	step := 1
+	for i := 0; i < nodes; i++ {
+		s.Events = append(s.Events,
+			sim.Event{Step: step, Kind: sim.EventLeave, Node: i},
+			sim.Event{Step: step, Kind: sim.EventProbe},
+		)
+		step++
+		s.Events = append(s.Events,
+			sim.Event{Step: step, Kind: sim.EventJoin, Node: i},
+			sim.Event{Step: step, Kind: sim.EventProbe},
+		)
+		step++
+	}
+	return s
+}
+
+// TestChaosWarmJoin drives live membership churn against a
+// persist-enabled cluster: every invariant must hold — including the
+// warm-join one, which must actually have run — proving a node that
+// joins with a wiped disk answers its migrated shard memoized, with
+// zero pool work, before any recomputation could have warmed it.
+func TestChaosWarmJoin(t *testing.T) {
+	rep, err := Run(Options{Seed: -3, Schedule: warmJoinSchedule(3), Persist: true, Membership: true})
+	if err != nil {
+		t.Fatalf("harness error: %v", err)
+	}
+	if rep.Failed() {
+		for _, v := range rep.Violations {
+			t.Errorf("%s", v)
+		}
+		t.Logf("event log:\n%s", strings.Join(rep.Log, "\n"))
+	}
+	if rep.WarmJoinChecks == 0 {
+		t.Error("schedule cycled every node through leave/join yet no warm-join check ran — migration never delivered the probe job")
+	}
+}
+
+// TestChaosMembershipSchedules runs generated schedules with the
+// membership event class enabled: joins and leaves interleave with
+// crashes, partitions, latency, and skew, and every invariant must
+// still hold.
+func TestChaosMembershipSchedules(t *testing.T) {
+	n := schedules(t)
+	for i := 0; i < n; i++ {
+		seed := int64(100 + i)
+		rep, err := Run(Options{Seed: seed, Membership: true, Persist: true})
+		if err != nil {
+			t.Fatalf("seed %d: harness error: %v", seed, err)
+		}
+		if rep.Failed() {
+			t.Errorf("seed %d: %d invariant violation(s); reproduce with Run(Options{Seed: %d, Membership: true, Persist: true})",
+				seed, len(rep.Violations), seed)
+			for _, v := range rep.Violations {
+				t.Errorf("seed %d: %s", seed, v)
+			}
+			t.Logf("seed %d schedule:\n%s", seed, rep.Schedule.Log())
+			t.Logf("seed %d event log:\n%s", seed, strings.Join(rep.Log, "\n"))
+		}
+	}
+}

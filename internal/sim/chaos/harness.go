@@ -46,8 +46,14 @@ type Options struct {
 	// run is step-synchronous, so this only matters when failover is
 	// broken and a job's result never arrives).
 	RequestTimeout time.Duration
+	// Membership adds live join/leave events to the generated schedule:
+	// a leave drains the node through the coordinator's admin API and
+	// then decommissions it (disk wiped), a join boots it cold and adds
+	// it back — which is what makes the warm-join invariant sharp: any
+	// warmth the joiner shows can only have arrived via migration.
+	Membership bool
 	// Schedule overrides the generated schedule; nil selects
-	// sim.Generate(Seed, Nodes, Steps).
+	// sim.GenerateWith(Seed, Nodes, Steps, {Membership}).
 	Schedule *sim.Schedule
 }
 
@@ -94,6 +100,10 @@ type Report struct {
 	// checked. A persist-enabled run whose schedule restarts the probe's
 	// owner should report at least one.
 	WarmChecks int
+	// WarmJoinChecks counts warm-join invariant evaluations: a node
+	// joined with the probe job migrated onto its freshly wiped disk and
+	// was actually checked.
+	WarmJoinChecks int
 }
 
 // Failed reports whether any invariant was violated.
@@ -101,14 +111,20 @@ func (r *Report) Failed() bool { return len(r.Violations) > 0 }
 
 // Invariant names, as they appear in violations.
 const (
-	InvJobs      = "no-lost-jobs"      // every sweep job answered exactly once, in order, successfully
-	InvOracle    = "oracle-identical"  // payloads byte-identical to the single-node oracle
-	InvLocality  = "memo-locality"     // repeat of an identical job is a memo hit
-	InvAdmission = "admission-quiesce" // admission/pool/inflight gauges return to zero between steps
-	InvTrace     = "trace-stitching"   // every backend trace stitches to a coordinator trace across the hop
-	InvLeak      = "goroutine-leak"    // everything spawned during the run exits at teardown
-	InvWarm      = "warm-restart"      // a restarted node answers previously-persisted jobs memoized, with zero pool work
+	InvJobs       = "no-lost-jobs"      // every sweep job answered exactly once, in order, successfully
+	InvOracle     = "oracle-identical"  // payloads byte-identical to the single-node oracle
+	InvLocality   = "memo-locality"     // repeat of an identical job is a memo hit
+	InvAdmission  = "admission-quiesce" // admission/pool/inflight gauges return to zero between steps
+	InvTrace      = "trace-stitching"   // every backend trace stitches to a coordinator trace across the hop
+	InvLeak       = "goroutine-leak"    // everything spawned during the run exits at teardown
+	InvWarm       = "warm-restart"      // a restarted node answers previously-persisted jobs memoized, with zero pool work
+	InvMembership = "membership-change" // admin join/leave calls complete against a reachable cluster
+	InvWarmJoin   = "warm-join"         // a freshly joined node answers a migrated probe job memoized, with zero pool work
 )
+
+// chaosAdminToken gates the coordinator's admin API inside the harness;
+// membership events authenticate with it.
+const chaosAdminToken = "chaos-admin"
 
 // run owns the live pieces of one chaos execution.
 type run struct {
@@ -131,7 +147,7 @@ type run struct {
 // with the harness, not the cluster — surface as an error instead.
 func Run(o Options) (*Report, error) {
 	o = o.withDefaults()
-	sched := sim.Generate(o.Seed, o.Nodes, o.Steps)
+	sched := sim.GenerateWith(o.Seed, o.Nodes, o.Steps, sim.GenOptions{Membership: o.Membership})
 	if o.Schedule != nil {
 		sched = *o.Schedule
 	}
@@ -222,13 +238,14 @@ func (r *run) setup() error {
 		RequestTimeout: r.opts.RequestTimeout,
 		Tracer:         r.tracer,
 		DropRescatter:  r.opts.DropRescatter,
+		AdminToken:     chaosAdminToken,
 	})
 	if err != nil {
 		return fmt.Errorf("chaos: coordinator: %w", err)
 	}
 	r.coord = coord
 	r.cts = httptest.NewServer(coord.Handler())
-	r.cl = client.New(r.cts.URL, client.WithRetries(0))
+	r.cl = client.New(r.cts.URL, client.WithRetries(0), client.WithAdminToken(chaosAdminToken))
 	return nil
 }
 
@@ -282,8 +299,44 @@ func (r *run) applyEvents(step int) {
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			r.coord.CheckHealth(ctx)
 			cancel()
+		case sim.EventLeave:
+			r.adminLeave(step, n)
+		case sim.EventJoin:
+			r.adminJoin(step, n)
 		}
 	}
+}
+
+// adminLeave drains a node out through the admin API, then
+// decommissions it: the process is killed and its disk wiped, so a
+// later rejoin starts genuinely cold and any warmth it then shows can
+// only have arrived via the coordinator's migration. The admin call
+// happens while the node is still up — the leave migration exports
+// from it.
+func (r *run) adminLeave(step int, n *node) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.opts.RequestTimeout)
+	defer cancel()
+	if _, err := r.cl.AdminLeave(ctx, n.ts.URL); err != nil {
+		r.violate(step, InvMembership, fmt.Sprintf("leave of node %d failed: %v", n.idx, err))
+		return
+	}
+	n.decommission()
+}
+
+// adminJoin boots the decommissioned node cold on its original URL and
+// adds it back through the admin API, then evaluates the warm-join
+// invariant: if the coordinator's migration landed the fixed probe job
+// on the joiner's freshly wiped disk, the joiner must answer it
+// memoized with zero pool work.
+func (r *run) adminJoin(step int, n *node) {
+	n.start()
+	ctx, cancel := context.WithTimeout(context.Background(), r.opts.RequestTimeout)
+	defer cancel()
+	if _, err := r.cl.AdminJoin(ctx, n.ts.URL); err != nil {
+		r.violate(step, InvMembership, fmt.Sprintf("join of node %d failed: %v", n.idx, err))
+		return
+	}
+	r.warmProbe(step, n, InvWarmJoin, &r.rep.WarmJoinChecks)
 }
 
 // checkWarm evaluates the warm-restart invariant on a node that just
@@ -295,6 +348,14 @@ func (r *run) applyEvents(step int) {
 // the trace-stitching invariant sees a remote-parented trace the
 // coordinator knows, exactly like proxied traffic.
 func (r *run) checkWarm(step int, n *node) {
+	r.warmProbe(step, n, InvWarm, &r.rep.WarmChecks)
+}
+
+// warmProbe is the shared body of the warm-restart and warm-join
+// invariants: when the node's persist tier holds the fixed probe job,
+// the node — whose memo and pool are empty — must answer it memoized
+// with zero pool work, straight from disk.
+func (r *run) warmProbe(step int, n *node, inv string, checks *int) {
 	if !r.opts.Persist {
 		return
 	}
@@ -306,7 +367,7 @@ func (r *run) checkWarm(step int, n *node) {
 	if _, ok := srv.Persist().Get(key); !ok {
 		return // this node never served the probe; nothing to assert
 	}
-	r.rep.WarmChecks++
+	*checks++
 	before := srv.Metrics().Counter("pool.completed").Value()
 
 	ctx, cancel := context.WithTimeout(context.Background(), r.opts.RequestTimeout)
@@ -322,14 +383,14 @@ func (r *run) checkWarm(step int, n *node) {
 	tr.CloseIdleConnections()
 	span.End()
 	if err != nil {
-		r.violate(step, InvWarm, fmt.Sprintf("node %d: probe against restarted node failed: %v", n.idx, err))
+		r.violate(step, inv, fmt.Sprintf("node %d: probe against warm node failed: %v", n.idx, err))
 		return
 	}
 	if !res.Memoized {
-		r.violate(step, InvWarm, fmt.Sprintf("node %d answered the persisted probe job unmemoized — the disk tier was not consulted", n.idx))
+		r.violate(step, inv, fmt.Sprintf("node %d answered the persisted probe job unmemoized — the disk tier was not consulted", n.idx))
 	}
 	if after := srv.Metrics().Counter("pool.completed").Value(); after != before {
-		r.violate(step, InvWarm, fmt.Sprintf("node %d burned %d pool job(s) answering a persisted job, want 0", n.idx, after-before))
+		r.violate(step, inv, fmt.Sprintf("node %d burned %d pool job(s) answering a persisted job, want 0", n.idx, after-before))
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"sync"
 	"time"
 
@@ -133,6 +134,23 @@ func (n *node) crash() {
 	n.ts.CloseClientConnections()
 	if srv != nil {
 		srv.Close()
+	}
+}
+
+// decommission retires the node after it has left the cluster: the
+// process dies and — unlike a crash, where the disk survives — its
+// persist directory is wiped. The listener (and so the URL identity)
+// stays, so a later join reuses the same ring name with genuinely cold
+// state.
+func (n *node) decommission() {
+	n.crash()
+	if n.dir != "" {
+		if err := os.RemoveAll(n.dir); err != nil {
+			panic(fmt.Sprintf("chaos: node %d wiping persist dir: %v", n.idx, err))
+		}
+		if err := os.MkdirAll(n.dir, 0o755); err != nil {
+			panic(fmt.Sprintf("chaos: node %d recreating persist dir: %v", n.idx, err))
+		}
 	}
 }
 

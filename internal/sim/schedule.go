@@ -30,6 +30,16 @@ const (
 	// Between probes, failures are discovered passively — which is what
 	// exercises mid-sweep failover.
 	EventProbe EventKind = "probe"
+	// EventLeave drains the node out of the cluster through the admin
+	// API: its persisted shards migrate to the ring successors, the ring
+	// swaps, and the harness then decommissions the node (wiping its
+	// disk) so a later rejoin starts genuinely cold.
+	EventLeave EventKind = "leave"
+	// EventJoin adds a previously departed node back through the admin
+	// API: the coordinator migrates the moved key ranges onto it before
+	// the ring swap, and the harness checks the warm-join invariant —
+	// the first probe of a migrated key answers memoized.
+	EventJoin EventKind = "join"
 )
 
 // Event is one scheduled fault. Node is ignored for EventProbe.
@@ -95,13 +105,30 @@ const (
 	nodeUp nodeState = iota
 	nodeCrashed
 	nodePartitioned
+	nodeDeparted
 )
+
+// GenOptions selects optional event classes for GenerateWith.
+type GenOptions struct {
+	// Membership adds live join/leave events: an up node may drain out
+	// of the cluster (another must stay reachable), and a departed node
+	// eventually rejoins. Off, the generator is byte-identical to the
+	// original Generate for every seed — replayability of historical
+	// seeds is part of the schedule contract.
+	Membership bool
+}
 
 // Generate builds the seeded fault plan. Invariant: at least one node
 // is reachable (up and unpartitioned) after every step, so a run with
 // working failover must deliver every job — which is exactly what makes
 // the no-lost-jobs invariant sharp. Panics if nodes < 2 or steps < 1.
 func Generate(seed int64, nodes, steps int) Schedule {
+	return GenerateWith(seed, nodes, steps, GenOptions{})
+}
+
+// GenerateWith is Generate with optional event classes; zero options
+// reproduce Generate exactly (same seed, same bytes).
+func GenerateWith(seed int64, nodes, steps int, opts GenOptions) Schedule {
 	if nodes < 2 || steps < 1 {
 		panic("sim: Generate needs nodes >= 2 and steps >= 1")
 	}
@@ -130,8 +157,17 @@ func Generate(seed int64, nodes, steps int) Schedule {
 			case nodePartitioned:
 				state[node] = nodeUp
 				s.Events = append(s.Events, Event{Step: step, Kind: EventHeal, Node: node})
+			case nodeDeparted:
+				state[node] = nodeUp
+				s.Events = append(s.Events, Event{Step: step, Kind: EventJoin, Node: node})
 			case nodeUp:
-				switch k := rng.Intn(4); k {
+				// The fault die gains a face only when membership events
+				// are enabled, so legacy seeds replay byte-identically.
+				faults := 4
+				if opts.Membership {
+					faults = 5
+				}
+				switch k := rng.Intn(faults); k {
 				case 0: // crash, only if another node stays reachable
 					if reachable() > 1 {
 						state[node] = nodeCrashed
@@ -148,6 +184,11 @@ func Generate(seed int64, nodes, steps int) Schedule {
 				case 3:
 					d := time.Duration(rng.Intn(21)-10) * time.Second
 					s.Events = append(s.Events, Event{Step: step, Kind: EventSkew, Node: node, Dur: d})
+				case 4: // leave, only if another node stays reachable
+					if reachable() > 1 {
+						state[node] = nodeDeparted
+						s.Events = append(s.Events, Event{Step: step, Kind: EventLeave, Node: node})
+					}
 				}
 			}
 		}

@@ -213,3 +213,70 @@ func TestGenerateEventStateMachine(t *testing.T) {
 		}
 	}
 }
+
+func TestGenerateWithZeroOptionsMatchesGenerate(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		if a, b := Generate(seed, 3, 12).Log(), GenerateWith(seed, 3, 12, GenOptions{}).Log(); a != b {
+			t.Fatalf("seed %d: GenerateWith zero options diverges from Generate:\n%s\nvs\n%s", seed, a, b)
+		}
+	}
+}
+
+// TestGenerateWithMembership checks the membership extension: leaves
+// and joins appear, transitions stay legal (leave only from up, join
+// only after leave, nothing else touches a departed node), and at
+// least one node stays both reachable and a member after every step.
+func TestGenerateWithMembership(t *testing.T) {
+	sawLeave, sawJoin := false, false
+	for seed := int64(0); seed < 200; seed++ {
+		s := GenerateWith(seed, 3, 20, GenOptions{Membership: true})
+		state := make([]nodeState, s.Nodes)
+		for step := 0; step < s.Steps; step++ {
+			for _, e := range s.At(step) {
+				switch e.Kind {
+				case EventCrash, EventPartition, EventLatency, EventSkew, EventLeave:
+					if state[e.Node] != nodeUp {
+						t.Fatalf("seed %d: %s on non-up node\n%s", seed, e, s.Log())
+					}
+					switch e.Kind {
+					case EventCrash:
+						state[e.Node] = nodeCrashed
+					case EventPartition:
+						state[e.Node] = nodePartitioned
+					case EventLeave:
+						state[e.Node] = nodeDeparted
+						sawLeave = true
+					}
+				case EventRestart:
+					if state[e.Node] != nodeCrashed {
+						t.Fatalf("seed %d: restart of non-crashed node\n%s", seed, e)
+					}
+					state[e.Node] = nodeUp
+				case EventHeal:
+					if state[e.Node] != nodePartitioned {
+						t.Fatalf("seed %d: heal of non-partitioned node\n%s", seed, e)
+					}
+					state[e.Node] = nodeUp
+				case EventJoin:
+					if state[e.Node] != nodeDeparted {
+						t.Fatalf("seed %d: join of non-departed node\n%s", seed, e)
+					}
+					state[e.Node] = nodeUp
+					sawJoin = true
+				}
+			}
+			up := 0
+			for _, st := range state {
+				if st == nodeUp {
+					up++
+				}
+			}
+			if up == 0 {
+				t.Fatalf("seed %d step %d: no reachable member\n%s", seed, step, s.Log())
+			}
+		}
+	}
+	if !sawLeave || !sawJoin {
+		t.Fatalf("200 membership schedules produced leave=%v join=%v events; want both", sawLeave, sawJoin)
+	}
+}
